@@ -1,0 +1,72 @@
+// Ablation: DART's size-dependent path selection (§IV). Sweeps message
+// sizes through the Gemini model, reporting modeled wire time for the SMSG
+// and BTE mechanisms and verifying the crossover that motivates DART's
+// dynamic choice; also microbenchmarks the real end-to-end Dart::get cost
+// (copy + bookkeeping) with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "runtime/network_model.hpp"
+#include "transport/dart.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void report_crossover() {
+  using namespace hia;
+  NetworkParams p;
+  NetworkModel net(p);
+
+  std::printf("\n==== DART path selection sweep (modeled Gemini times) ====\n\n");
+  Table table({"message size", "selected path", "modeled time (us)",
+               "SMSG-forced (us)", "BTE-forced (us)"});
+  bool small_prefers_smsg = true, large_prefers_bte = true;
+  for (size_t bytes = 64; bytes <= (16u << 20); bytes *= 4) {
+    const TransferPath path = net.select_path(bytes);
+    const double actual = net.transfer_seconds(bytes);
+    const double smsg_forced =
+        p.smsg_latency_s + static_cast<double>(bytes) / p.smsg_bandwidth_Bps;
+    const double bte_forced =
+        p.bte_latency_s + static_cast<double>(bytes) / p.bte_bandwidth_Bps;
+    table.add_row({fmt_bytes(static_cast<double>(bytes)), to_string(path),
+                   fmt_fixed(actual * 1e6, 2), fmt_fixed(smsg_forced * 1e6, 2),
+                   fmt_fixed(bte_forced * 1e6, 2)});
+    if (bytes <= 1024 && smsg_forced > bte_forced) small_prefers_smsg = false;
+    if (bytes >= (1u << 20) && bte_forced > smsg_forced) {
+      large_prefers_bte = false;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("  [shape %s] SMSG wins for small messages (OS bypass latency)\n",
+              small_prefers_smsg ? "OK  " : "FAIL");
+  std::printf("  [shape %s] BTE wins for bulk transfers (higher bandwidth)\n\n",
+              large_prefers_bte ? "OK  " : "FAIL");
+}
+
+void BM_DartGet(benchmark::State& state) {
+  using namespace hia;
+  NetworkModel net;
+  Dart dart(net);
+  const int src = dart.register_node("src");
+  const int dst = dart.register_node("dst");
+  const auto handle = dart.put_doubles(
+      src, std::vector<double>(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto data = dart.get(dst, handle);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+  dart.release(handle);
+}
+BENCHMARK(BM_DartGet)->Range(8, 1 << 18);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_crossover();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: intermediate-data scaling of the hybrid topology pipeline.
+// The paper reports 87 MB of subtree data from a 944-billion-point-class
+// run — about 0.09% of the raw state. Intermediate size is dominated by
+// the shared boundary faces, so it scales with the decomposition's surface
+// area, not its volume. This bench sweeps rank counts (more surface) and
+// grid sizes (bigger blocks) to expose both trends.
+#include <array>
+#include <cstdio>
+
+#include "analysis/topology/local_tree.hpp"
+#include "sim/analytic_fields.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Sweep {
+  hia::GlobalGrid grid;
+  std::array<int, 3> ranks;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hia;
+
+  std::printf("\n==== topology intermediate-data scaling ====\n\n");
+  Table table({"grid", "ranks", "raw field", "subtree data", "fraction",
+               "vertices", "edges"});
+
+  const std::vector<Sweep> sweeps{
+      {GlobalGrid{{32, 32, 32}, {1, 1, 1}}, {1, 1, 1}},
+      {GlobalGrid{{32, 32, 32}, {1, 1, 1}}, {2, 2, 2}},
+      {GlobalGrid{{32, 32, 32}, {1, 1, 1}}, {4, 4, 4}},
+      {GlobalGrid{{48, 48, 48}, {1, 1, 1}}, {2, 2, 2}},
+      {GlobalGrid{{64, 64, 64}, {1, 1, 1}}, {2, 2, 2}},
+  };
+
+  std::vector<double> fractions;
+  for (const Sweep& sweep : sweeps) {
+    Field field("f", sweep.grid.bounds());
+    fill_gaussian_mixture(field, sweep.grid,
+                          GaussianMixture::well_separated(8, 0.06, 3));
+    Decomposition decomp(sweep.grid, sweep.ranks);
+
+    size_t bytes = 0, vertices = 0, edges = 0;
+    for (int r = 0; r < decomp.num_ranks(); ++r) {
+      const Box3 block = decomp.block(r);
+      const Box3 ext = extended_block(sweep.grid, block);
+      const SubtreeData sub =
+          compute_rank_subtree(sweep.grid, block, field.pack(ext), ext);
+      bytes += sub.serialize().size() * sizeof(double);
+      vertices += sub.num_vertices();
+      edges += sub.num_edges();
+    }
+    const double raw =
+        static_cast<double>(sweep.grid.num_points()) * sizeof(double);
+    const double fraction = static_cast<double>(bytes) / raw;
+    fractions.push_back(fraction);
+    table.add_row({std::to_string(sweep.grid.dims[0]) + "^3",
+                   std::to_string(decomp.num_ranks()),
+                   fmt_bytes(raw), fmt_bytes(static_cast<double>(bytes)),
+                   fmt_fixed(100.0 * fraction, 2) + "%",
+                   std::to_string(vertices), std::to_string(edges)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper reference: 87.02 MB of subtree data vs 98.5 GB raw "
+              "(0.09%% at 4480 ranks of 100x49x43 each)\n\n");
+  // Shape 1: more ranks on a fixed grid -> more shared surface -> more
+  // intermediate data (rows 0, 1, 2).
+  const bool grows_with_ranks =
+      fractions[1] > fractions[0] && fractions[2] > fractions[1];
+  // Shape 2: bigger blocks at fixed rank count -> smaller surface-to-
+  // volume ratio -> smaller *fraction* (rows 1, 3, 4).
+  const bool shrinks_with_block_size =
+      fractions[3] < fractions[1] && fractions[4] < fractions[3];
+  std::printf("  [shape %s] intermediate fraction grows with rank count "
+              "(surface scaling)\n",
+              grows_with_ranks ? "OK  " : "FAIL");
+  std::printf("  [shape %s] intermediate fraction shrinks with block size "
+              "(the paper's 0.09%% needs big blocks)\n",
+              shrinks_with_block_size ? "OK  " : "FAIL");
+  return 0;
+}

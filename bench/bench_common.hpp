@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark harness: the paper's published numbers
+// (Tables I and II of Bennett et al., SC 2012) and the scaled-down run
+// configurations the benches use on this machine.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+
+namespace hia::bench {
+
+// ---- Paper reference values (per simulation timestep, 4896 cores) ----
+
+struct PaperTable2Row {
+  const char* analysis;
+  double in_situ_s;
+  double movement_s;    // 0 = fully in-situ
+  double movement_mb;
+  double in_transit_s;
+};
+
+inline constexpr PaperTable2Row kPaperTable2[] = {
+    {"in-situ visualization", 0.73, 0.0, 0.0, 0.0},
+    {"in-situ descriptive statistics", 1.64, 0.0, 0.0, 0.0},
+    {"hybrid visualization", 0.08, 0.092, 49.19, 5.06},
+    {"hybrid topology", 2.72, 2.06, 87.02, 119.81},
+    {"hybrid descriptive statistics", 1.69, 0.06, 13.30, 0.01},
+};
+
+inline constexpr double kPaperSimStepSeconds4896 = 16.85;
+inline constexpr double kPaperIoReadSeconds = 6.56;
+inline constexpr double kPaperIoWriteSeconds = 3.28;
+inline constexpr double kPaperVizInSituPercent = 4.33;   // of sim time
+inline constexpr double kPaperStatsInSituPercent = 9.73; // of sim time
+
+/// A run configuration small enough for this machine yet preserving the
+/// paper's structure (multi-rank decomposition, multiple staging buckets).
+inline RunConfig laptop_config(long steps = 3) {
+  RunConfig cfg;
+  cfg.sim.grid = GlobalGrid{{48, 32, 24}, {1.0, 0.75, 0.5}};
+  cfg.sim.ranks_per_axis = {2, 2, 2};
+  cfg.staging_servers = 2;
+  cfg.staging_buckets = 4;
+  cfg.steps = steps;
+  return cfg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// A pass/fail shape check printed alongside the tables: does a measured
+/// relationship reproduce the paper's qualitative result?
+inline void shape_check(const char* description, bool ok) {
+  std::printf("  [shape %s] %s\n", ok ? "OK  " : "FAIL", description);
+}
+
+}  // namespace hia::bench

@@ -1,0 +1,87 @@
+// Reproduces the Fig. 1 experiment: tracking short-lived ignition
+// structures over time. When analysis runs every step, features overlap
+// frame to frame and can be tracked; when only every Nth step is analyzed
+// (the paper's "every 400th timestep reaches disk"), the temporal
+// length-scale of the features falls below the output interval and the
+// connectivity indicators are lost.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/topology/segmentation.hpp"
+#include "bench_common.hpp"
+#include "runtime/comm.hpp"
+#include "sim/s3d.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hia;
+  using namespace hia::bench;
+
+  // Tuned so that ignition kernels are genuinely intermittent *relative to
+  // the analysis stride*: they advect with the jet by ~half their diameter
+  // per step, so adjacent frames overlap but frames a large stride apart do
+  // not — the paper's "temporal length-scale of features shorter than the
+  // frequency at which data is written to disk".
+  S3DParams params;
+  params.grid = GlobalGrid{{40, 28, 28}, {1.0, 0.7, 0.7}};
+  params.ranks_per_axis = {1, 1, 1};
+  params.dt = 4.0e-3;
+  params.diffusivity = 6.0e-3;  // kernels dissipate within ~a dozen steps
+  params.jet_velocity = 2.5;
+  params.turbulence.rms_velocity = 1.2;
+  params.chemistry.kernel_rate = 1.5;
+  const long steps = 36;
+  // Threshold above the sustained flame core: isolates transient kernels.
+  const double threshold = 2.8;
+
+  // Advance the simulation, segmenting the temperature field every step.
+  std::vector<Segmentation> frames;
+  {
+    World world(1);
+    world.run([&](Comm& comm) {
+      S3DRank sim(params, 0);
+      sim.initialize();
+      for (long s = 0; s < steps; ++s) {
+        sim.advance(comm);
+        const auto values = sim.field(Variable::kTemperature).pack_owned();
+        frames.push_back(segment_superlevel(params.grid.bounds(), values,
+                                            threshold));
+      }
+    });
+  }
+
+  print_header("Fig. 1: feature tracking continuity vs. analysis stride");
+  Table table({"analysis stride", "frames", "features tracked",
+               "features continued", "continuity"});
+  double continuity_at_1 = 1.0, continuity_at_max = 1.0;
+  for (const int stride : {1, 2, 4, 8, 12}) {
+    std::vector<Segmentation> sampled;
+    for (size_t f = 0; f < frames.size(); f += static_cast<size_t>(stride)) {
+      sampled.push_back(frames[f]);
+    }
+    // Ignore sub-4-voxel threshold flicker; real kernels are larger.
+    const TrackingSummary summary = track_sequence(sampled, 4);
+    table.add_row({std::to_string(stride), std::to_string(sampled.size()),
+                   std::to_string(summary.features_total),
+                   std::to_string(summary.features_continued),
+                   fmt_fixed(summary.continuity(), 3)});
+    if (stride == 1) continuity_at_1 = summary.continuity();
+    if (stride == 12) continuity_at_max = summary.continuity();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  size_t total_features = 0;
+  for (const auto& f : frames) total_features += f.features.size();
+  std::printf("total features across %ld frames: %zu\n\n", steps,
+              total_features);
+
+  shape_check("intermittent features exist (ignition kernels form)",
+              total_features > 0);
+  shape_check(
+      "per-step analysis tracks features that coarse output loses "
+      "(paper Fig. 1: connectivity lost when feature lifetime < stride)",
+      continuity_at_1 > continuity_at_max);
+  shape_check("dense tracking achieves high continuity",
+              continuity_at_1 > 0.6);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Combustion monitoring: the paper's Fig. 2 use case as an application.
+//
+// While a lifted hydrogen-jet simulation runs, two visualization modes are
+// active simultaneously (the paper notes "multiple instances of each
+// visualization mode can be dynamically created in-situ and/or in-transit
+// on demand"):
+//   * the fully in-situ renderer produces a high-quality frame every 4th
+//     step (shares primary resources, so it runs sparsely);
+//   * the hybrid renderer produces a monitoring frame every step
+//     (down-sample in-situ, render in-transit — nearly free for the
+//     simulation).
+// Alongside, hybrid statistics summarize every variable each step, giving
+// the scientist a live dashboard: images + moment summaries + normality
+// test on the temperature field.
+//
+// Output: PPM frames under monitor_out/ and a per-step console dashboard.
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "analysis/stats/descriptive.hpp"
+#include "core/framework.hpp"
+#include "core/stats_pipeline.hpp"
+#include "core/viz_pipeline.hpp"
+
+int main() {
+  using namespace hia;
+
+  ::mkdir("monitor_out", 0755);
+
+  RunConfig config;
+  config.sim.grid = GlobalGrid{{64, 48, 36}, {1.0, 0.75, 0.5625}};
+  config.sim.ranks_per_axis = {2, 2, 2};
+  config.sim.chemistry.kernel_rate = 2.0;
+  config.staging_servers = 2;
+  config.staging_buckets = 4;
+  config.steps = 8;
+
+  HybridRunner runner(config);
+
+  VizConfig quality;
+  quality.variable = Variable::kTemperature;
+  quality.image_size = 160;
+  quality.tf_lo = 0.9;
+  quality.tf_hi = 5.0;
+  quality.output_dir = "monitor_out";
+  auto insitu_viz = std::make_shared<InSituVisualization>(quality);
+
+  VizConfig monitor = quality;
+  monitor.downsample_stride = 4;
+  auto hybrid_viz = std::make_shared<HybridVisualization>(monitor);
+
+  auto stats = std::make_shared<HybridStatistics>();
+
+  runner.add_analysis(hybrid_viz, /*frequency=*/1);   // every step
+  runner.add_analysis(stats, /*frequency=*/1);        // every step
+  runner.add_analysis(insitu_viz, /*frequency=*/4);   // sparse, expensive
+
+  const RunReport report = runner.run();
+
+  std::printf("monitoring dashboard (%ld steps, %d ranks)\n\n", report.steps,
+              report.sim_ranks);
+  std::printf("%-5s %-12s %-12s %-14s %s\n", "step", "T mean", "T max",
+              "normality p", "hybrid frame");
+  const auto models = stats->latest_models();
+  for (const auto& m : report.in_situ) {
+    if (m.analysis != "stats-hybrid") continue;
+    // The dashboard would normally read each step's result blob; for the
+    // final step we show the derived model directly.
+    std::printf("%-5ld (in-situ stage %.4f s, %zu B staged)\n", m.step,
+                m.max_rank_seconds, m.published_bytes);
+  }
+  const auto& temp =
+      models[static_cast<size_t>(Variable::kTemperature)];
+  const auto jb = stats_test_normality(temp);
+  std::printf("\nfinal temperature field: mean=%.4f stddev=%.4f max=%.4f\n",
+              temp.mean, temp.stddev, temp.max);
+  std::printf("Jarque-Bera normality: statistic=%.1f p=%.3g "
+              "(turbulent combustion is decidedly non-Gaussian)\n",
+              jb.statistic, jb.p_value);
+
+  std::printf("\nper-step frames written to monitor_out/ (viz-hybrid.*.ppm "
+              "every step, viz-insitu.*.ppm every 4th)\n");
+  std::printf("hybrid viz cost on the simulation: in-situ %.4f s + movement "
+              "%.4f s per step (vs %.4f s fully in-situ)\n",
+              report.mean_in_situ_seconds("viz-hybrid"),
+              report.mean_movement_seconds("viz-hybrid"),
+              report.mean_in_situ_seconds("viz-insitu"));
+  return 0;
+}

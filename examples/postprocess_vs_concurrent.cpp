@@ -1,0 +1,128 @@
+// Post-processing vs. concurrent analysis: the paper's motivating
+// comparison (§I).
+//
+// The traditional pipeline writes full checkpoints to persistent storage
+// and analyzes them later; at scale it can only afford to write every Nth
+// step, losing temporal resolution, and the I/O itself costs simulation
+// time. The concurrent pipeline analyzes every step in place, moving only
+// intermediate results.
+//
+// This example runs both on the same simulation and prints the trade:
+// bytes written, modeled I/O time at paper scale, temporal resolution of
+// the resulting analysis, and the answers' equivalence where they overlap.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "core/stats_pipeline.hpp"
+#include "io/checkpoint.hpp"
+#include "io/ost_model.hpp"
+
+int main() {
+  using namespace hia;
+
+  ::mkdir("ckpt_out", 0755);
+
+  S3DParams sim_params;
+  sim_params.grid = GlobalGrid{{48, 32, 24}, {1.0, 0.75, 0.5}};
+  sim_params.ranks_per_axis = {2, 2, 1};
+  const long steps = 8;
+  const long checkpoint_stride = 4;  // the affordable post-processing rate
+
+  // ---- Pipeline A: traditional post-processing ----
+  // Run the simulation, checkpoint every Nth step, then "later" read the
+  // checkpoints back and compute statistics.
+  Decomposition decomp(sim_params.grid, sim_params.ranks_per_axis);
+  std::vector<std::string> checkpoint_files;
+  size_t bytes_written = 0;
+  double checkpoint_wall = 0.0;
+  {
+    World world(decomp.num_ranks());
+    std::mutex m;
+    world.run([&](Comm& comm) {
+      S3DRank sim(sim_params, comm.rank());
+      sim.initialize();
+      for (long s = 0; s < steps; ++s) {
+        sim.advance(comm);
+        if (sim.step() % checkpoint_stride != 0) continue;
+        const auto result = write_checkpoint(sim, "ckpt_out", "flame");
+        std::lock_guard lock(m);
+        checkpoint_files.push_back(result.path);
+        bytes_written += result.bytes;
+        checkpoint_wall += result.measured_seconds;
+      }
+    });
+  }
+
+  // Post-processing: read the checkpoints back, learn + combine + derive.
+  std::vector<MomentAccumulator> post_partials;
+  for (const auto& path : checkpoint_files) {
+    const auto entries = read_checkpoint(path);
+    const auto& temperature =
+        entries[static_cast<size_t>(Variable::kTemperature)];
+    post_partials.push_back(stats_learn(temperature.values));
+  }
+  // Only the last checkpointed step's statistics, for comparison below:
+  std::vector<MomentAccumulator> last_step(
+      post_partials.end() - decomp.num_ranks(), post_partials.end());
+  const DescriptiveModel post_model =
+      derive_descriptive(stats_combine(last_step));
+
+  // ---- Pipeline B: concurrent hybrid analysis ----
+  RunConfig config;
+  config.sim = sim_params;
+  config.steps = steps;
+  HybridRunner runner(config);
+  auto stats = std::make_shared<HybridStatistics>(
+      std::vector<Variable>{Variable::kTemperature});
+  runner.add_analysis(stats, /*frequency=*/1);
+  const RunReport report = runner.run();
+  const DescriptiveModel live_model = stats->latest_models().at(0);
+
+  // ---- The comparison ----
+  const OstModel ost;
+  const GlobalGrid paper_grid{{1600, 1372, 430}, {1.0, 0.8575, 0.26875}};
+  const size_t paper_step_bytes = checkpoint_bytes(paper_grid);
+
+  std::printf("traditional post-processing pipeline:\n");
+  std::printf("  checkpoints: every %ldth step -> %zu files, %zu bytes\n",
+              checkpoint_stride, checkpoint_files.size(), bytes_written);
+  std::printf("  temporal resolution of analysis: every %ldth step\n",
+              checkpoint_stride);
+  std::printf("  at paper scale each analyzed step writes %.1f GB costing "
+              "%.2f s of I/O (modeled, %d writers)\n",
+              static_cast<double>(paper_step_bytes) / (1u << 30),
+              ost.write_seconds(paper_step_bytes, 4480), 4480);
+
+  std::printf("\nconcurrent hybrid pipeline:\n");
+  std::printf("  analyzed EVERY step; intermediate data per step: %.0f "
+              "bytes (%.1e of the raw state)\n",
+              report.mean_movement_bytes("stats-hybrid"),
+              report.mean_movement_bytes("stats-hybrid") /
+                  static_cast<double>(report.solution_bytes_per_step));
+  std::printf("  synchronous cost per step: %.4f s in-situ + %.4f s "
+              "movement\n",
+              report.mean_in_situ_seconds("stats-hybrid"),
+              report.mean_movement_seconds("stats-hybrid"));
+
+  std::printf("\nagreement where both pipelines analyzed the same step "
+              "(step %ld):\n", steps);
+  std::printf("  post-processed: mean=%.8f var=%.8f n=%llu\n",
+              post_model.mean, post_model.variance,
+              static_cast<unsigned long long>(post_model.count));
+  std::printf("  concurrent:     mean=%.8f var=%.8f n=%llu\n",
+              live_model.mean, live_model.variance,
+              static_cast<unsigned long long>(live_model.count));
+  const bool agree =
+      post_model.count == live_model.count &&
+      std::abs(post_model.mean - live_model.mean) < 1e-9 &&
+      std::abs(post_model.variance - live_model.variance) < 1e-8;
+  std::printf("  -> %s\n", agree ? "identical (same science, 4x the "
+                                   "temporal resolution, no raw I/O)"
+                                 : "MISMATCH");
+
+  for (const auto& path : checkpoint_files) std::remove(path.c_str());
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Parallel contingency statistics, after Pébay, Thompson & Bennett,
+// "Computing contingency statistics in parallel" (CLUSTER 2010) — ref [22]
+// of the paper, part of the same VTK statistics toolkit deployed by the
+// in-situ/in-transit framework.
+//
+// The primary model (the `learn` output) is the joint occurrence table of
+// a categorized variable pair; tables over disjoint observation sets
+// combine by sparse addition, making the model mergeable exactly like the
+// moment accumulators. `derive` produces marginals, the chi-squared
+// independence statistic, Cramér's V, and pointwise mutual information.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+/// Uniform-width binner mapping a continuous value to a category.
+class Categorizer {
+ public:
+  Categorizer(double lo, double hi, int bins) : lo_(lo), hi_(hi), bins_(bins) {
+    HIA_REQUIRE(hi > lo, "categorizer range must be non-empty");
+    HIA_REQUIRE(bins > 0, "categorizer needs at least one bin");
+  }
+
+  [[nodiscard]] int category(double x) const {
+    if (x < lo_) return 0;
+    if (x >= hi_) return bins_ - 1;
+    return static_cast<int>((x - lo_) / (hi_ - lo_) *
+                            static_cast<double>(bins_));
+  }
+  [[nodiscard]] int bins() const { return bins_; }
+
+ private:
+  double lo_, hi_;
+  int bins_;
+};
+
+/// Primary model: sparse joint occurrence counts of category pairs.
+class ContingencyTable {
+ public:
+  ContingencyTable(int x_bins, int y_bins) : x_bins_(x_bins), y_bins_(y_bins) {
+    HIA_REQUIRE(x_bins > 0 && y_bins > 0, "table needs positive dimensions");
+  }
+
+  void update(int x_category, int y_category) {
+    HIA_REQUIRE(x_category >= 0 && x_category < x_bins_ && y_category >= 0 &&
+                    y_category < y_bins_,
+                "category out of range");
+    ++cells_[{x_category, y_category}];
+    ++total_;
+  }
+
+  /// learn over paired continuous observations through two categorizers.
+  void update(std::span<const double> x, std::span<const double> y,
+              const Categorizer& cx, const Categorizer& cy);
+
+  /// Sparse addition of another table (same dimensions required).
+  void combine(const ContingencyTable& other);
+
+  [[nodiscard]] uint64_t count(int x_category, int y_category) const {
+    auto it = cells_.find({x_category, y_category});
+    return it == cells_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] uint64_t total() const { return total_; }
+  [[nodiscard]] int x_bins() const { return x_bins_; }
+  [[nodiscard]] int y_bins() const { return y_bins_; }
+  [[nodiscard]] size_t nonzero_cells() const { return cells_.size(); }
+
+  [[nodiscard]] std::vector<uint64_t> x_marginal() const;
+  [[nodiscard]] std::vector<uint64_t> y_marginal() const;
+
+  /// Flat encoding: [x_bins, y_bins, n_cells, (x, y, count)...].
+  [[nodiscard]] std::vector<double> serialize() const;
+  static ContingencyTable deserialize(std::span<const double> data);
+
+ private:
+  int x_bins_, y_bins_;
+  std::map<std::pair<int, int>, uint64_t> cells_;
+  uint64_t total_ = 0;
+};
+
+/// Derived independence statistics.
+struct ContingencyModel {
+  uint64_t total = 0;
+  double chi_squared = 0.0;   // Pearson chi-squared vs. independence
+  double cramers_v = 0.0;     // association strength in [0, 1]
+  double mutual_information = 0.0;  // in nats
+};
+
+ContingencyModel derive_contingency(const ContingencyTable& table);
+
+}  // namespace hia

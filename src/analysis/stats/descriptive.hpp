@@ -1,0 +1,47 @@
+// The 4-stage statistics design pattern of the paper's Fig. 4:
+//
+//   learn  — primary model from observations (the ONLY stage that needs
+//            inter-process communication, by construction);
+//   derive — detailed model from the primary model;
+//   assess — annotate each observation relative to a model;
+//   test   — test statistic(s) for hypothesis testing.
+//
+// The stages are free functions over MomentAccumulator / DescriptiveModel
+// so that the in-situ variant (learn + all-to-all combine + derive on the
+// compute ranks) and the hybrid variant (learn in-situ, ship the packed
+// primary models, derive in-transit) compose them differently without
+// duplicating any math.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/stats/moments.hpp"
+
+namespace hia {
+
+/// `learn`: accumulates the primary model over a span of observations.
+MomentAccumulator stats_learn(std::span<const double> observations);
+
+/// Parallel `learn` epilogue: combines per-partition primary models into a
+/// single global model (what the all-to-all / in-transit aggregation does).
+MomentAccumulator stats_combine(
+    std::span<const MomentAccumulator> partials);
+
+/// `assess`: z-score of each observation relative to a derived model
+/// (relative deviations, the per-observation annotation of Fig. 4).
+std::vector<double> stats_assess(std::span<const double> observations,
+                                 const DescriptiveModel& model);
+
+/// `test`: Jarque–Bera normality statistic
+///   JB = n/6 * (skewness^2 + kurtosis_excess^2 / 4),
+/// asymptotically chi-squared(2) under the normal null hypothesis.
+struct TestResult {
+  double statistic = 0.0;
+  /// Approximate p-value from the chi-squared(2) distribution:
+  /// p = exp(-statistic / 2).
+  double p_value = 1.0;
+};
+TestResult stats_test_normality(const DescriptiveModel& model);
+
+}  // namespace hia

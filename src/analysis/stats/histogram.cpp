@@ -1,0 +1,31 @@
+#include "analysis/stats/histogram.hpp"
+
+#include <algorithm>
+
+namespace hia {
+
+double Histogram::quantile(double q) const {
+  HIA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0, 1]");
+  uint64_t in_range = 0;
+  for (const uint64_t c : counts_) in_range += c;
+  if (in_range == 0) return lo_;
+
+  const double target = q * static_cast<double>(in_range);
+  double cum = 0.0;
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Linear interpolation within the bin.
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + w * (static_cast<double>(i) + frac);
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace hia

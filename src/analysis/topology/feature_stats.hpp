@@ -1,0 +1,93 @@
+// Feature-based statistics — the paper's §VI future work: "combining the
+// merge tree computation presented in this work with statistical analyses
+// to enable the computation of feature-based statistics such as those
+// present in the corresponding post-processing tools [30], [43]".
+//
+// A *feature* is a connected component of the superlevel set
+// {field >= threshold} (one member of the merge tree's segmentation
+// ensemble). For each feature we compute its geometry (voxel count,
+// centroid, maximum) and the moment statistics of a second *measure*
+// variable conditioned on the feature (e.g. heat-release statistics per
+// ignition kernel).
+//
+// The hybrid decomposition mirrors the topology pipeline:
+//   * in-situ: each rank labels the components of its own block, computes
+//     per-component partial moments, and exports (a) its boundary voxels
+//     above threshold and (b) equivalence links across +direction faces;
+//   * in-transit: a serial bucket unions the per-rank components through
+//     the links, combines the partial moments with the pairwise formulas,
+//     and emits the global feature table. A feature's canonical id is the
+//     global grid id of its maximum (ties by id), so results are
+//     decomposition-invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/stats/moments.hpp"
+#include "sim/box.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+/// One global feature with conditioned statistics.
+struct GlobalFeature {
+  uint64_t id = 0;          // grid id of the feature's maximum
+  double max_value = 0.0;   // field value at the maximum
+  int64_t voxels = 0;
+  double centroid[3] = {0, 0, 0};     // global index-space centroid
+  MomentAccumulator measure;          // moments of the measure variable
+
+  bool operator==(const GlobalFeature&) const = default;
+};
+
+/// Serial reference: features of `field` over `box` with statistics of
+/// `measure` (both packed x-fastest over `box`). Sorted by descending
+/// voxel count, ties by id.
+std::vector<GlobalFeature> feature_statistics(
+    const GlobalGrid& grid, const Box3& box, std::span<const double> field,
+    std::span<const double> measure, double threshold);
+
+/// Per-rank intermediate data for the hybrid pipeline.
+struct LocalFeatureData {
+  // Per local component (indexed 0..n-1):
+  std::vector<uint64_t> comp_max_id;
+  std::vector<double> comp_max_value;
+  std::vector<int64_t> comp_voxels;
+  std::vector<double> comp_centroid_sum;  // 3 per component (unnormalized)
+  std::vector<double> comp_moments;       // kPackedSize per component
+
+  // Boundary exports: owned voxels above threshold on faces adjacent to a
+  // lower-coordinate neighbor, so that neighbor's links can resolve.
+  std::vector<uint64_t> boundary_gid;
+  std::vector<uint32_t> boundary_comp;
+
+  // Equivalence links across +direction faces: local component <->
+  // neighbor-owned voxel (above threshold on both sides).
+  std::vector<uint32_t> link_comp;
+  std::vector<uint64_t> link_gid;
+
+  [[nodiscard]] size_t num_components() const { return comp_max_id.size(); }
+
+  [[nodiscard]] std::vector<double> serialize() const;
+  static LocalFeatureData deserialize(std::span<const double> data);
+};
+
+/// In-situ stage: local components of `block` plus gluing data, using
+/// `extended` values (block grown by +1 in each positive axis direction,
+/// clamped — the same ghost convention as the topology pipeline). Both
+/// value buffers are packed over `extended`.
+LocalFeatureData compute_local_features(const GlobalGrid& grid,
+                                        const Box3& block,
+                                        const Box3& extended,
+                                        std::span<const double> field,
+                                        std::span<const double> measure,
+                                        double threshold);
+
+/// In-transit stage: glue per-rank components into global features.
+/// Sorted by descending voxel count, ties by id.
+std::vector<GlobalFeature> combine_features(
+    const std::vector<LocalFeatureData>& parts);
+
+}  // namespace hia

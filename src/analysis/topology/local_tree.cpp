@@ -1,0 +1,227 @@
+#include "analysis/topology/local_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+std::vector<double> SubtreeData::serialize() const {
+  std::vector<double> out;
+  out.reserve(2 + vertex_ids.size() * 3 + edge_child.size() * 2);
+  out.push_back(static_cast<double>(vertex_ids.size()));
+  out.push_back(static_cast<double>(edge_child.size()));
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    out.push_back(static_cast<double>(vertex_ids[i]));
+    out.push_back(vertex_values[i]);
+    out.push_back(i < interior.size() ? interior[i] : 0.0);
+  }
+  for (size_t e = 0; e < edge_child.size(); ++e) {
+    out.push_back(static_cast<double>(edge_child[e]));
+    out.push_back(static_cast<double>(edge_parent[e]));
+  }
+  return out;
+}
+
+SubtreeData SubtreeData::deserialize(std::span<const double> data) {
+  HIA_REQUIRE(data.size() >= 2, "subtree payload too short");
+  SubtreeData s;
+  const auto nv = static_cast<size_t>(data[0]);
+  const auto ne = static_cast<size_t>(data[1]);
+  HIA_REQUIRE(data.size() == 2 + nv * 3 + ne * 2,
+              "subtree payload size mismatch");
+  s.vertex_ids.reserve(nv);
+  s.vertex_values.reserve(nv);
+  s.interior.reserve(nv);
+  size_t off = 2;
+  for (size_t i = 0; i < nv; ++i) {
+    s.vertex_ids.push_back(static_cast<uint64_t>(data[off++]));
+    s.vertex_values.push_back(data[off++]);
+    s.interior.push_back(static_cast<uint8_t>(data[off++]));
+  }
+  s.edge_child.reserve(ne);
+  s.edge_parent.reserve(ne);
+  for (size_t e = 0; e < ne; ++e) {
+    s.edge_child.push_back(static_cast<uint32_t>(data[off++]));
+    s.edge_parent.push_back(static_cast<uint32_t>(data[off++]));
+  }
+  return s;
+}
+
+namespace {
+
+/// Union-find over box-local offsets with path compression + union by the
+/// component's current arc end ("lowest" vertex).
+class ComponentForest {
+ public:
+  explicit ComponentForest(size_t n) : parent_(n), lowest_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+    std::iota(lowest_.begin(), lowest_.end(), size_t{0});
+  }
+
+  size_t find(size_t x) {
+    size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const size_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the set of `a` into the set of `b` (b's root wins).
+  void merge_into(size_t a, size_t b) { parent_[find(a)] = find(b); }
+
+  [[nodiscard]] size_t lowest(size_t root) const { return lowest_[root]; }
+  void set_lowest(size_t root, size_t v) { lowest_[root] = v; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> lowest_;  // valid at roots only
+};
+
+}  // namespace
+
+Box3 extended_block(const GlobalGrid& grid, const Box3& block) {
+  Box3 ext = block;
+  for (int a = 0; a < 3; ++a) {
+    ext.hi[a] = std::min(ext.hi[a] + 1, grid.dims[a]);
+  }
+  return ext;
+}
+
+MergeTree build_local_tree(const GlobalGrid& grid, const Box3& box,
+                           std::span<const double> values) {
+  const auto n = static_cast<size_t>(box.num_cells());
+  HIA_REQUIRE(values.size() == n, "value buffer does not match box");
+  HIA_REQUIRE(n > 0, "empty box");
+
+  // Sort box offsets by descending (value, global id).
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const int64_t nx = box.extent(0), ny = box.extent(1);
+  auto global_id = [&](size_t off) {
+    int64_t i, j, k;
+    box.coords(off, i, j, k);
+    return grid_vertex_id(grid, i, j, k);
+  };
+  std::vector<uint64_t> gids(n);
+  for (size_t off = 0; off < n; ++off) gids[off] = global_id(off);
+
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return above(values[a], gids[a], values[b], gids[b]);
+  });
+
+  std::vector<uint32_t> rank_of(n);  // position in descending order
+  for (size_t pos = 0; pos < n; ++pos) rank_of[order[pos]] = static_cast<uint32_t>(pos);
+
+  ComponentForest forest(n);
+  std::vector<int64_t> parent(n, MergeTree::kNoParent);  // box offsets
+
+  const std::array<int64_t, 3> steps{1, nx, nx * ny};
+  for (size_t pos = 0; pos < n; ++pos) {
+    const size_t v = order[pos];
+    int64_t i, j, k;
+    box.coords(v, i, j, k);
+    const std::array<int64_t, 3> coord{i, j, k};
+
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int dir = -1; dir <= 1; dir += 2) {
+        const int64_t c = coord[static_cast<size_t>(axis)] + dir;
+        if (c < box.lo[axis] || c >= box.hi[axis]) continue;
+        const size_t u = static_cast<size_t>(
+            static_cast<int64_t>(v) + dir * steps[static_cast<size_t>(axis)]);
+        if (rank_of[u] > pos) continue;  // u not yet swept (it is lower)
+        const size_t ru = forest.find(u);
+        const size_t rv = forest.find(v);
+        if (ru == rv) continue;
+        // The arc end of u's component attaches to v; components merge.
+        parent[forest.lowest(ru)] = static_cast<int64_t>(v);
+        forest.merge_into(ru, rv);
+        forest.set_lowest(forest.find(v), v);
+      }
+    }
+  }
+
+  // Emit nodes in descending order so parents appear after children.
+  std::vector<MergeTree::Node> nodes(n);
+  std::vector<int64_t> node_index(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    node_index[order[pos]] = static_cast<int64_t>(pos);
+  }
+  for (size_t pos = 0; pos < n; ++pos) {
+    const size_t v = order[pos];
+    MergeTree::Node& node = nodes[pos];
+    node.id = gids[v];
+    node.value = values[v];
+    node.parent = parent[v] == MergeTree::kNoParent
+                      ? MergeTree::kNoParent
+                      : node_index[static_cast<size_t>(parent[v])];
+  }
+  return MergeTree(std::move(nodes));
+}
+
+SubtreeData extract_subtree(const GlobalGrid& grid, const Box3& box,
+                            const MergeTree& local_tree) {
+  const auto& nodes = local_tree.nodes();
+  const auto counts = local_tree.child_counts();
+
+  // Retained: criticals (leaf / saddle / root) + interior-shared boundary
+  // vertices (any box face that is not the domain boundary).
+  const Box3 domain = grid.bounds();
+  auto on_shared_boundary = [&](uint64_t id) {
+    const int64_t nx = grid.dims[0], nyd = grid.dims[1];
+    const int64_t i = static_cast<int64_t>(id) % nx;
+    const int64_t j = (static_cast<int64_t>(id) / nx) % nyd;
+    const int64_t k = static_cast<int64_t>(id) / (nx * nyd);
+    const std::array<int64_t, 3> c{i, j, k};
+    for (int a = 0; a < 3; ++a) {
+      if (c[a] == box.lo[a] && box.lo[a] != domain.lo[a]) return true;
+      if (c[a] == box.hi[a] - 1 && box.hi[a] != domain.hi[a]) return true;
+    }
+    return false;
+  };
+
+  std::vector<bool> keep(nodes.size(), false);
+  for (size_t idx = 0; idx < nodes.size(); ++idx) {
+    keep[idx] = counts[idx] != 1 || nodes[idx].parent == MergeTree::kNoParent ||
+                on_shared_boundary(nodes[idx].id);
+  }
+
+  SubtreeData out;
+  std::vector<int64_t> remap(nodes.size(), -1);
+  for (size_t idx = 0; idx < nodes.size(); ++idx) {
+    if (!keep[idx]) continue;
+    remap[idx] = static_cast<int64_t>(out.vertex_ids.size());
+    out.vertex_ids.push_back(nodes[idx].id);
+    out.vertex_values.push_back(nodes[idx].value);
+    out.interior.push_back(on_shared_boundary(nodes[idx].id) ? 0 : 1);
+  }
+  for (size_t idx = 0; idx < nodes.size(); ++idx) {
+    if (!keep[idx]) continue;
+    // Nearest retained ancestor.
+    int64_t p = nodes[idx].parent;
+    while (p != MergeTree::kNoParent && !keep[static_cast<size_t>(p)]) {
+      p = nodes[static_cast<size_t>(p)].parent;
+    }
+    if (p == MergeTree::kNoParent) continue;
+    out.edge_child.push_back(static_cast<uint32_t>(remap[idx]));
+    out.edge_parent.push_back(
+        static_cast<uint32_t>(remap[static_cast<size_t>(p)]));
+  }
+  return out;
+}
+
+SubtreeData compute_rank_subtree(const GlobalGrid& grid, const Box3& block,
+                                 std::span<const double> extended_values,
+                                 const Box3& extended_box) {
+  HIA_REQUIRE(extended_box == extended_block(grid, block),
+              "extended box does not match the rank's block");
+  const MergeTree local =
+      build_local_tree(grid, extended_box, extended_values);
+  return extract_subtree(grid, extended_box, local);
+}
+
+}  // namespace hia

@@ -1,0 +1,110 @@
+// Merge trees (join trees of superlevel sets).
+//
+// The merge tree of a scalar function f encodes the merging of contours as
+// an isovalue sweeps from the top of the range downward (paper Fig. 3):
+// a node is created at each local maximum when a new contour appears, arcs
+// lengthen as the isovalue drops, and two arcs merge at a saddle.
+//
+// Conventions used throughout the topology library:
+//   * vertices carry a global id (the grid's linear index) and a value;
+//   * ties are broken by id ("simulation of simplicity"), so the order
+//     (value, id) is total and every result is decomposition-independent;
+//   * parent pointers point *downward*: toward lower function values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hia {
+
+/// Total order "a is above b" on (value, id) pairs.
+inline bool above(double value_a, uint64_t id_a, double value_b,
+                  uint64_t id_b) {
+  if (value_a != value_b) return value_a > value_b;
+  return id_a > id_b;
+}
+
+/// A merge tree over named vertices. Parent indices point toward lower
+/// values; the root (global minimum of the represented region) has
+/// parent == kNoParent.
+class MergeTree {
+ public:
+  static constexpr int64_t kNoParent = -1;
+
+  struct Node {
+    uint64_t id = 0;
+    double value = 0.0;
+    int64_t parent = kNoParent;  // index into nodes()
+  };
+
+  MergeTree() = default;
+  explicit MergeTree(std::vector<Node> nodes);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  /// Index of the node with vertex id `id`, or -1.
+  [[nodiscard]] int64_t index_of(uint64_t id) const;
+
+  /// Indices of leaf nodes (nodes that are nobody's parent) — the local
+  /// maxima of the represented function.
+  [[nodiscard]] std::vector<int64_t> leaves() const;
+
+  /// Indices of root nodes (parent == kNoParent). A merge tree of a
+  /// connected domain has exactly one root.
+  [[nodiscard]] std::vector<int64_t> roots() const;
+
+  /// Number of children of each node.
+  [[nodiscard]] std::vector<int> child_counts() const;
+
+  /// Contracts regular nodes (exactly one child, one parent), keeping
+  /// leaves, saddles (>= 2 children), and roots: the reduced tree of
+  /// critical points. Node order is preserved for retained nodes.
+  [[nodiscard]] MergeTree reduced() const;
+
+  /// Checks structural invariants: parent indices valid, parents strictly
+  /// below children in (value, id) order, no cycles. Returns a diagnostic
+  /// string, empty when valid.
+  [[nodiscard]] std::string validate() const;
+
+  /// Sorts nodes by descending (value, id) and remaps parent indices;
+  /// canonical form for equality comparison across construction orders.
+  [[nodiscard]] MergeTree canonical() const;
+
+  /// Structural equality on canonical forms (id/value/parent-id triples).
+  [[nodiscard]] bool same_structure(const MergeTree& other) const;
+
+ private:
+  void rebuild_index();
+
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, int64_t> index_;
+};
+
+/// A persistence pair: a maximum (leaf) and the saddle at which its branch
+/// merges into an older branch. The globally highest maximum pairs with the
+/// root and has infinite persistence (represented by the root's value).
+struct PersistencePair {
+  uint64_t max_id = 0;
+  double max_value = 0.0;
+  uint64_t saddle_id = 0;
+  double saddle_value = 0.0;
+
+  [[nodiscard]] double persistence() const { return max_value - saddle_value; }
+};
+
+/// Branch decomposition by the elder rule: every leaf is paired with the
+/// saddle where it merges into a branch with a higher maximum. Returned in
+/// descending persistence order; the globally highest leaf pairs with the
+/// root.
+std::vector<PersistencePair> persistence_pairs(const MergeTree& tree);
+
+/// Removes every branch with persistence below `threshold` (elder rule),
+/// returning the simplified tree (reduced to critical points).
+MergeTree simplify(const MergeTree& tree, double threshold);
+
+}  // namespace hia

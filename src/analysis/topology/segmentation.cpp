@@ -1,0 +1,186 @@
+#include "analysis/topology/segmentation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t find(size_t x) {
+    size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const size_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+  void unite(size_t a, size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+}  // namespace
+
+Segmentation segment_superlevel(const Box3& box,
+                                std::span<const double> values,
+                                double threshold) {
+  const auto n = static_cast<size_t>(box.num_cells());
+  HIA_REQUIRE(values.size() == n, "value buffer does not match box");
+
+  UnionFind uf(n);
+  const int64_t nx = box.extent(0), ny = box.extent(1);
+  auto in_set = [&](size_t off) { return values[off] >= threshold; };
+
+  // Union along the three negative-direction neighbors (each edge once).
+  for (size_t off = 0; off < n; ++off) {
+    if (!in_set(off)) continue;
+    int64_t i, j, k;
+    box.coords(off, i, j, k);
+    if (i > box.lo[0] && in_set(off - 1)) uf.unite(off, off - 1);
+    if (j > box.lo[1] && in_set(off - static_cast<size_t>(nx))) {
+      uf.unite(off, off - static_cast<size_t>(nx));
+    }
+    if (k > box.lo[2] && in_set(off - static_cast<size_t>(nx * ny))) {
+      uf.unite(off, off - static_cast<size_t>(nx * ny));
+    }
+  }
+
+  Segmentation seg;
+  seg.labels.assign(n, -1);
+  std::map<size_t, int32_t> root_to_label;
+  for (size_t off = 0; off < n; ++off) {
+    if (!in_set(off)) continue;
+    const size_t root = uf.find(off);
+    auto [it, inserted] =
+        root_to_label.emplace(root, static_cast<int32_t>(seg.features.size()));
+    if (inserted) {
+      Feature f;
+      f.label = it->second;
+      seg.features.push_back(f);
+    }
+    const int32_t label = it->second;
+    seg.labels[off] = label;
+
+    Feature& f = seg.features[static_cast<size_t>(label)];
+    int64_t i, j, k;
+    box.coords(off, i, j, k);
+    ++f.voxels;
+    f.centroid[0] += static_cast<double>(i);
+    f.centroid[1] += static_cast<double>(j);
+    f.centroid[2] += static_cast<double>(k);
+    const uint64_t vid = static_cast<uint64_t>(off);
+    if (f.voxels == 1 || values[off] > f.max_value ||
+        (values[off] == f.max_value && vid > f.max_id)) {
+      f.max_value = values[off];
+      f.max_id = vid;
+    }
+  }
+  for (Feature& f : seg.features) {
+    if (f.voxels > 0) {
+      for (double& c : f.centroid) c /= static_cast<double>(f.voxels);
+    }
+  }
+  return seg;
+}
+
+std::vector<OverlapEdge> overlap_track(const Segmentation& a,
+                                       const Segmentation& b) {
+  HIA_REQUIRE(a.labels.size() == b.labels.size(),
+              "segmentations cover different boxes");
+  std::map<std::pair<int32_t, int32_t>, int64_t> counts;
+  for (size_t off = 0; off < a.labels.size(); ++off) {
+    const int32_t la = a.labels[off];
+    const int32_t lb = b.labels[off];
+    if (la >= 0 && lb >= 0) ++counts[{la, lb}];
+  }
+  std::vector<OverlapEdge> out;
+  out.reserve(counts.size());
+  for (const auto& [key, shared] : counts) {
+    out.push_back(OverlapEdge{key.first, key.second, shared});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OverlapEdge& x, const OverlapEdge& y) {
+              return x.shared_voxels > y.shared_voxels;
+            });
+  return out;
+}
+
+TreeSegmentation segment_tree(const MergeTree& augmented_tree,
+                              double threshold) {
+  const auto& nodes = augmented_tree.nodes();
+  const size_t n = nodes.size();
+
+  // Sweep descending: when a node at/above the threshold is processed,
+  // union it with each already-processed child (children are strictly
+  // above their parent, so they are all in-set and already swept).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return above(nodes[a].value, nodes[a].id, nodes[b].value, nodes[b].id);
+  });
+
+  UnionFind uf(n);
+  std::vector<std::vector<size_t>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i].parent != MergeTree::kNoParent) {
+      children[static_cast<size_t>(nodes[i].parent)].push_back(i);
+    }
+  }
+
+  TreeSegmentation seg;
+  for (const size_t u : order) {
+    if (nodes[u].value < threshold) break;  // descending: rest is out
+    for (const size_t c : children[u]) {
+      uf.unite(c, u);
+    }
+  }
+
+  // Representative maximum per component: the first in-set node of each
+  // root encountered in descending order is its highest member.
+  std::unordered_map<size_t, uint64_t> rep_of_root;
+  std::unordered_map<uint64_t, int64_t> counts;
+  for (const size_t u : order) {
+    if (nodes[u].value < threshold) break;
+    const size_t root = uf.find(u);
+    auto [it, inserted] = rep_of_root.emplace(root, nodes[u].id);
+    seg.label_of[nodes[u].id] = it->second;
+    ++counts[it->second];
+  }
+  seg.features.assign(counts.begin(), counts.end());
+  std::sort(seg.features.begin(), seg.features.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return seg;
+}
+
+TrackingSummary track_sequence(const std::vector<Segmentation>& frames,
+                               int64_t min_voxels) {
+  TrackingSummary summary;
+  for (size_t t = 0; t + 1 < frames.size(); ++t) {
+    const auto edges = overlap_track(frames[t], frames[t + 1]);
+    std::vector<bool> continued(frames[t].features.size(), false);
+    for (const OverlapEdge& e : edges) {
+      continued[static_cast<size_t>(e.label_a)] = true;
+    }
+    for (size_t f = 0; f < frames[t].features.size(); ++f) {
+      if (frames[t].features[f].voxels < min_voxels) continue;
+      ++summary.features_total;
+      if (continued[f]) ++summary.features_continued;
+    }
+  }
+  return summary;
+}
+
+}  // namespace hia

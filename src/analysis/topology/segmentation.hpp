@@ -1,0 +1,88 @@
+// Threshold-based segmentation and temporal feature tracking.
+//
+// The merge tree "encodes an ensemble of threshold-based segmentations";
+// this module materializes one member of that ensemble — the connected
+// components of the superlevel set {f >= threshold} — and tracks features
+// across timesteps by voxel overlap, reproducing the Fig. 1 experiment
+// (connectivity indicators are lost when the temporal length-scale of
+// features is shorter than the output frequency).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/topology/merge_tree.hpp"
+#include "sim/box.hpp"
+
+namespace hia {
+
+/// One connected component of the superlevel set.
+struct Feature {
+  int32_t label = -1;
+  uint64_t max_id = 0;     // vertex id of the component's maximum
+  double max_value = 0.0;
+  int64_t voxels = 0;
+  double centroid[3] = {0.0, 0.0, 0.0};  // index-space centroid
+};
+
+/// Labels the superlevel set {values >= threshold} over `box`
+/// (6-connectivity). Returns per-voxel labels (-1 = background) and the
+/// feature table; labels index into the table.
+struct Segmentation {
+  std::vector<int32_t> labels;  // size = box.num_cells(), x-fastest
+  std::vector<Feature> features;
+};
+Segmentation segment_superlevel(const Box3& box,
+                                std::span<const double> values,
+                                double threshold);
+
+/// A correspondence between a feature at step t and one at step t+dt.
+struct OverlapEdge {
+  int32_t label_a = -1;
+  int32_t label_b = -1;
+  int64_t shared_voxels = 0;
+};
+
+/// Voxel-overlap correspondences between two segmentations of the same box.
+std::vector<OverlapEdge> overlap_track(const Segmentation& a,
+                                       const Segmentation& b);
+
+/// Summary of tracking quality across a sequence: how many features found a
+/// successor, how many tracks were broken (Fig. 1's "lost connectivity").
+struct TrackingSummary {
+  int64_t features_total = 0;     // features in all but the last frame
+  int64_t features_continued = 0; // features with >= 1 overlap successor
+  [[nodiscard]] double continuity() const {
+    return features_total == 0
+               ? 1.0
+               : static_cast<double>(features_continued) /
+                     static_cast<double>(features_total);
+  }
+};
+
+/// Runs overlap tracking along a sequence of segmentations taken `stride`
+/// frames apart and reports continuity. Features smaller than `min_voxels`
+/// are ignored when counting (threshold-flicker suppression); their labels
+/// still participate as overlap targets.
+TrackingSummary track_sequence(const std::vector<Segmentation>& frames,
+                               int64_t min_voxels = 1);
+
+/// One member of the merge tree's segmentation ensemble: the superlevel
+/// components at `threshold`, extracted directly from a *fully augmented*
+/// merge tree (every vertex is a node). Each vertex at or above the
+/// threshold is labeled with the canonical feature id — the vertex id of
+/// the component's maximum — so the result is directly comparable with
+/// voxel-based segmentation and with the feature-statistics pipeline.
+struct TreeSegmentation {
+  /// vertex id -> feature id (the component maximum's vertex id).
+  std::unordered_map<uint64_t, uint64_t> label_of;
+  /// feature id -> member count, sorted by descending count then id.
+  std::vector<std::pair<uint64_t, int64_t>> features;
+};
+TreeSegmentation segment_tree(const MergeTree& augmented_tree,
+                              double threshold);
+
+}  // namespace hia

@@ -1,0 +1,33 @@
+#include "analysis/viz/compositor.hpp"
+
+#include <algorithm>
+
+#include "analysis/viz/raycast.hpp"
+#include "util/error.hpp"
+
+namespace hia {
+
+double brick_depth(const GlobalGrid& grid, const Box3& box,
+                   const OrthoCamera& camera) {
+  const Aabb b = physical_bounds(grid, box);
+  const Vec3 center = (b.lo + b.hi) * 0.5;
+  return center.dot(camera.forward());
+}
+
+Image composite(std::vector<BrickImage> bricks) {
+  HIA_REQUIRE(!bricks.empty(), "nothing to composite");
+  std::sort(bricks.begin(), bricks.end(),
+            [](const BrickImage& a, const BrickImage& b) {
+              return a.depth < b.depth;  // front first
+            });
+
+  Image out(bricks.front().image.width(), bricks.front().image.height());
+  // Accumulate back-to-front with the "under" operator: iterate bricks from
+  // the back, placing each in front of the accumulation so far.
+  for (auto it = bricks.rbegin(); it != bricks.rend(); ++it) {
+    out.under(it->image);
+  }
+  return out;
+}
+
+}  // namespace hia

@@ -1,0 +1,31 @@
+// Sort-last compositing for the in-situ parallel renderer: every rank
+// renders its own brick into a sparse full-frame image; the compositor
+// orders the partial images by view depth and blends front-to-back.
+// With an orthographic camera and an axis-aligned block decomposition the
+// depth order is total, so the result is exact.
+#pragma once
+
+#include <vector>
+
+#include "analysis/viz/camera.hpp"
+#include "analysis/viz/image.hpp"
+#include "sim/box.hpp"
+#include "sim/grid.hpp"
+#include "util/vec3.hpp"
+
+namespace hia {
+
+struct BrickImage {
+  Image image;
+  double depth = 0.0;  // dot(brick center, view direction)
+};
+
+/// View depth key for a brick (smaller = closer to the camera).
+double brick_depth(const GlobalGrid& grid, const Box3& box,
+                   const OrthoCamera& camera);
+
+/// Blends partial images front-to-back in depth order. All images must
+/// share dimensions.
+Image composite(std::vector<BrickImage> bricks);
+
+}  // namespace hia

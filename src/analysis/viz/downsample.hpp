@@ -1,0 +1,40 @@
+// The in-situ half of the hybrid visualization pipeline: strided
+// down-sampling of each rank's brick ("at every 8th grid point", Fig. 2),
+// producing a small block whose bounds metadata lets the in-transit
+// renderer place it without volume reconstruction.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "sim/box.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+struct DownsampledBlock {
+  Box3 bounds;                       // original block, global index space
+  int stride = 1;
+  std::array<int64_t, 3> samples{};  // retained points per axis
+  std::vector<double> values;        // x-fastest
+
+  [[nodiscard]] size_t byte_size() const {
+    return values.size() * sizeof(double) + sizeof(Box3) + sizeof(int) +
+           sizeof(samples);
+  }
+
+  /// Flat double encoding for Dart transport.
+  [[nodiscard]] std::vector<double> serialize() const;
+  static DownsampledBlock deserialize(std::span<const double> data);
+};
+
+/// Keeps every `stride`-th point of `values` (x-fastest over `box`) along
+/// each axis, starting at the box origin.
+DownsampledBlock downsample_block(const Box3& box,
+                                  std::span<const double> values, int stride);
+
+/// Reduction factor in element count (original / retained).
+double downsample_ratio(const DownsampledBlock& block);
+
+}  // namespace hia

@@ -1,0 +1,63 @@
+// RGBA float images, PPM output, and image-difference metrics (PSNR) used
+// by the Fig. 2 in-situ vs. hybrid rendering comparison.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+struct Rgba {
+  float r = 0.0f, g = 0.0f, b = 0.0f, a = 0.0f;
+};
+
+/// Premultiplied-alpha float image.
+class Image {
+ public:
+  Image(int width, int height) : width_(width), height_(height) {
+    HIA_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+    pixels_.assign(static_cast<size_t>(width) * static_cast<size_t>(height),
+                   Rgba{});
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] Rgba& at(int x, int y) {
+    HIA_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                   static_cast<size_t>(x)];
+  }
+  [[nodiscard]] const Rgba& at(int x, int y) const {
+    return const_cast<Image*>(this)->at(x, y);
+  }
+
+  [[nodiscard]] const std::vector<Rgba>& pixels() const { return pixels_; }
+
+  /// Composites `front` over this image ("over" operator, premultiplied).
+  void under(const Image& front);
+
+ private:
+  int width_, height_;
+  std::vector<Rgba> pixels_;
+};
+
+/// Writes an 8-bit PPM, blending over the given background grey level.
+void write_ppm(const Image& image, const std::string& path,
+               float background = 0.0f);
+
+/// Mean squared error over RGB (alpha-blended against black).
+double image_mse(const Image& a, const Image& b);
+
+/// Flat double encoding (width, height, then RGBA per pixel) for transport
+/// through Dart / Comm.
+std::vector<double> serialize_image(const Image& image);
+Image deserialize_image(std::span<const double> data);
+
+/// Peak signal-to-noise ratio in dB (infinity for identical images).
+double image_psnr(const Image& a, const Image& b);
+
+}  // namespace hia

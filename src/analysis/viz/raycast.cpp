@@ -1,0 +1,119 @@
+#include "analysis/viz/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+bool Aabb::intersect(const Ray& ray, double& t_enter, double& t_exit) const {
+  t_enter = 0.0;
+  t_exit = std::numeric_limits<double>::infinity();
+  const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const double d[3] = {ray.direction.x, ray.direction.y, ray.direction.z};
+  const double lo_[3] = {lo.x, lo.y, lo.z};
+  const double hi_[3] = {hi.x, hi.y, hi.z};
+  for (int a = 0; a < 3; ++a) {
+    if (std::abs(d[a]) < 1e-14) {
+      if (o[a] < lo_[a] || o[a] > hi_[a]) return false;
+      continue;
+    }
+    double t0 = (lo_[a] - o[a]) / d[a];
+    double t1 = (hi_[a] - o[a]) / d[a];
+    if (t0 > t1) std::swap(t0, t1);
+    t_enter = std::max(t_enter, t0);
+    t_exit = std::min(t_exit, t1);
+    if (t_enter > t_exit) return false;
+  }
+  return true;
+}
+
+Aabb physical_bounds(const GlobalGrid& grid, const Box3& box) {
+  Aabb b;
+  b.lo = Vec3{grid.coord(0, box.lo[0]) - 0.5 * grid.spacing(0),
+              grid.coord(1, box.lo[1]) - 0.5 * grid.spacing(1),
+              grid.coord(2, box.lo[2]) - 0.5 * grid.spacing(2)};
+  b.hi = Vec3{grid.coord(0, box.hi[0] - 1) + 0.5 * grid.spacing(0),
+              grid.coord(1, box.hi[1] - 1) + 0.5 * grid.spacing(1),
+              grid.coord(2, box.hi[2] - 1) + 0.5 * grid.spacing(2)};
+  return b;
+}
+
+BrickSampler::BrickSampler(const GlobalGrid& grid, const Box3& box,
+                           std::span<const double> values)
+    : grid_(grid), box_(box), values_(values) {
+  HIA_REQUIRE(values.size() == static_cast<size_t>(box.num_cells()),
+              "value buffer does not match brick box");
+}
+
+bool BrickSampler::sample(const Vec3& pos, double& value) const {
+  // Continuous index coordinates: point i sits at spacing * (i + 0.5).
+  const double c[3] = {pos.x / grid_.spacing(0) - 0.5,
+                       pos.y / grid_.spacing(1) - 0.5,
+                       pos.z / grid_.spacing(2) - 0.5};
+  int64_t i0[3];
+  double f[3];
+  for (int a = 0; a < 3; ++a) {
+    // Clamp into [lo, hi-1] so brick-edge samples extrapolate flat.
+    const double clamped =
+        std::clamp(c[a], static_cast<double>(box_.lo[a]),
+                   static_cast<double>(box_.hi[a] - 1));
+    i0[a] = std::min(static_cast<int64_t>(clamped), box_.hi[a] - 2);
+    i0[a] = std::max(i0[a], box_.lo[a]);
+    f[a] = box_.extent(a) == 1
+               ? 0.0
+               : clamped - static_cast<double>(i0[a]);
+  }
+  auto v = [&](int64_t di, int64_t dj, int64_t dk) {
+    const int64_t i = std::min(i0[0] + di, box_.hi[0] - 1);
+    const int64_t j = std::min(i0[1] + dj, box_.hi[1] - 1);
+    const int64_t k = std::min(i0[2] + dk, box_.hi[2] - 1);
+    return values_[box_.offset(i, j, k)];
+  };
+  const double c00 = v(0, 0, 0) * (1 - f[0]) + v(1, 0, 0) * f[0];
+  const double c10 = v(0, 1, 0) * (1 - f[0]) + v(1, 1, 0) * f[0];
+  const double c01 = v(0, 0, 1) * (1 - f[0]) + v(1, 0, 1) * f[0];
+  const double c11 = v(0, 1, 1) * (1 - f[0]) + v(1, 1, 1) * f[0];
+  const double c0 = c00 * (1 - f[1]) + c10 * f[1];
+  const double c1 = c01 * (1 - f[1]) + c11 * f[1];
+  value = c0 * (1 - f[2]) + c1 * f[2];
+  return true;
+}
+
+void render_volume(const OrthoCamera& camera, const VolumeSampler& sampler,
+                   const Aabb& bounds, const TransferFunction& tf,
+                   const RenderParams& params, Image& image) {
+  HIA_REQUIRE(image.width() == camera.pixels_x() &&
+                  image.height() == camera.pixels_y(),
+              "image dimensions must match the camera");
+
+  for (int y = 0; y < camera.pixels_y(); ++y) {
+    for (int x = 0; x < camera.pixels_x(); ++x) {
+      const Ray ray = camera.ray(x, y);
+      double t0, t1;
+      if (!bounds.intersect(ray, t0, t1)) continue;
+
+      Rgba acc{};  // premultiplied accumulation, front-to-back
+      for (double t = t0 + 0.5 * params.step; t < t1;
+           t += params.step) {
+        const Vec3 pos = ray.origin + ray.direction * t;
+        double value;
+        if (!sampler.sample(pos, value)) continue;
+        Rgba s = tf.sample(value);
+        const float alpha = TransferFunction::corrected_alpha(
+            s.a, params.step, params.reference_step);
+        const float w = (1.0f - acc.a) * alpha;
+        acc.r += w * s.r;
+        acc.g += w * s.g;
+        acc.b += w * s.b;
+        acc.a += w;
+        if (acc.a >= params.early_exit_alpha) break;
+      }
+      image.at(x, y) = acc;
+    }
+  }
+}
+
+}  // namespace hia

@@ -1,0 +1,68 @@
+// Volume ray casting: the compute kernel shared by both visualization
+// variants. The in-situ variant renders each rank's full-resolution brick
+// (BrickSampler) and composites; the hybrid variant renders the
+// down-sampled blocks through the block look-up table (BlockLut, which also
+// implements VolumeSampler) on a single in-transit core.
+#pragma once
+
+#include <span>
+
+#include "analysis/viz/camera.hpp"
+#include "analysis/viz/image.hpp"
+#include "analysis/viz/transfer_function.hpp"
+#include "sim/box.hpp"
+#include "sim/grid.hpp"
+#include "util/vec3.hpp"
+
+namespace hia {
+
+/// Physical-space axis-aligned bounds.
+struct Aabb {
+  Vec3 lo, hi;
+
+  /// Ray-box intersection; returns false on miss, else [t_enter, t_exit].
+  [[nodiscard]] bool intersect(const Ray& ray, double& t_enter,
+                               double& t_exit) const;
+};
+
+/// Physical bounds of an index-space box on the given grid (cell-centered
+/// samples: the box of point positions, padded half a cell outward).
+Aabb physical_bounds(const GlobalGrid& grid, const Box3& box);
+
+/// Scalar field sampled at arbitrary physical positions.
+class VolumeSampler {
+ public:
+  virtual ~VolumeSampler() = default;
+  /// Value at `pos`; false when pos is outside the sampler's support.
+  virtual bool sample(const Vec3& pos, double& value) const = 0;
+};
+
+/// Trilinear sampler over one full-resolution brick.
+class BrickSampler final : public VolumeSampler {
+ public:
+  BrickSampler(const GlobalGrid& grid, const Box3& box,
+               std::span<const double> values);
+
+  bool sample(const Vec3& pos, double& value) const override;
+
+ private:
+  const GlobalGrid& grid_;
+  Box3 box_;
+  std::span<const double> values_;
+};
+
+struct RenderParams {
+  double step = 0.004;          // ray-march step, physical units
+  double reference_step = 0.004;  // step the transfer function assumes
+  float early_exit_alpha = 0.99f;
+};
+
+/// Marches all camera rays through `bounds`, sampling `sampler` and
+/// compositing front-to-back into `image` (premultiplied). Pixels whose
+/// rays miss `bounds` are left untouched, so per-brick images can be
+/// composited afterwards.
+void render_volume(const OrthoCamera& camera, const VolumeSampler& sampler,
+                   const Aabb& bounds, const TransferFunction& tf,
+                   const RenderParams& params, Image& image);
+
+}  // namespace hia

@@ -1,0 +1,99 @@
+#include "analysis/viz/slice.hpp"
+
+#include "util/error.hpp"
+
+namespace hia {
+
+namespace {
+/// The two in-plane axes for a slicing axis, in (u, v) order.
+void plane_axes(int axis, int& ua, int& va) {
+  ua = axis == 0 ? 1 : 0;
+  va = axis == 2 ? 1 : 2;
+}
+}  // namespace
+
+Slice extract_slice(const Box3& box, std::span<const double> values,
+                    int axis, int64_t index) {
+  HIA_REQUIRE(axis >= 0 && axis < 3, "axis must be 0, 1 or 2");
+  HIA_REQUIRE(index >= box.lo[axis] && index < box.hi[axis],
+              "slice plane does not intersect the box");
+  HIA_REQUIRE(values.size() == static_cast<size_t>(box.num_cells()),
+              "value buffer does not match box");
+
+  int ua, va;
+  plane_axes(axis, ua, va);
+
+  Slice s;
+  s.axis = axis;
+  s.index = index;
+  s.nu = box.extent(ua);
+  s.nv = box.extent(va);
+  s.values.reserve(static_cast<size_t>(s.nu * s.nv));
+
+  int64_t c[3];
+  c[axis] = index;
+  for (int64_t v = box.lo[va]; v < box.hi[va]; ++v) {
+    for (int64_t u = box.lo[ua]; u < box.hi[ua]; ++u) {
+      c[ua] = u;
+      c[va] = v;
+      s.values.push_back(values[box.offset(c[0], c[1], c[2])]);
+    }
+  }
+  return s;
+}
+
+Image render_slice(const Slice& slice, const TransferFunction& tf,
+                   int scale) {
+  HIA_REQUIRE(scale >= 1, "scale must be >= 1");
+  Image img(static_cast<int>(slice.nu) * scale,
+            static_cast<int>(slice.nv) * scale);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Rgba c = tf.sample(slice.at(x / scale, y / scale));
+      img.at(x, y) = Rgba{c.r, c.g, c.b, 1.0f};
+    }
+  }
+  return img;
+}
+
+Slice assemble_slices(const GlobalGrid& grid,
+                      const std::vector<Slice>& parts,
+                      const std::vector<Box3>& boxes) {
+  HIA_REQUIRE(!parts.empty() && parts.size() == boxes.size(),
+              "need one box per slice part");
+  const int axis = parts.front().axis;
+  const int64_t index = parts.front().index;
+  int ua, va;
+  plane_axes(axis, ua, va);
+
+  Slice out;
+  out.axis = axis;
+  out.index = index;
+  out.nu = grid.dims[ua];
+  out.nv = grid.dims[va];
+  out.values.assign(static_cast<size_t>(out.nu * out.nv), 0.0);
+  std::vector<bool> filled(out.values.size(), false);
+
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const Slice& part = parts[p];
+    const Box3& box = boxes[p];
+    HIA_REQUIRE(part.axis == axis && part.index == index,
+                "slice parts must share the plane");
+    HIA_REQUIRE(part.nu == box.extent(ua) && part.nv == box.extent(va),
+                "slice part does not match its box");
+    for (int64_t v = 0; v < part.nv; ++v) {
+      for (int64_t u = 0; u < part.nu; ++u) {
+        const size_t dst = static_cast<size_t>(
+            (v + box.lo[va]) * out.nu + (u + box.lo[ua]));
+        out.values[dst] = part.at(u, v);
+        filled[dst] = true;
+      }
+    }
+  }
+  for (const bool f : filled) {
+    HIA_REQUIRE(f, "slice parts do not tile the plane");
+  }
+  return out;
+}
+
+}  // namespace hia

@@ -1,0 +1,44 @@
+// Axis-aligned slice extraction and rendering — the cheapest monitoring
+// view ("linked views" companion to the volume renderings of Fig. 2):
+// a 2-D cut through the volume colored by a transfer function.
+#pragma once
+
+#include <span>
+
+#include "analysis/viz/image.hpp"
+#include "analysis/viz/transfer_function.hpp"
+#include "sim/box.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+/// A 2-D scalar slab extracted from a 3-D brick.
+struct Slice {
+  int axis = 2;          // slicing axis (the plane is normal to it)
+  int64_t index = 0;     // global plane index along `axis`
+  int64_t nu = 0, nv = 0;  // in-plane dimensions (the two other axes)
+  std::vector<double> values;  // u-fastest
+
+  [[nodiscard]] double at(int64_t u, int64_t v) const {
+    return values[static_cast<size_t>(v * nu + u)];
+  }
+};
+
+/// Extracts plane `index` (global coordinate along `axis`) from a brick of
+/// `values` packed over `box`. The plane must intersect the box; the
+/// returned slice covers only the box's in-plane extent.
+Slice extract_slice(const Box3& box, std::span<const double> values,
+                    int axis, int64_t index);
+
+/// Renders a slice to an image (one pixel per sample, nearest lookup when
+/// scaled), colored by the transfer function's RGB (alpha forced opaque).
+Image render_slice(const Slice& slice, const TransferFunction& tf,
+                   int scale = 1);
+
+/// Stitches per-rank slices of the same global plane into the full plane.
+/// Inputs must tile the plane exactly.
+Slice assemble_slices(const GlobalGrid& grid,
+                      const std::vector<Slice>& parts,
+                      const std::vector<Box3>& boxes);
+
+}  // namespace hia

@@ -1,0 +1,60 @@
+#include "analysis/viz/transfer_function.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+TransferFunction::TransferFunction(std::vector<ControlPoint> points)
+    : points_(std::move(points)) {
+  HIA_REQUIRE(points_.size() >= 2, "need at least two control points");
+  for (size_t i = 1; i < points_.size(); ++i) {
+    HIA_REQUIRE(points_[i].value > points_[i - 1].value,
+                "control points must be strictly ascending");
+  }
+}
+
+Rgba TransferFunction::sample(double v) const {
+  if (v <= points_.front().value) return points_.front().color;
+  if (v >= points_.back().value) return points_.back().color;
+  size_t hi = 1;
+  while (points_[hi].value < v) ++hi;
+  const ControlPoint& a = points_[hi - 1];
+  const ControlPoint& b = points_[hi];
+  const float t =
+      static_cast<float>((v - a.value) / (b.value - a.value));
+  return Rgba{a.color.r + t * (b.color.r - a.color.r),
+              a.color.g + t * (b.color.g - a.color.g),
+              a.color.b + t * (b.color.b - a.color.b),
+              a.color.a + t * (b.color.a - a.color.a)};
+}
+
+float TransferFunction::corrected_alpha(float alpha, double dt,
+                                        double reference_dt) {
+  // alpha' = 1 - (1 - alpha)^(dt / ref): keeps opacity density invariant
+  // under step-size changes.
+  return 1.0f - static_cast<float>(
+                    std::pow(1.0 - static_cast<double>(alpha),
+                             dt / reference_dt));
+}
+
+TransferFunction TransferFunction::flame(double lo, double hi) {
+  const double d = hi - lo;
+  return TransferFunction({
+      {lo, {0.00f, 0.00f, 0.05f, 0.000f}},
+      {lo + 0.35 * d, {0.15f, 0.00f, 0.20f, 0.004f}},
+      {lo + 0.55 * d, {0.80f, 0.10f, 0.05f, 0.060f}},
+      {lo + 0.75 * d, {1.00f, 0.55f, 0.05f, 0.200f}},
+      {hi, {1.00f, 0.95f, 0.75f, 0.550f}},
+  });
+}
+
+TransferFunction TransferFunction::grayscale(double lo, double hi) {
+  return TransferFunction({
+      {lo, {0.0f, 0.0f, 0.0f, 0.0f}},
+      {hi, {1.0f, 1.0f, 1.0f, 0.4f}},
+  });
+}
+
+}  // namespace hia

@@ -1,0 +1,41 @@
+// Piecewise-linear transfer function mapping scalar values to color and
+// opacity, in the style of the combustion visualizations of Fig. 2 (hot
+// temperature regions glow, cold coflow is transparent).
+#pragma once
+
+#include <vector>
+
+#include "analysis/viz/image.hpp"
+
+namespace hia {
+
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    double value;
+    Rgba color;  // straight (non-premultiplied) color + opacity
+  };
+
+  /// Control points must be passed in ascending value order.
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  /// Straight-alpha color at `v` (clamped to the control range).
+  [[nodiscard]] Rgba sample(double v) const;
+
+  /// Per-unit-length opacity correction for a ray step of `dt` relative to
+  /// the reference step the opacities were designed for.
+  [[nodiscard]] static float corrected_alpha(float alpha, double dt,
+                                             double reference_dt);
+
+  /// "Flame" map over [lo, hi]: transparent blue–black, through red/orange,
+  /// to bright yellow-white at the top of the range.
+  static TransferFunction flame(double lo, double hi);
+
+  /// Simple linear grayscale ramp over [lo, hi] with linear opacity.
+  static TransferFunction grayscale(double lo, double hi);
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace hia

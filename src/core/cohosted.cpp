@@ -1,0 +1,68 @@
+#include "core/cohosted.hpp"
+
+#include "util/error.hpp"
+
+namespace hia {
+
+CoHostedHelper::CoHostedHelper() : thread_([this] { loop(); }) {}
+
+CoHostedHelper::~CoHostedHelper() {
+  drain();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void CoHostedHelper::submit(std::function<void()> work) {
+  HIA_REQUIRE(work != nullptr, "null work");
+  {
+    std::lock_guard lock(mutex_);
+    HIA_REQUIRE(!stopping_, "submit on stopping helper");
+    queue_.push_back(std::move(work));
+  }
+  cv_.notify_one();
+}
+
+void CoHostedHelper::drain() {
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+size_t CoHostedHelper::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+double CoHostedHelper::busy_seconds() const {
+  std::lock_guard lock(mutex_);
+  return busy_seconds_;
+}
+
+void CoHostedHelper::loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      running_ = true;
+    }
+    Stopwatch watch;
+    work();
+    const double seconds = watch.seconds();
+    {
+      std::lock_guard lock(mutex_);
+      running_ = false;
+      ++completed_;
+      busy_seconds_ += seconds;
+      if (queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hia

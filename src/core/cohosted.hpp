@@ -1,0 +1,58 @@
+// Co-hosted helper core — the paper's §VI closing plan: "to address more
+// complex application scenarios, we aim to introduce alternative staging
+// techniques that utilize a separate process co-hosted on the application
+// node that executes asynchronously with the application" (the functional-
+// partitioning model of FP [7] and CoDS [8] in §II).
+//
+// A CoHostedHelper is a dedicated worker thread on the application node.
+// The simulation hands it closures (an analysis stage, a publish, a
+// checkpoint) and continues immediately; the helper executes them in FIFO
+// order, off the simulation's critical path but on the same node — the
+// middle ground between synchronous in-situ and remote in-transit.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+class CoHostedHelper {
+ public:
+  CoHostedHelper();
+  ~CoHostedHelper();  // drains, then joins
+
+  CoHostedHelper(const CoHostedHelper&) = delete;
+  CoHostedHelper& operator=(const CoHostedHelper&) = delete;
+
+  /// Enqueues work and returns immediately (the hand-off is the only cost
+  /// on the application's critical path).
+  void submit(std::function<void()> work);
+
+  /// Blocks until every submitted closure has completed.
+  void drain();
+
+  [[nodiscard]] size_t completed() const;
+  /// Total seconds the helper spent executing closures (work that would
+  /// otherwise have blocked the simulation).
+  [[nodiscard]] double busy_seconds() const;
+
+ private:
+  void loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t completed_ = 0;
+  double busy_seconds_ = 0.0;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hia

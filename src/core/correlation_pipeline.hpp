@@ -1,0 +1,42 @@
+// Hybrid auto-/cross-correlative statistics — the paper's §VI future work
+// ("we plan to develop a hybrid in-situ/in-transit auto-correlative
+// statistical technique"), built from the same learn/derive split as the
+// descriptive statistics: each rank learns a bivariate primary model
+// between two variables in-situ (6 doubles), and the in-transit stage
+// combines and derives covariance / Pearson correlation / a least-squares
+// fit.
+#pragma once
+
+#include <mutex>
+
+#include "analysis/stats/correlation.hpp"
+#include "core/analysis.hpp"
+#include "sim/species.hpp"
+
+namespace hia {
+
+class HybridCorrelation final : public HybridAnalysis {
+ public:
+  HybridCorrelation(Variable x, Variable y) : x_(x), y_(y) {}
+
+  [[nodiscard]] std::string name() const override { return "corr-hybrid"; }
+  [[nodiscard]] std::vector<std::string> staged_variables() const override {
+    return {"corr.partial"};
+  }
+  void in_situ(InSituContext& ctx) override;
+  void in_transit(TaskContext& ctx) override;
+
+  [[nodiscard]] CorrelationModel latest_model() const;
+
+ private:
+  Variable x_, y_;
+  mutable std::mutex mutex_;
+  CorrelationModel latest_{};
+};
+
+/// `learn` of the bivariate model over the co-located owned regions of two
+/// fields (no copies).
+CovarianceAccumulator correlation_learn_fields(const Field& x,
+                                               const Field& y);
+
+}  // namespace hia

@@ -1,0 +1,117 @@
+#include "core/framework.hpp"
+
+#include <mutex>
+
+#include "runtime/comm.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+HybridRunner::HybridRunner(RunConfig config)
+    : config_(config), network_(config.network) {
+  dart_ = std::make_unique<Dart>(network_, config.dart);
+  staging_ = std::make_unique<StagingService>(
+      *dart_, StagingService::Options{config.staging_servers,
+                                      config.staging_buckets});
+}
+
+HybridRunner::~HybridRunner() = default;
+
+void HybridRunner::add_analysis(std::shared_ptr<HybridAnalysis> analysis,
+                                int frequency) {
+  HIA_REQUIRE(analysis != nullptr, "null analysis");
+  HIA_REQUIRE(frequency >= 1, "frequency must be >= 1");
+  HIA_REQUIRE(!ran_, "cannot add analyses after run()");
+
+  // Register the in-transit handler if the analysis stages data.
+  if (!analysis->staged_variables().empty()) {
+    std::shared_ptr<HybridAnalysis> a = analysis;
+    staging_->register_handler(
+        a->name(), [a](TaskContext& ctx) { a->in_transit(ctx); });
+  }
+  analyses_.push_back(Scheduled{std::move(analysis), frequency});
+}
+
+RunReport HybridRunner::run() {
+  HIA_REQUIRE(!ran_, "run() may be called once");
+  ran_ = true;
+
+  const int nranks = config_.sim.ranks_per_axis[0] *
+                     config_.sim.ranks_per_axis[1] *
+                     config_.sim.ranks_per_axis[2];
+
+  RunReport report;
+  report.steps = config_.steps;
+  report.sim_ranks = nranks;
+  report.solution_bytes_per_step =
+      static_cast<size_t>(config_.sim.grid.num_points()) * kNumVariables *
+      sizeof(double);
+
+  std::mutex report_mutex;  // only rank 0 writes, but keep it safe
+
+  World world(nranks);
+  world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    const int dart_node =
+        dart_->register_node("sim-" + std::to_string(r));
+
+    S3DRank sim(config_.sim, r);
+    sim.initialize();
+
+    for (long step = 0; step < config_.steps; ++step) {
+      // 1. Advance the simulation (collective: halo exchanges inside).
+      sim.advance(comm);
+      const double sim_max = comm.allreduce_max(sim.last_step_seconds());
+      if (r == 0) {
+        std::lock_guard lock(report_mutex);
+        report.sim_step_seconds.push_back(sim_max);
+      }
+
+      // 2. In-situ stages, in registration order on every rank.
+      for (const Scheduled& sched : analyses_) {
+        if (sim.step() % sched.frequency != 0) continue;
+
+        InSituContext ctx(sim, comm, *staging_, steering_, dart_node,
+                          sim.step());
+        Stopwatch watch;
+        sched.analysis->in_situ(ctx);
+        const double seconds = watch.seconds();
+
+        const double max_s = comm.allreduce_max(seconds);
+        const double sum_s = comm.allreduce_sum(seconds);
+        const double bytes = comm.allreduce_sum(
+            static_cast<double>(ctx.published_bytes()));
+
+        // 3. Data-ready: rank 0 creates the in-transit task.
+        const auto staged = sched.analysis->staged_variables();
+        if (r == 0) {
+          if (!staged.empty()) {
+            staging_->submit_for(sched.analysis->name(), sim.step(), staged);
+          }
+          std::lock_guard lock(report_mutex);
+          report.in_situ.push_back(InSituMetric{
+              sched.analysis->name(), sim.step(), max_s,
+              sum_s / static_cast<double>(comm.size()),
+              static_cast<size_t>(bytes)});
+        }
+        // Publishing must complete on all ranks before the task pulls; the
+        // allreduce above already provides that synchronization.
+      }
+    }
+    comm.barrier();
+    dart_->unregister_node(dart_node);
+  });
+
+  // Wait for the staging pipeline to finish outstanding analyses.
+  staging_->drain();
+  report.in_transit = staging_->records();
+
+  HIA_LOG_INFO("framework",
+               "run complete: %ld steps, %d ranks, %zu in-transit tasks",
+               report.steps, report.sim_ranks, report.in_transit.size());
+  return report;
+}
+
+}  // namespace hia

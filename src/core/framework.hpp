@@ -1,0 +1,73 @@
+// HybridRunner — the end-to-end orchestration of the paper's Fig. 5:
+// primary resources run MiniS3D plus the in-situ analysis stages; the
+// secondary resources (Dart + StagingService) schedule and execute the
+// in-transit stages asynchronously while the simulation proceeds.
+//
+// Per timestep:
+//   1. every simulation rank advances the solver (collective);
+//   2. each scheduled analysis whose frequency divides the step runs its
+//      in-situ stage on every rank (publishing intermediate blocks);
+//   3. rank 0 submits the corresponding in-transit task (data-ready), and
+//      the staging buckets pull and process it while the simulation moves
+//      on — successive steps land on different buckets (temporal
+//      multiplexing).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "runtime/network_model.hpp"
+#include "sim/s3d.hpp"
+#include "staging/scheduler.hpp"
+#include "transport/dart.hpp"
+
+namespace hia {
+
+struct RunConfig {
+  S3DParams sim{};
+  int staging_servers = 2;
+  int staging_buckets = 4;
+  long steps = 5;
+  NetworkParams network{};
+  Dart::Options dart{};
+};
+
+class HybridRunner {
+ public:
+  explicit HybridRunner(RunConfig config);
+  ~HybridRunner();
+
+  HybridRunner(const HybridRunner&) = delete;
+  HybridRunner& operator=(const HybridRunner&) = delete;
+
+  /// Schedules `analysis` every `frequency` steps (1 = every step).
+  void add_analysis(std::shared_ptr<HybridAnalysis> analysis,
+                    int frequency = 1);
+
+  /// Runs the full simulation + analysis campaign and returns the report.
+  /// May be called once.
+  RunReport run();
+
+  [[nodiscard]] StagingService& staging() { return *staging_; }
+  [[nodiscard]] Dart& dart() { return *dart_; }
+  [[nodiscard]] SteeringBoard& steering() { return steering_; }
+  [[nodiscard]] const RunConfig& config() const { return config_; }
+
+ private:
+  struct Scheduled {
+    std::shared_ptr<HybridAnalysis> analysis;
+    int frequency = 1;
+  };
+
+  RunConfig config_;
+  NetworkModel network_;
+  std::unique_ptr<Dart> dart_;
+  std::unique_ptr<StagingService> staging_;
+  SteeringBoard steering_;
+  std::vector<Scheduled> analyses_;
+  bool ran_ = false;
+};
+
+}  // namespace hia

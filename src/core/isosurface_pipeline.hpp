@@ -1,0 +1,46 @@
+// Hybrid isosurface extraction: each rank marches the cells of its
+// extended block in-situ (the cell sets tile the domain exactly, so no
+// triangle is produced twice and the Kuhn subdivision keeps the surface
+// crack-free across ranks); the in-transit stage concatenates the partial
+// meshes, reports surface statistics, and optionally writes an OBJ per
+// step for external viewers — the "on-the-fly visualization" product that
+// post-processing pipelines would otherwise compute from checkpoints.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "analysis/viz/isosurface.hpp"
+#include "core/analysis.hpp"
+#include "sim/species.hpp"
+
+namespace hia {
+
+struct IsosurfaceConfig {
+  Variable variable = Variable::kTemperature;
+  double iso = 2.0;
+  std::string output_dir;  // when set, OBJ files are written per step
+};
+
+class HybridIsosurface final : public HybridAnalysis {
+ public:
+  explicit HybridIsosurface(IsosurfaceConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "iso-hybrid"; }
+  [[nodiscard]] std::vector<std::string> staged_variables() const override {
+    return {"iso.mesh"};
+  }
+  void in_situ(InSituContext& ctx) override;
+  void in_transit(TaskContext& ctx) override;
+
+  /// The assembled surface from the most recent invocation.
+  [[nodiscard]] std::optional<TriangleMesh> latest_mesh() const;
+
+ private:
+  IsosurfaceConfig config_;
+  mutable std::mutex mutex_;
+  std::optional<TriangleMesh> latest_;
+};
+
+}  // namespace hia

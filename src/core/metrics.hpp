@@ -1,0 +1,60 @@
+// Timing and data-volume ledger for a hybrid run: the numbers behind the
+// paper's Table II and Fig. 6.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "staging/descriptor.hpp"
+
+namespace hia {
+
+/// Per-(analysis, step) in-situ aggregates across ranks.
+struct InSituMetric {
+  std::string analysis;
+  long step = 0;
+  double max_rank_seconds = 0.0;   // slowest rank (the simulation waits on it)
+  double mean_rank_seconds = 0.0;
+  size_t published_bytes = 0;      // intermediate data shipped to staging
+};
+
+/// Full record of one hybrid run.
+struct RunReport {
+  long steps = 0;
+  int sim_ranks = 0;
+
+  std::vector<double> sim_step_seconds;      // max over ranks, per step
+  std::vector<InSituMetric> in_situ;         // one per (analysis, step)
+  std::vector<TaskRecord> in_transit;        // from the staging service
+
+  size_t solution_bytes_per_step = 0;        // 14 vars x 8 B x grid points
+
+  [[nodiscard]] double total_sim_seconds() const {
+    double t = 0.0;
+    for (const double s : sim_step_seconds) t += s;
+    return t;
+  }
+  [[nodiscard]] double mean_sim_step_seconds() const {
+    return sim_step_seconds.empty()
+               ? 0.0
+               : total_sim_seconds() /
+                     static_cast<double>(sim_step_seconds.size());
+  }
+
+  /// Mean per-invocation in-situ seconds for one analysis (max-over-ranks,
+  /// averaged over steps).
+  [[nodiscard]] double mean_in_situ_seconds(const std::string& analysis) const;
+
+  /// Mean published intermediate-data bytes per invocation.
+  [[nodiscard]] double mean_published_bytes(const std::string& analysis) const;
+
+  /// Mean in-transit compute / data-movement seconds per task.
+  [[nodiscard]] double mean_in_transit_seconds(
+      const std::string& analysis) const;
+  [[nodiscard]] double mean_movement_seconds(
+      const std::string& analysis) const;
+  [[nodiscard]] double mean_movement_bytes(const std::string& analysis) const;
+};
+
+}  // namespace hia

@@ -1,0 +1,108 @@
+#include "core/report.hpp"
+
+#include <functional>
+
+#include "sim/species.hpp"
+#include "util/table.hpp"
+
+namespace hia {
+
+std::string format_table2(const RunReport& report,
+                          const std::vector<std::string>& analyses) {
+  Table table({"analysis", "in-situ time (s)", "data movement time (s)",
+               "data movement size", "in-transit time (s)"});
+  for (const std::string& a : analyses) {
+    const double in_situ = report.mean_in_situ_seconds(a);
+    const double move_s = report.mean_movement_seconds(a);
+    const double move_b = report.mean_movement_bytes(a);
+    const double transit = report.mean_in_transit_seconds(a);
+    const bool hybrid = move_b > 0.0;
+    table.add_row({a, fmt_fixed(in_situ, 4),
+                   hybrid ? fmt_fixed(move_s, 4) : "-",
+                   hybrid ? fmt_bytes(move_b) : "-",
+                   hybrid ? fmt_fixed(transit, 4) : "-"});
+  }
+  return table.render();
+}
+
+std::string format_fig6(const RunReport& report,
+                        const std::vector<std::string>& analyses) {
+  const double sim = report.mean_sim_step_seconds();
+  Table table({"component", "seconds/step", "% of simulation"});
+  table.add_row({"simulation", fmt_fixed(sim, 4), "100.00%"});
+  for (const std::string& a : analyses) {
+    const double in_situ = report.mean_in_situ_seconds(a);
+    table.add_row(
+        {a + " (in-situ)", fmt_fixed(in_situ, 4), fmt_percent(in_situ, sim)});
+    const double move = report.mean_movement_seconds(a);
+    if (move > 0.0) {
+      table.add_row({a + " (data movement)", fmt_fixed(move, 4),
+                     fmt_percent(move, sim)});
+    }
+    const double transit = report.mean_in_transit_seconds(a);
+    if (move > 0.0 && transit > 0.0) {
+      table.add_row({a + " (in-transit, async)", fmt_fixed(transit, 4),
+                     fmt_percent(transit, sim)});
+    }
+  }
+  return table.render();
+}
+
+std::string format_table1(const std::vector<Table1Column>& columns) {
+  // Render as the paper does: one column per configuration, one row per
+  // metric.
+  std::vector<std::string> header{"metric"};
+  for (const Table1Column& c : columns) {
+    header.push_back(std::to_string(c.machine.total_cores()) + " cores");
+  }
+  Table t(header);
+
+  auto row = [&](const std::string& label,
+                 const std::function<std::string(const Table1Column&)>& fn) {
+    std::vector<std::string> cells{label};
+    for (const Table1Column& c : columns) cells.push_back(fn(c));
+    t.add_row(std::move(cells));
+  };
+
+  row("No. of simulation/in-situ cores", [](const Table1Column& c) {
+    return std::to_string(c.machine.sim_ranks[0]) + "x" +
+           std::to_string(c.machine.sim_ranks[1]) + "x" +
+           std::to_string(c.machine.sim_ranks[2]) + " = " +
+           std::to_string(c.machine.simulation_cores());
+  });
+  row("No. of DataSpaces-service cores", [](const Table1Column& c) {
+    return std::to_string(c.machine.dataspaces_servers);
+  });
+  row("No. of in-transit cores", [](const Table1Column& c) {
+    return std::to_string(c.machine.staging_buckets);
+  });
+  row("Volume size", [](const Table1Column& c) {
+    return std::to_string(c.grid.dims[0]) + "x" +
+           std::to_string(c.grid.dims[1]) + "x" +
+           std::to_string(c.grid.dims[2]);
+  });
+  row("No. of variables",
+      [](const Table1Column&) { return std::to_string(kNumVariables); });
+  row("Data size", [](const Table1Column& c) {
+    return fmt_bytes(static_cast<double>(c.grid.num_points()) *
+                     kNumVariables * sizeof(double));
+  });
+  row("Simulation time (sec.)", [](const Table1Column& c) {
+    return fmt_fixed(c.sim_step_seconds, 3);
+  });
+  row("I/O read time (sec., modeled)", [](const Table1Column& c) {
+    const size_t bytes = static_cast<size_t>(c.grid.num_points()) *
+                         kNumVariables * sizeof(double);
+    return fmt_fixed(c.ost.read_seconds(bytes, c.machine.simulation_cores()),
+                     3);
+  });
+  row("I/O write time (sec., modeled)", [](const Table1Column& c) {
+    const size_t bytes = static_cast<size_t>(c.grid.num_points()) *
+                         kNumVariables * sizeof(double);
+    return fmt_fixed(c.ost.write_seconds(bytes, c.machine.simulation_cores()),
+                     3);
+  });
+  return t.render();
+}
+
+}  // namespace hia

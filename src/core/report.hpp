@@ -1,0 +1,35 @@
+// Paper-style report formatting: renders a RunReport as the rows of
+// Table II and the Fig. 6 timing breakdown, and renders machine/grid
+// configurations as Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "io/ost_model.hpp"
+#include "runtime/topology.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+/// Table II: per-analysis in-situ time, data movement time/size, and
+/// in-transit time (averaged per invocation over the run).
+std::string format_table2(const RunReport& report,
+                          const std::vector<std::string>& analyses);
+
+/// Fig. 6: timing breakdown relative to the simulation time per step.
+std::string format_fig6(const RunReport& report,
+                        const std::vector<std::string>& analyses);
+
+/// One Table I column: core allocation, data size, simulation time, and
+/// modeled I/O read/write time through the OST model.
+struct Table1Column {
+  MachineConfig machine;
+  GlobalGrid grid;
+  double sim_step_seconds = 0.0;  // measured
+  OstModel ost{};
+};
+std::string format_table1(const std::vector<Table1Column>& columns);
+
+}  // namespace hia

@@ -1,0 +1,65 @@
+// Computational steering — one of the concurrent-analysis advantages the
+// paper names (§V: "there are several advantages to a concurrent approach,
+// including computational steering, on-the-fly visualization, and feature
+// tracking").
+//
+// A SteeringBoard is a thread-safe, versioned key→value parameter store.
+// In-transit stages (or an interactive operator) post updates; the
+// simulation side polls at step boundaries and applies what changed. The
+// board is deliberately simple — doubles keyed by strings — matching the
+// knob-turning use cases (analysis thresholds, output cadence, transfer-
+// function ranges) of SCIRun-style runtime tracking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hia {
+
+class SteeringBoard {
+ public:
+  /// Posts (or overwrites) a parameter; bumps the board version.
+  void post(const std::string& key, double value) {
+    std::lock_guard lock(mutex_);
+    values_[key] = value;
+    ++version_;
+  }
+
+  /// Latest value of a parameter, if ever posted.
+  [[nodiscard]] std::optional<double> read(const std::string& key) const {
+    std::lock_guard lock(mutex_);
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// read() with a fallback default.
+  [[nodiscard]] double read_or(const std::string& key,
+                               double fallback) const {
+    return read(key).value_or(fallback);
+  }
+
+  /// Monotone version counter; a reader that caches it can skip polling
+  /// individual keys when nothing has changed.
+  [[nodiscard]] uint64_t version() const {
+    std::lock_guard lock(mutex_);
+    return version_;
+  }
+
+  /// Snapshot of all parameters (diagnostics / checkpointing).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return {values_.begin(), values_.end()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> values_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace hia

@@ -1,0 +1,96 @@
+#include "io/adios_lite.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+const char* to_string(AdiosMethod method) {
+  return method == AdiosMethod::kPosixMethod ? "POSIX" : "STAGING";
+}
+
+AdiosGroup::AdiosGroup(std::string group_name, int writer_id,
+                       std::string directory, OstModel ost)
+    : group_name_(std::move(group_name)),
+      writer_id_(writer_id),
+      method_(AdiosMethod::kPosixMethod),
+      directory_(std::move(directory)),
+      ost_(ost) {}
+
+AdiosGroup::AdiosGroup(std::string group_name, int writer_id,
+                       SpaceView& space)
+    : group_name_(std::move(group_name)),
+      writer_id_(writer_id),
+      method_(AdiosMethod::kStagingMethod),
+      space_(&space) {}
+
+void AdiosGroup::define_variable(const std::string& name) {
+  for (const auto& v : variables_) {
+    HIA_REQUIRE(v != name, "variable already defined: " + name);
+  }
+  variables_.push_back(name);
+}
+
+std::string AdiosGroup::file_path(long step) const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s/%s.step%06ld.w%05d.bp",
+                directory_.c_str(), group_name_.c_str(), step, writer_id_);
+  return buf;
+}
+
+AdiosWriteResult AdiosGroup::write(
+    long step, const Box3& box,
+    const std::vector<std::vector<double>>& payloads,
+    int concurrent_writers) {
+  HIA_REQUIRE(payloads.size() == variables_.size(),
+              "write: payload count does not match declared variables");
+  for (const auto& p : payloads) {
+    HIA_REQUIRE(static_cast<int64_t>(p.size()) == box.num_cells(),
+                "write: payload does not match box");
+  }
+
+  AdiosWriteResult result;
+  Stopwatch watch;
+
+  if (method_ == AdiosMethod::kPosixMethod) {
+    std::vector<BpEntry> entries;
+    entries.reserve(variables_.size());
+    for (size_t v = 0; v < variables_.size(); ++v) {
+      entries.push_back(BpEntry{variables_[v], box, payloads[v]});
+      result.bytes += payloads[v].size() * sizeof(double);
+    }
+    const std::string path = file_path(step);
+    bp_write_file(path, entries);
+    result.files.push_back(path);
+    result.modeled_seconds = ost_.write_seconds(
+        result.bytes * static_cast<size_t>(concurrent_writers),
+        concurrent_writers);
+  } else {
+    for (size_t v = 0; v < variables_.size(); ++v) {
+      space_->put(group_name_ + "/" + variables_[v], step, box, payloads[v]);
+      result.bytes += payloads[v].size() * sizeof(double);
+    }
+    // Publishing is local (data stays in the writer's memory); the wire
+    // cost is paid by whoever pulls. Modeled time is therefore ~0.
+    result.modeled_seconds = 0.0;
+  }
+
+  result.measured_seconds = watch.seconds();
+  return result;
+}
+
+std::vector<double> AdiosGroup::read(long step,
+                                     const std::string& variable) const {
+  HIA_REQUIRE(method_ == AdiosMethod::kPosixMethod,
+              "read-back is a posix-method feature; staging reads go "
+              "through SpaceView::get");
+  const auto entries = bp_read_file(file_path(step));
+  for (const BpEntry& e : entries) {
+    if (e.name == variable) return e.values;
+  }
+  throw Error("variable not in group file: " + variable);
+}
+
+}  // namespace hia

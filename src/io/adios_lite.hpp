@@ -1,0 +1,80 @@
+// ADIOS-lite — a declarative I/O group abstraction in the spirit of ADIOS,
+// which the paper's staging stack ships with: the application declares a
+// named group of variables once, then writes each step through a
+// *swappable transport method*:
+//
+//   * kPosixMethod   — file-per-process BP-lite files (the traditional
+//                      checkpoint path, timed through the OST model);
+//   * kStagingMethod — publish blocks into the staging space via Dart
+//                      (the concurrent path; no disk involved).
+//
+// Switching a write pipeline between disk and staging is exactly the
+// "change one line in the XML" ergonomics ADIOS brought to S3D.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/bp_lite.hpp"
+#include "io/ost_model.hpp"
+#include "staging/space_view.hpp"
+
+namespace hia {
+
+enum class AdiosMethod { kPosixMethod, kStagingMethod };
+
+const char* to_string(AdiosMethod method);
+
+struct AdiosWriteResult {
+  size_t bytes = 0;
+  double measured_seconds = 0.0;   // actual wall time on this machine
+  double modeled_seconds = 0.0;    // OST model (posix) / network (staging)
+  std::vector<std::string> files;  // posix method only
+};
+
+/// A declared I/O group bound to one writer (rank).
+class AdiosGroup {
+ public:
+  /// Posix method: writes under `directory`. `writer_id` names the file.
+  AdiosGroup(std::string group_name, int writer_id, std::string directory,
+             OstModel ost = OstModel{});
+
+  /// Staging method: publishes through the given space view.
+  AdiosGroup(std::string group_name, int writer_id, SpaceView& space);
+
+  /// Declares a variable carried by this group (order defines layout).
+  void define_variable(const std::string& name);
+
+  [[nodiscard]] AdiosMethod method() const { return method_; }
+  [[nodiscard]] const std::vector<std::string>& variables() const {
+    return variables_;
+  }
+
+  /// Writes one step: `payloads[v]` is the packed data of variable v over
+  /// `box`. For the posix method, `concurrent_writers` scales the OST
+  /// model. All declared variables must be provided.
+  AdiosWriteResult write(long step, const Box3& box,
+                         const std::vector<std::vector<double>>& payloads,
+                         int concurrent_writers = 1);
+
+  /// Reads one variable of one step back (posix method only).
+  std::vector<double> read(long step, const std::string& variable) const;
+
+ private:
+  std::string group_name_;
+  int writer_id_;
+  AdiosMethod method_;
+  std::vector<std::string> variables_;
+
+  // posix method state
+  std::string directory_;
+  OstModel ost_;
+
+  // staging method state
+  SpaceView* space_ = nullptr;
+
+  [[nodiscard]] std::string file_path(long step) const;
+};
+
+}  // namespace hia

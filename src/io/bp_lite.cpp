@@ -1,0 +1,106 @@
+#include "io/bp_lite.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+namespace {
+
+constexpr char kMagic[] = "HIABP1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte> data, size_t& off) {
+  HIA_REQUIRE(off + sizeof(T) <= data.size(), "BP-lite: truncated input");
+  T v;
+  std::memcpy(&v, data.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> bp_serialize(const std::vector<BpEntry>& entries) {
+  std::vector<std::byte> out;
+  out.resize(kMagicLen);
+  std::memcpy(out.data(), kMagic, kMagicLen);
+  append_pod(out, static_cast<uint64_t>(entries.size()));
+
+  for (const BpEntry& e : entries) {
+    HIA_REQUIRE(e.name.size() < (1u << 16), "BP-lite: name too long");
+    append_pod(out, static_cast<uint32_t>(e.name.size()));
+    const size_t off = out.size();
+    out.resize(off + e.name.size());
+    std::memcpy(out.data() + off, e.name.data(), e.name.size());
+    for (int a = 0; a < 3; ++a) append_pod(out, e.box.lo[a]);
+    for (int a = 0; a < 3; ++a) append_pod(out, e.box.hi[a]);
+    append_pod(out, static_cast<uint64_t>(e.values.size()));
+    const size_t voff = out.size();
+    out.resize(voff + e.values.size() * sizeof(double));
+    std::memcpy(out.data() + voff, e.values.data(),
+                e.values.size() * sizeof(double));
+  }
+  return out;
+}
+
+std::vector<BpEntry> bp_parse(std::span<const std::byte> data) {
+  HIA_REQUIRE(data.size() >= kMagicLen &&
+                  std::memcmp(data.data(), kMagic, kMagicLen) == 0,
+              "BP-lite: bad magic");
+  size_t off = kMagicLen;
+  const auto count = read_pod<uint64_t>(data, off);
+  std::vector<BpEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BpEntry e;
+    const auto name_len = read_pod<uint32_t>(data, off);
+    HIA_REQUIRE(off + name_len <= data.size(), "BP-lite: truncated name");
+    e.name.assign(reinterpret_cast<const char*>(data.data() + off), name_len);
+    off += name_len;
+    for (int a = 0; a < 3; ++a) e.box.lo[a] = read_pod<int64_t>(data, off);
+    for (int a = 0; a < 3; ++a) e.box.hi[a] = read_pod<int64_t>(data, off);
+    const auto nvals = read_pod<uint64_t>(data, off);
+    HIA_REQUIRE(off + nvals * sizeof(double) <= data.size(),
+                "BP-lite: truncated payload");
+    e.values.resize(nvals);
+    std::memcpy(e.values.data(), data.data() + off, nvals * sizeof(double));
+    off += nvals * sizeof(double);
+    entries.push_back(std::move(e));
+  }
+  HIA_REQUIRE(off == data.size(), "BP-lite: trailing garbage");
+  return entries;
+}
+
+void bp_write_file(const std::string& path,
+                   const std::vector<BpEntry>& entries) {
+  const auto bytes = bp_serialize(entries);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HIA_REQUIRE(out.good(), "BP-lite: cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  HIA_REQUIRE(out.good(), "BP-lite: write failed: " + path);
+}
+
+std::vector<BpEntry> bp_read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  HIA_REQUIRE(in.good(), "BP-lite: cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  HIA_REQUIRE(in.good(), "BP-lite: read failed: " + path);
+  return bp_parse(bytes);
+}
+
+}  // namespace hia

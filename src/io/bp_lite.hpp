@@ -1,0 +1,41 @@
+// BP-lite: a minimal self-describing binary container in the spirit of the
+// ADIOS BP format the paper's stack writes. A file is a sequence of named,
+// box-annotated double payloads with a footer-free sequential layout:
+//
+//   [magic "HIABP1\n"] [u64 num_entries]
+//   repeated: [u32 name_len][name][i64 lo0..2][i64 hi0..2][u64 count][doubles]
+//
+// Used by the checkpoint writer (file-per-process solution dumps) and by
+// the in-transit analyses to persist their (much smaller) results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/box.hpp"
+
+namespace hia {
+
+struct BpEntry {
+  std::string name;
+  Box3 box;
+  std::vector<double> values;
+};
+
+/// Serializes entries to the BP-lite byte layout.
+std::vector<std::byte> bp_serialize(const std::vector<BpEntry>& entries);
+
+/// Parses a BP-lite byte buffer; throws hia::Error on malformed input.
+std::vector<BpEntry> bp_parse(std::span<const std::byte> data);
+
+/// Writes entries to `path` (throws on I/O failure).
+void bp_write_file(const std::string& path,
+                   const std::vector<BpEntry>& entries);
+
+/// Reads a BP-lite file.
+std::vector<BpEntry> bp_read_file(const std::string& path);
+
+}  // namespace hia

@@ -1,0 +1,79 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+CheckpointResult write_checkpoint(const S3DRank& rank_state,
+                                  const std::string& dir,
+                                  const std::string& prefix) {
+  Stopwatch watch;
+
+  std::vector<BpEntry> entries;
+  entries.reserve(kNumVariables + 1);
+  for (int v = 0; v < kNumVariables; ++v) {
+    const Field& f = rank_state.field(static_cast<Variable>(v));
+    BpEntry e;
+    e.name = f.name();
+    e.box = f.owned();
+    e.values = f.pack_owned();
+    entries.push_back(std::move(e));
+  }
+  // Restart metadata: simulation clock.
+  entries.push_back(BpEntry{"__meta", Box3{},
+                            {static_cast<double>(rank_state.step()),
+                             rank_state.time()}});
+
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/%s.step%06ld.rank%05d.bp",
+                dir.c_str(), prefix.c_str(), rank_state.step(),
+                rank_state.rank());
+  bp_write_file(name, entries);
+
+  CheckpointResult result;
+  result.path = name;
+  result.bytes = rank_state.solution_bytes();
+  result.measured_seconds = watch.seconds();
+  return result;
+}
+
+std::vector<BpEntry> read_checkpoint(const std::string& path) {
+  return bp_read_file(path);
+}
+
+void restore_checkpoint(S3DRank& rank_state, const std::string& path) {
+  const auto entries = bp_read_file(path);
+  long step = -1;
+  double time = 0.0;
+  int restored = 0;
+  for (const BpEntry& e : entries) {
+    if (e.name == "__meta") {
+      HIA_REQUIRE(e.values.size() == 2, "malformed checkpoint metadata");
+      step = static_cast<long>(e.values[0]);
+      time = e.values[1];
+      continue;
+    }
+    for (int v = 0; v < kNumVariables; ++v) {
+      Field& f = rank_state.field(static_cast<Variable>(v));
+      if (f.name() != e.name) continue;
+      HIA_REQUIRE(e.box == f.owned(),
+                  "checkpoint block does not match this rank: " + e.name);
+      f.unpack(e.box, e.values);
+      ++restored;
+      break;
+    }
+  }
+  HIA_REQUIRE(restored == kNumVariables,
+              "checkpoint is missing solution variables");
+  HIA_REQUIRE(step >= 0, "checkpoint is missing restart metadata");
+  rank_state.restore_clock(step, time);
+}
+
+size_t checkpoint_bytes(const GlobalGrid& grid) {
+  return static_cast<size_t>(grid.num_points()) * kNumVariables *
+         sizeof(double);
+}
+
+}  // namespace hia

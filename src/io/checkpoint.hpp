@@ -1,0 +1,44 @@
+// File-per-process checkpoint writer for MiniS3D solution data (the
+// traditional I/O path the hybrid framework exists to avoid).
+//
+// Each rank writes its 14 owned variables to one BP-lite file
+// (`<prefix>.step<NNN>.rank<RRR>.bp`). Reported times are both measured
+// (this machine) and modeled through the OstModel at the paper's scale, so
+// Table I rows can be regenerated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/bp_lite.hpp"
+#include "io/ost_model.hpp"
+#include "sim/s3d.hpp"
+
+namespace hia {
+
+struct CheckpointResult {
+  std::string path;
+  size_t bytes = 0;
+  double measured_seconds = 0.0;
+};
+
+/// Writes all 14 solution variables of `rank_state` for the current step.
+/// `dir` must exist.
+CheckpointResult write_checkpoint(const S3DRank& rank_state,
+                                  const std::string& dir,
+                                  const std::string& prefix);
+
+/// Reads a checkpoint file back (verification / post-processing path).
+std::vector<BpEntry> read_checkpoint(const std::string& path);
+
+/// Restart: loads a checkpoint written by write_checkpoint into
+/// `rank_state` (fields + simulation clock). The rank's decomposition must
+/// match the one that wrote the file. Deterministic restart is exact: a
+/// restored simulation advances identically to the uninterrupted one.
+void restore_checkpoint(S3DRank& rank_state, const std::string& path);
+
+/// Total checkpoint bytes for a full timestep of the given grid
+/// (14 variables x 8 bytes x grid points) — the paper's "Data size (GB)".
+size_t checkpoint_bytes(const GlobalGrid& grid);
+
+}  // namespace hia

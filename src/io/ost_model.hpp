@@ -1,0 +1,70 @@
+// Lustre OST bandwidth model.
+//
+// The paper (Table I discussion): "data read/write is done on a single-
+// file-per-process basis, which achieves near peak I/O bandwidths ... The
+// I/O bandwidths are limited by the number of Object Storage Targets (OSTs)
+// on the lustre filesystem. Since the total data size is constant in the
+// experiments the I/O read/write times do not depend noticeably on the
+// number of cores used."
+//
+// That core-count independence is exactly what this model produces: the
+// aggregate bandwidth saturates at num_osts * per-OST bandwidth, so beyond
+// ~num_osts concurrent writers, time depends only on total bytes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+struct OstParams {
+  int num_osts = 672;                 // Jaguar-era Spider scale
+  // Effective per-OST bandwidth under production file-per-process load
+  // (shared filesystem, not the marketing peak). 672 x 45 MB/s ~ 30 GB/s
+  // aggregate, which reproduces Table I's 3.28 s for a 98.5 GB write.
+  double ost_bandwidth_Bps = 45.0e6;
+  double per_file_open_s = 2.0e-3;    // metadata cost per file
+  double read_penalty = 2.0;          // reads achieve ~half write bandwidth
+};
+
+/// Models file-per-process read/write times through a shared OST pool.
+class OstModel {
+ public:
+  explicit OstModel(OstParams params = {}) : params_(params) {
+    HIA_REQUIRE(params.num_osts > 0, "need at least one OST");
+    HIA_REQUIRE(params.ost_bandwidth_Bps > 0.0, "bandwidth must be positive");
+  }
+
+  /// Aggregate bandwidth seen by `num_writers` concurrent writers.
+  [[nodiscard]] double aggregate_bandwidth(int num_writers) const {
+    const int active = std::min(num_writers, params_.num_osts);
+    return static_cast<double>(active) * params_.ost_bandwidth_Bps;
+  }
+
+  /// Modeled seconds for `num_writers` processes to write `total_bytes` in
+  /// total, one file each.
+  [[nodiscard]] double write_seconds(size_t total_bytes,
+                                     int num_writers) const {
+    HIA_REQUIRE(num_writers > 0, "need at least one writer");
+    return params_.per_file_open_s +
+           static_cast<double>(total_bytes) / aggregate_bandwidth(num_writers);
+  }
+
+  /// Modeled seconds to read `total_bytes` with `num_readers` processes.
+  [[nodiscard]] double read_seconds(size_t total_bytes,
+                                    int num_readers) const {
+    HIA_REQUIRE(num_readers > 0, "need at least one reader");
+    return params_.per_file_open_s +
+           params_.read_penalty * static_cast<double>(total_bytes) /
+               aggregate_bandwidth(num_readers);
+  }
+
+  [[nodiscard]] const OstParams& params() const { return params_; }
+
+ private:
+  OstParams params_;
+};
+
+}  // namespace hia

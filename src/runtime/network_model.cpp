@@ -1,0 +1,32 @@
+#include "runtime/network_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+const char* to_string(TransferPath path) {
+  return path == TransferPath::kSmsg ? "SMSG" : "BTE";
+}
+
+TransferPath NetworkModel::select_path(size_t bytes) const {
+  return bytes <= params_.smsg_max_bytes ? TransferPath::kSmsg
+                                         : TransferPath::kBte;
+}
+
+double NetworkModel::transfer_seconds(size_t bytes,
+                                      int concurrent_flows) const {
+  HIA_REQUIRE(concurrent_flows >= 1, "need at least the flow being modeled");
+  const double share =
+      std::pow(static_cast<double>(concurrent_flows),
+               params_.congestion_exponent);
+  if (select_path(bytes) == TransferPath::kSmsg) {
+    return params_.smsg_latency_s +
+           static_cast<double>(bytes) / (params_.smsg_bandwidth_Bps / share);
+  }
+  return params_.bte_latency_s +
+         static_cast<double>(bytes) / (params_.bte_bandwidth_Bps / share);
+}
+
+}  // namespace hia

@@ -1,0 +1,74 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  HIA_REQUIRE(num_threads > 0, "thread pool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> work) {
+  {
+    std::lock_guard lock(mutex_);
+    HIA_REQUIRE(!stopping_, "enqueue on stopping pool");
+    queue_.push_back(std::move(work));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    work();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, size_t n,
+                  const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t chunks = std::min<size_t>(pool.size() * 4, n);
+  const size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(begin + chunk, n);
+    futures.push_back(pool.submit([&body, begin, end] { body(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace hia

@@ -1,0 +1,63 @@
+// Fixed-size thread pool backing the virtual cluster's staging buckets and
+// the parallel_for used by compute-heavy analysis kernels.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hia {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are type-erased `void()` closures; use submit() to get a future.
+/// The pool drains outstanding tasks before joining on destruction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Enqueues fire-and-forget work.
+  void enqueue(std::function<void()> work);
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Splits [0, n) into roughly equal chunks and runs body(begin, end) on the
+/// pool, blocking until all chunks complete.
+void parallel_for(ThreadPool& pool, size_t n,
+                  const std::function<void(size_t, size_t)>& body);
+
+}  // namespace hia

@@ -1,0 +1,69 @@
+// Virtual machine topology: how the virtual cluster's cores are split
+// between the primary resources (simulation + in-situ) and the secondary
+// resources (DataSpaces servers + in-transit staging buckets).
+//
+// Mirrors the paper's Table I core allocations, e.g. the 4896-core run:
+//   4480 simulation/in-situ cores (16 x 28 x 10 decomposition)
+//    160 DataSpaces-service cores
+//    256 in-transit cores (staging buckets)
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+struct MachineConfig {
+  /// 3-D decomposition of simulation ranks (product = simulation cores).
+  std::array<int, 3> sim_ranks{2, 2, 2};
+  int dataspaces_servers = 1;
+  int staging_buckets = 4;
+
+  [[nodiscard]] int simulation_cores() const {
+    return sim_ranks[0] * sim_ranks[1] * sim_ranks[2];
+  }
+  [[nodiscard]] int total_cores() const {
+    return simulation_cores() + dataspaces_servers + staging_buckets;
+  }
+
+  void validate() const {
+    HIA_REQUIRE(sim_ranks[0] > 0 && sim_ranks[1] > 0 && sim_ranks[2] > 0,
+                "simulation decomposition must be positive in every axis");
+    HIA_REQUIRE(dataspaces_servers > 0, "need at least one DataSpaces server");
+    HIA_REQUIRE(staging_buckets > 0, "need at least one staging bucket");
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return std::to_string(sim_ranks[0]) + "x" + std::to_string(sim_ranks[1]) +
+           "x" + std::to_string(sim_ranks[2]) + " sim ranks (" +
+           std::to_string(simulation_cores()) + " cores), " +
+           std::to_string(dataspaces_servers) + " DataSpaces servers, " +
+           std::to_string(staging_buckets) + " staging buckets";
+  }
+
+  /// The paper's 4896-core Jaguar configuration (Table I), scaled by
+  /// `scale` in the first axis of the simulation decomposition.
+  static MachineConfig paper_4896();
+  /// The paper's 9440-core Jaguar configuration (Table I).
+  static MachineConfig paper_9440();
+  /// Laptop-scale equivalent preserving the primary/secondary split ratios.
+  static MachineConfig laptop(int sim_x = 4, int sim_y = 4, int sim_z = 2);
+};
+
+inline MachineConfig MachineConfig::paper_4896() {
+  return MachineConfig{{16, 28, 10}, 160, 256};
+}
+
+inline MachineConfig MachineConfig::paper_9440() {
+  return MachineConfig{{32, 28, 10}, 256, 224};
+}
+
+inline MachineConfig MachineConfig::laptop(int sim_x, int sim_y, int sim_z) {
+  MachineConfig cfg{{sim_x, sim_y, sim_z}, 2, 4};
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace hia

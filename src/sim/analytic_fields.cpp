@@ -1,0 +1,93 @@
+#include "sim/analytic_fields.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace hia {
+
+double GaussianMixture::value(const Vec3& x) const {
+  double v = 0.0;
+  for (const GaussianBump& b : bumps_) {
+    const Vec3 d = x - b.center;
+    v += b.amplitude * std::exp(-d.dot(d) / (2.0 * b.sigma * b.sigma));
+  }
+  return v;
+}
+
+GaussianMixture GaussianMixture::well_separated(int count, double sigma,
+                                                uint64_t seed) {
+  // Lay bumps on an n^3 lattice with jitter bounded so pairwise separation
+  // stays above 4 sigma (assuming the lattice pitch allows it).
+  int n = 1;
+  while (n * n * n < count) ++n;
+  const double pitch = 1.0 / static_cast<double>(n + 1);
+  Xoshiro256 rng(seed);
+  std::vector<GaussianBump> bumps;
+  bumps.reserve(static_cast<size_t>(count));
+  int placed = 0;
+  for (int k = 1; k <= n && placed < count; ++k) {
+    for (int j = 1; j <= n && placed < count; ++j) {
+      for (int i = 1; i <= n && placed < count; ++i, ++placed) {
+        GaussianBump b;
+        const double jitter = 0.15 * pitch;
+        b.center = Vec3{pitch * i + rng.uniform(-jitter, jitter),
+                        pitch * j + rng.uniform(-jitter, jitter),
+                        pitch * k + rng.uniform(-jitter, jitter)};
+        b.sigma = sigma;
+        b.amplitude = rng.uniform(0.5, 1.5);
+        bumps.push_back(b);
+      }
+    }
+  }
+  return GaussianMixture(std::move(bumps));
+}
+
+void fill_from_function(Field& field, const GlobalGrid& grid,
+                        const std::function<double(const Vec3&)>& fn) {
+  const Box3& box = field.storage();
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        field.at(i, j, k) =
+            fn(Vec3{grid.coord(0, i), grid.coord(1, j), grid.coord(2, k)});
+      }
+    }
+  }
+}
+
+void fill_gaussian_mixture(Field& field, const GlobalGrid& grid,
+                           const GaussianMixture& mix) {
+  fill_from_function(field, grid,
+                     [&mix](const Vec3& x) { return mix.value(x); });
+}
+
+void fill_sine_product(Field& field, const GlobalGrid& grid, double a,
+                       double b, double c) {
+  fill_from_function(field, grid, [=](const Vec3& x) {
+    return std::sin(a * x.x) * std::sin(b * x.y) * std::sin(c * x.z);
+  });
+}
+
+void fill_ramp_x(Field& field, const GlobalGrid& grid) {
+  fill_from_function(field, grid, [](const Vec3& x) { return x.x; });
+}
+
+void fill_noise(Field& field, uint64_t seed) {
+  const Box3& box = field.storage();
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        // Hash global indices so the value is decomposition-invariant.
+        SplitMix64 h(seed ^ (static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL) ^
+                     (static_cast<uint64_t>(j) << 21) ^
+                     (static_cast<uint64_t>(k) << 42));
+        field.at(i, j, k) =
+            static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+      }
+    }
+  }
+}
+
+}  // namespace hia

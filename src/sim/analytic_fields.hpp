@@ -1,0 +1,66 @@
+// Analytic scalar fields with known topological structure, used by the
+// merge-tree/statistics/visualization tests and the Fig. 3 validation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/field.hpp"
+#include "sim/grid.hpp"
+#include "util/vec3.hpp"
+
+namespace hia {
+
+/// A Gaussian bump: amplitude * exp(-|x - center|^2 / (2 sigma^2)).
+struct GaussianBump {
+  Vec3 center;
+  double sigma = 0.1;
+  double amplitude = 1.0;
+};
+
+/// Sum-of-Gaussians scalar function; each well-separated bump contributes
+/// exactly one local maximum, so the expected merge-tree leaf count is
+/// known.
+class GaussianMixture {
+ public:
+  explicit GaussianMixture(std::vector<GaussianBump> bumps)
+      : bumps_(std::move(bumps)) {}
+
+  [[nodiscard]] double value(const Vec3& x) const;
+  [[nodiscard]] const std::vector<GaussianBump>& bumps() const {
+    return bumps_;
+  }
+
+  /// `count` bumps placed deterministically on a jittered lattice so they
+  /// stay well separated (pairwise distance > 4 sigma).
+  static GaussianMixture well_separated(int count, double sigma,
+                                        uint64_t seed = 17);
+
+ private:
+  std::vector<GaussianBump> bumps_;
+};
+
+/// Fills field(i,j,k) = fn(physical coordinates of (i,j,k)) over the
+/// field's *storage* box (ghosts included), so analytic ghost values are
+/// consistent without communication.
+void fill_from_function(Field& field, const GlobalGrid& grid,
+                        const std::function<double(const Vec3&)>& fn);
+
+/// Fills with value(GaussianMixture).
+void fill_gaussian_mixture(Field& field, const GlobalGrid& grid,
+                           const GaussianMixture& mix);
+
+/// f(x, y, z) = sin(a x) sin(b y) sin(c z): periodic field with a dense,
+/// predictable lattice of maxima.
+void fill_sine_product(Field& field, const GlobalGrid& grid, double a,
+                       double b, double c);
+
+/// Linear ramp along x: a field with exactly one maximum (monotone).
+void fill_ramp_x(Field& field, const GlobalGrid& grid);
+
+/// Deterministic white noise in [0, 1); seeds derive from global indices so
+/// the field is decomposition-invariant.
+void fill_noise(Field& field, uint64_t seed);
+
+}  // namespace hia

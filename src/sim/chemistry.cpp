@@ -1,0 +1,70 @@
+#include "sim/chemistry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hia {
+
+double Chemistry::rate(double temperature, double y_h2, double y_o2) const {
+  const double t = std::max(temperature, 1e-6);
+  const double h2 = std::clamp(y_h2, 0.0, 1.0);
+  const double o2 = std::clamp(y_o2, 0.0, 1.0);
+  return params_.pre_exponential * h2 * h2 * o2 *
+         std::exp(-params_.activation_temp / t);
+}
+
+ChemistrySources Chemistry::sources(double temperature, double y_h2,
+                                    double y_o2) const {
+  const double w = rate(temperature, y_h2, y_o2);
+  // 2 H2 + O2 -> 2 H2O, mass-weighted stoichiometry for Y-space:
+  // per unit progress, consume 1/9 H2 + 8/9 O2, produce 1 H2O (H2O molar
+  // mass 18: 2 from H2, 16 from O2).
+  ChemistrySources s;
+  // Temperature source scaled so heat_release is the *adiabatic rise*:
+  // dY_H2/dt = -w/9 and Y_H2 <= 0.9 initially, so the progress integral
+  // of w is bounded by 8.1 and the total temperature rise by heat_release.
+  s.temperature = params_.heat_release * w / 8.1;
+  s.h2 = -w / 9.0;
+  s.o2 = -8.0 * w / 9.0;
+  s.h2o = w;
+  return s;
+}
+
+std::array<double, 5> Chemistry::minor_species(double c) const {
+  const double cc = std::clamp(c, 0.0, 1.0);
+  // Radical pool peaks mid-reaction (c ~ 0.5), products of c(1-c) shape;
+  // magnitudes follow typical H2/air flame orderings (OH > H > O > HO2 >
+  // H2O2).
+  const double pool = 4.0 * cc * (1.0 - cc);
+  return {0.008 * pool,   // H
+          0.004 * pool,   // O
+          0.012 * pool,   // OH
+          0.002 * pool * (1.0 - cc),   // HO2 (low-T side)
+          0.0008 * pool * (1.0 - cc)}; // H2O2
+}
+
+std::vector<IgnitionKernel> KernelSeeder::kernels_for_step(long step) const {
+  // Bernoulli splitting of a Poisson process; the stream is keyed by
+  // (seed, step) so draws are independent of simulation history.
+  Xoshiro256 rng(params_.seed ^ 0x9e3779b97f4a7c15ULL,
+                 static_cast<uint64_t>(step) * 2 + 11);
+  std::vector<IgnitionKernel> out;
+  double expected = params_.kernel_rate;
+  while (expected > 0.0) {
+    const double p = std::min(expected, 1.0);
+    if (rng.uniform() < p) {
+      IgnitionKernel k;
+      k.cx = rng.uniform();
+      k.cy = rng.uniform();
+      k.cz = rng.uniform();
+      k.radius = params_.kernel_radius * rng.uniform(0.7, 1.4);
+      k.amplitude = params_.kernel_amplitude * rng.uniform(0.6, 1.2);
+      k.step_created = step;
+      out.push_back(k);
+    }
+    expected -= 1.0;
+  }
+  return out;
+}
+
+}  // namespace hia

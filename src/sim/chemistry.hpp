@@ -1,0 +1,89 @@
+// Single-step H2/O2 chemistry with Arrhenius kinetics, plus the intermittent
+// ignition-kernel seeding that reproduces the paper's motivating phenomenon:
+// features (ignition kernels) that live ~10 timesteps and are lost when only
+// every ~400th step reaches disk.
+//
+// Reaction:  2 H2 + O2 -> 2 H2O, rate = A * [H2]^2 [O2] * exp(-Ta / T).
+// Minor species (H, O, OH, HO2, H2O2) are carried as fast-equilibrium
+// fractions of the progress variable so all 14 S3D variables evolve.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/box.hpp"
+#include "util/rng.hpp"
+
+namespace hia {
+
+struct ChemistryParams {
+  double pre_exponential = 6.0e3;   // A, tuned for laptop-scale dynamics
+  double activation_temp = 6.0;     // Ta in nondimensional temperature units
+  double heat_release = 18.0;       // adiabatic temperature rise (complete
+                                    // combustion of the pure-fuel stream)
+  double ambient_temperature = 1.0; // nondimensional cold-stream T
+
+  // Ignition-kernel seeding: expected kernels per step per unit volume; each
+  // kernel is a Gaussian temperature spot that either ignites (if it lands
+  // in fuel) or dissipates.
+  double kernel_rate = 1.2;     // expected kernels per step, whole domain
+  double kernel_radius = 0.045; // physical units
+  double kernel_amplitude = 4.5;
+  uint64_t seed = 1234;
+};
+
+/// A pending ignition kernel: a localized temperature perturbation.
+struct IgnitionKernel {
+  double cx, cy, cz;   // center (physical coordinates)
+  double radius;
+  double amplitude;
+  long step_created;
+};
+
+struct ChemistrySources {
+  double temperature;  // dT/dt
+  double h2;           // dY_H2/dt
+  double o2;
+  double h2o;
+};
+
+/// Point-local reaction source terms given (T, Y_H2, Y_O2).
+class Chemistry {
+ public:
+  explicit Chemistry(const ChemistryParams& params = {}) : params_(params) {}
+
+  [[nodiscard]] ChemistrySources sources(double temperature, double y_h2,
+                                         double y_o2) const;
+
+  /// Reaction progress rate (used directly by analyses as the "heat release
+  /// rate" variable scientists visualize).
+  [[nodiscard]] double rate(double temperature, double y_h2,
+                            double y_o2) const;
+
+  /// Equilibrium minor-species fractions for progress variable c in [0, 1].
+  /// Order: H, O, OH, HO2, H2O2.
+  [[nodiscard]] std::array<double, 5> minor_species(double c) const;
+
+  [[nodiscard]] const ChemistryParams& params() const { return params_; }
+
+ private:
+  ChemistryParams params_;
+};
+
+/// Deterministic Poisson-like generator of ignition kernels. The draw for
+/// step s depends only on (seed, s) — no sequential state — so all ranks
+/// agree without communication and a simulation restarted from a
+/// checkpoint reproduces the original kernel sequence exactly.
+class KernelSeeder {
+ public:
+  explicit KernelSeeder(const ChemistryParams& params) : params_(params) {}
+
+  /// Kernels to inject at `step` (may be empty; occasionally several).
+  [[nodiscard]] std::vector<IgnitionKernel> kernels_for_step(long step) const;
+
+ private:
+  ChemistryParams params_;
+};
+
+}  // namespace hia

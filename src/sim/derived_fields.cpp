@@ -1,0 +1,105 @@
+#include "sim/derived_fields.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+namespace {
+
+/// Central difference along `axis` with one-sided fallback at the domain
+/// boundary (the field's storage box bounds what is addressable).
+double derivative(const GlobalGrid& grid, const Field& f, int64_t i,
+                  int64_t j, int64_t k, int axis) {
+  int64_t lo[3] = {i, j, k};
+  int64_t hi[3] = {i, j, k};
+  const Box3& st = f.storage();
+  hi[axis] = std::min(hi[axis] + 1, st.hi[axis] - 1);
+  lo[axis] = std::max(lo[axis] - 1, st.lo[axis]);
+  const double span =
+      static_cast<double>(hi[axis] - lo[axis]) * grid.spacing(axis);
+  if (span == 0.0) return 0.0;
+  return (f.at(hi[0], hi[1], hi[2]) - f.at(lo[0], lo[1], lo[2])) / span;
+}
+
+}  // namespace
+
+Field gradient_magnitude(const GlobalGrid& grid, const Field& f) {
+  Field out("grad_" + f.name(), f.owned());
+  const Box3& box = f.owned();
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        const double gx = derivative(grid, f, i, j, k, 0);
+        const double gy = derivative(grid, f, i, j, k, 1);
+        const double gz = derivative(grid, f, i, j, k, 2);
+        out.at(i, j, k) = std::sqrt(gx * gx + gy * gy + gz * gz);
+      }
+    }
+  }
+  return out;
+}
+
+Field vorticity_magnitude(const GlobalGrid& grid, const Field& u,
+                          const Field& v, const Field& w) {
+  HIA_REQUIRE(u.owned() == v.owned() && v.owned() == w.owned(),
+              "velocity components must share the owned box");
+  Field out("vorticity", u.owned());
+  const Box3& box = u.owned();
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        const double wy = derivative(grid, w, i, j, k, 1);
+        const double vz = derivative(grid, v, i, j, k, 2);
+        const double uz = derivative(grid, u, i, j, k, 2);
+        const double wx = derivative(grid, w, i, j, k, 0);
+        const double vx = derivative(grid, v, i, j, k, 0);
+        const double uy = derivative(grid, u, i, j, k, 1);
+        const double ox = wy - vz;
+        const double oy = uz - wx;
+        const double oz = vx - uy;
+        out.at(i, j, k) = std::sqrt(ox * ox + oy * oy + oz * oz);
+      }
+    }
+  }
+  return out;
+}
+
+Field mixture_fraction(const Field& y_h2, const Field& y_h2o) {
+  HIA_REQUIRE(y_h2.owned() == y_h2o.owned(),
+              "species fields must share the owned box");
+  Field out("Z", y_h2.owned());
+  const Box3& box = y_h2.owned();
+  constexpr double kFuelH2 = 0.9;  // fuel-stream H2 mass fraction
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        const double zh =
+            y_h2.at(i, j, k) + (2.0 / 18.0) * y_h2o.at(i, j, k);
+        out.at(i, j, k) = std::clamp(zh / kFuelH2, 0.0, 1.0);
+      }
+    }
+  }
+  return out;
+}
+
+Field scalar_dissipation(const GlobalGrid& grid, const Field& z,
+                         double diffusivity) {
+  HIA_REQUIRE(diffusivity >= 0.0, "diffusivity must be non-negative");
+  Field out("chi", z.owned());
+  const Field grad = gradient_magnitude(grid, z);
+  const Box3& box = z.owned();
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i) {
+        const double g = grad.at(i, j, k);
+        out.at(i, j, k) = 2.0 * diffusivity * g * g;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hia

@@ -1,0 +1,39 @@
+// Derived combustion diagnostics computed from the solution variables:
+//
+//   * gradient magnitude |∇f| — general-purpose edge/front detector;
+//   * vorticity magnitude |∇×u| — the quantity behind the paper's Fig. 1
+//     "subtle vortical structures identified in a large and complex flow
+//     field of turbulent combustion";
+//   * mixture fraction Z — the conserved scalar tracking fuel-stream
+//     origin (Bilger-style, specialized to the H2/air system);
+//   * scalar dissipation rate χ = 2 D |∇Z|² — the diffusive-mixing rate
+//     whose balance against kinetics governs ignition-kernel survival
+//     (the paper's §V flame-stabilization narrative).
+//
+// All stencil operators use central differences on interior points and
+// one-sided differences at the domain boundary; fields must carry one
+// ghost layer with current neighbor values (exchange_halos).
+#pragma once
+
+#include "sim/field.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+/// |∇f| over the owned region of `f` (ghost layer required and current).
+Field gradient_magnitude(const GlobalGrid& grid, const Field& f);
+
+/// |∇×(u,v,w)| over the shared owned region.
+Field vorticity_magnitude(const GlobalGrid& grid, const Field& u,
+                          const Field& v, const Field& w);
+
+/// Mixture fraction from the element mass fraction of hydrogen:
+///   Z = Z_H / Z_H,fuel, with Z_H = Y_H2 + (2/18) Y_H2O (+ minor species
+/// ignored), fuel stream Y_H2 = 0.9. Clamped to [0, 1]. No ghosts needed.
+Field mixture_fraction(const Field& y_h2, const Field& y_h2o);
+
+/// χ = 2 D |∇Z|². `z` must carry one current ghost layer.
+Field scalar_dissipation(const GlobalGrid& grid, const Field& z,
+                         double diffusivity);
+
+}  // namespace hia

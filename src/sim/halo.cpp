@@ -1,0 +1,100 @@
+#include "sim/halo.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+namespace {
+
+constexpr int kHaloTagBase = 1000;
+
+int dir_index(int dx, int dy, int dz) {
+  return (dx + 1) + 3 * (dy + 1) + 9 * (dz + 1);
+}
+
+/// Concatenates per-field packed payloads for `box`.
+std::vector<double> pack_fields(const std::vector<Field*>& fields,
+                                const Box3& box) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(box.num_cells()) * fields.size());
+  for (const Field* f : fields) {
+    auto part = f->pack(box);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+void unpack_fields(std::vector<Field*>& fields, const Box3& box,
+                   std::span<const double> payload) {
+  const size_t per_field = static_cast<size_t>(box.num_cells());
+  HIA_REQUIRE(payload.size() == per_field * fields.size(),
+              "halo payload size mismatch");
+  size_t off = 0;
+  for (Field* f : fields) {
+    f->unpack(box, payload.subspan(off, per_field));
+    off += per_field;
+  }
+}
+
+}  // namespace
+
+void exchange_halos(Comm& comm, const Decomposition& decomp,
+                    std::vector<Field*>& fields, int ghost) {
+  HIA_REQUIRE(!fields.empty(), "no fields to exchange");
+  HIA_REQUIRE(ghost > 0, "ghost width must be positive");
+  HIA_REQUIRE(comm.size() == decomp.num_ranks(),
+              "communicator size must match decomposition");
+
+  const int r = comm.rank();
+  const Box3 domain = decomp.grid().bounds();
+  const Box3 mine = decomp.block(r);
+  const Box3 my_storage = mine.grown(ghost, domain);
+  for (const Field* f : fields) {
+    HIA_REQUIRE(f->owned() == mine, "field owned box must match this rank");
+    HIA_REQUIRE(f->storage().contains(my_storage),
+                "field ghost width too small for exchange");
+  }
+
+  // Phase 1: post all (buffered) sends.
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int n = decomp.neighbor(r, dx, dy, dz);
+        if (n < 0) continue;
+        const Box3 neighbor_storage = decomp.block(n).grown(ghost, domain);
+        const Box3 send_box = mine.intersect(neighbor_storage);
+        if (send_box.empty()) continue;
+        auto payload = pack_fields(fields, send_box);
+        comm.send_vector(n, kHaloTagBase + dir_index(dx, dy, dz), payload);
+      }
+    }
+  }
+
+  // Phase 2: receive and unpack ghost slabs.
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int n = decomp.neighbor(r, dx, dy, dz);
+        if (n < 0) continue;
+        const Box3 recv_box = my_storage.intersect(decomp.block(n));
+        if (recv_box.empty()) continue;
+        // The neighbor sent this with the direction from its perspective.
+        const int tag = kHaloTagBase + dir_index(-dx, -dy, -dz);
+        auto payload = comm.recv_vector<double>(n, tag);
+        unpack_fields(fields, recv_box, payload);
+      }
+    }
+  }
+}
+
+void exchange_halos(Comm& comm, const Decomposition& decomp, Field& field,
+                    int ghost) {
+  std::vector<Field*> fields{&field};
+  exchange_halos(comm, decomp, fields, ghost);
+}
+
+}  // namespace hia

@@ -1,0 +1,26 @@
+// Ghost-layer (halo) exchange between neighboring simulation ranks.
+//
+// Exchanges all 26 neighbor directions so that stencil operators and the
+// merge-tree boundary logic both see a consistent one-(or more)-deep ghost
+// region. Non-periodic: faces at the domain boundary keep their fill value.
+#pragma once
+
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "sim/field.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+
+/// Exchanges `ghost` layers for each field in `fields` (all fields must
+/// share the same owned box belonging to comm.rank()). Collective over all
+/// ranks of the decomposition.
+void exchange_halos(Comm& comm, const Decomposition& decomp,
+                    std::vector<Field*>& fields, int ghost);
+
+/// Convenience overload for a single field.
+void exchange_halos(Comm& comm, const Decomposition& decomp, Field& field,
+                    int ghost);
+
+}  // namespace hia

@@ -1,0 +1,80 @@
+#include "sim/turbulence.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+SyntheticTurbulence::SyntheticTurbulence(const TurbulenceParams& params)
+    : params_(params) {
+  HIA_REQUIRE(params.num_modes > 0, "need at least one mode");
+  HIA_REQUIRE(params.k_max > params.k_min && params.k_min > 0.0,
+              "need 0 < k_min < k_max");
+
+  Xoshiro256 rng(params.seed, /*stream_id=*/7);
+  modes_.reserve(static_cast<size_t>(params.num_modes));
+
+  // Sample wavenumber magnitudes log-uniformly across [k_min, k_max] and
+  // weight amplitudes by E(k) ~ k^slope so the inertial range has the right
+  // relative energy distribution.
+  double energy_sum = 0.0;
+  std::vector<double> energies(static_cast<size_t>(params.num_modes));
+  std::vector<double> kmags(static_cast<size_t>(params.num_modes));
+  for (int m = 0; m < params.num_modes; ++m) {
+    const double frac = (static_cast<double>(m) + rng.uniform()) /
+                        static_cast<double>(params.num_modes);
+    const double kmag =
+        params.k_min * std::pow(params.k_max / params.k_min, frac);
+    kmags[static_cast<size_t>(m)] = kmag;
+    const double e = std::pow(kmag, params.spectrum_slope);
+    energies[static_cast<size_t>(m)] = e;
+    energy_sum += e;
+  }
+
+  for (int m = 0; m < params.num_modes; ++m) {
+    // Random direction on the sphere for the wave vector.
+    Vec3 khat;
+    do {
+      khat = Vec3{rng.normal(), rng.normal(), rng.normal()};
+    } while (khat.norm() < 1e-12);
+    khat = khat.normalized();
+
+    const double kmag = kmags[static_cast<size_t>(m)] * 2.0 *
+                        std::numbers::pi;  // physical wavenumber
+    // Amplitude direction orthogonal to k (incompressibility).
+    Vec3 a;
+    do {
+      const Vec3 rand_dir{rng.normal(), rng.normal(), rng.normal()};
+      a = khat.cross(rand_dir);
+    } while (a.norm() < 1e-12);
+    a = a.normalized();
+
+    // Scale so the total field RMS matches rms_velocity. Each cosine mode
+    // contributes amp^2/2 per component on average.
+    const double frac_energy =
+        energies[static_cast<size_t>(m)] / energy_sum;
+    const double amp =
+        params.rms_velocity * std::sqrt(2.0 * 3.0 * frac_energy);
+
+    Mode mode;
+    mode.k = khat * kmag;
+    mode.amplitude = a * amp;
+    mode.omega = 2.0 * std::numbers::pi / params.time_scale *
+                 std::sqrt(kmags[static_cast<size_t>(m)] / params.k_min);
+    mode.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    modes_.push_back(mode);
+  }
+}
+
+Vec3 SyntheticTurbulence::velocity(const Vec3& x, double t) const {
+  Vec3 u;
+  for (const Mode& m : modes_) {
+    const double arg = m.k.dot(x) + m.omega * t + m.phase;
+    u += m.amplitude * std::cos(arg);
+  }
+  return u;
+}
+
+}  // namespace hia

@@ -1,0 +1,47 @@
+// Shared descriptor types for the staging layer: RDMA-enabled data-block
+// descriptors inserted by in-situ ranks on *data-ready* events, and the
+// in-transit task descriptors queued for staging buckets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/box.hpp"
+#include "transport/dart.hpp"
+
+namespace hia {
+
+/// Describes one published data block: which variable/timestep/sub-domain
+/// it holds and where to pull it from.
+struct DataDescriptor {
+  std::string variable;
+  long step = 0;
+  Box3 box;             // global index-space bounds of the block
+  DartHandle handle;    // RDMA handle registered with Dart
+  int src_node = -1;    // publishing in-situ node
+};
+
+/// An in-transit task: run `analysis` over `inputs` for timestep `step`.
+struct InTransitTask {
+  std::string analysis;
+  long step = 0;
+  std::vector<DataDescriptor> inputs;
+  /// Caller-assigned id, unique per service instance once submitted.
+  uint64_t task_id = 0;
+};
+
+/// Timing record for one executed in-transit task (Fig. 5 / Fig. 6 data).
+struct TaskRecord {
+  uint64_t task_id = 0;
+  std::string analysis;
+  long step = 0;
+  int bucket = -1;
+  double enqueue_time = 0.0;    // seconds since service start
+  double assign_time = 0.0;
+  double complete_time = 0.0;
+  double data_movement_seconds = 0.0;  // modeled wire time for all pulls
+  size_t data_movement_bytes = 0;
+  double compute_seconds = 0.0;        // handler wall time minus pulls
+};
+
+}  // namespace hia

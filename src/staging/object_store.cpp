@@ -1,0 +1,88 @@
+#include "staging/object_store.hpp"
+
+#include <functional>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+ObjectStore::ObjectStore(int num_servers) {
+  HIA_REQUIRE(num_servers > 0, "need at least one DataSpaces server");
+  servers_.reserve(static_cast<size_t>(num_servers));
+  for (int i = 0; i < num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>());
+  }
+}
+
+std::string ObjectStore::key(const std::string& variable, long step) {
+  return variable + '\0' + std::to_string(step);
+}
+
+size_t ObjectStore::shard(const std::string& variable, long step) const {
+  return std::hash<std::string>{}(key(variable, step)) % servers_.size();
+}
+
+void ObjectStore::put(const DataDescriptor& desc) {
+  Server& s = *servers_[shard(desc.variable, desc.step)];
+  s.rpcs.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(s.mutex);
+  s.objects[key(desc.variable, desc.step)].push_back(desc);
+}
+
+std::vector<DataDescriptor> ObjectStore::query(const std::string& variable,
+                                               long step,
+                                               const Box3& region) const {
+  const Server& s = *servers_[shard(variable, step)];
+  s.rpcs.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(s.mutex);
+  std::vector<DataDescriptor> out;
+  auto it = s.objects.find(key(variable, step));
+  if (it == s.objects.end()) return out;
+  for (const DataDescriptor& d : it->second) {
+    if (d.box.overlaps(region)) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<DataDescriptor> ObjectStore::query_all(const std::string& variable,
+                                                   long step) const {
+  const Server& s = *servers_[shard(variable, step)];
+  s.rpcs.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(s.mutex);
+  auto it = s.objects.find(key(variable, step));
+  if (it == s.objects.end()) return {};
+  return it->second;
+}
+
+std::vector<DataDescriptor> ObjectStore::take(const std::string& variable,
+                                              long step) {
+  Server& s = *servers_[shard(variable, step)];
+  s.rpcs.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(s.mutex);
+  auto it = s.objects.find(key(variable, step));
+  if (it == s.objects.end()) return {};
+  std::vector<DataDescriptor> out = std::move(it->second);
+  s.objects.erase(it);
+  return out;
+}
+
+std::vector<uint64_t> ObjectStore::rpc_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    out.push_back(s->rpcs.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+size_t ObjectStore::size() const {
+  size_t total = 0;
+  for (const auto& s : servers_) {
+    std::lock_guard lock(s->mutex);
+    for (const auto& [k, v] : s->objects) total += v.size();
+  }
+  return total;
+}
+
+}  // namespace hia

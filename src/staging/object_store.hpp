@@ -1,0 +1,69 @@
+// Versioned shared-space object store, modeled on DataSpaces [12].
+//
+// Objects live in a (variable, version, bounding-box) index; clients put
+// descriptors of RDMA-published blocks and query by name/version/region.
+// Metadata is sharded over `num_servers` virtual servers by hashing, the
+// mechanism the paper credits for scheduler scalability ("the hashing used
+// to balance the RPC messages over multiple DataSpaces servers"); per-server
+// RPC counters feed the server-shard ablation bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "staging/descriptor.hpp"
+
+namespace hia {
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(int num_servers);
+
+  /// Inserts a descriptor (one RPC to the owning server).
+  void put(const DataDescriptor& desc);
+
+  /// All descriptors of `variable` at `step` whose boxes intersect `region`
+  /// (one RPC per server consulted; the index is sharded by (var, step), so
+  /// a query touches exactly one server).
+  [[nodiscard]] std::vector<DataDescriptor> query(const std::string& variable,
+                                                  long step,
+                                                  const Box3& region) const;
+
+  /// All descriptors of `variable` at `step`.
+  [[nodiscard]] std::vector<DataDescriptor> query_all(
+      const std::string& variable, long step) const;
+
+  /// Removes all descriptors of `variable` at `step`; returns them so the
+  /// caller can release the underlying Dart regions.
+  std::vector<DataDescriptor> take(const std::string& variable, long step);
+
+  [[nodiscard]] int num_servers() const {
+    return static_cast<int>(servers_.size());
+  }
+
+  /// RPCs routed to each server so far.
+  [[nodiscard]] std::vector<uint64_t> rpc_counts() const;
+
+  /// Total descriptors currently stored.
+  [[nodiscard]] size_t size() const;
+
+ private:
+  struct Server {
+    mutable std::mutex mutex;
+    // key: variable + '\0' + step
+    std::map<std::string, std::vector<DataDescriptor>> objects;
+    mutable std::atomic<uint64_t> rpcs{0};
+  };
+
+  [[nodiscard]] size_t shard(const std::string& variable, long step) const;
+  static std::string key(const std::string& variable, long step);
+
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+}  // namespace hia

@@ -1,0 +1,232 @@
+#include "staging/scheduler.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace hia {
+
+// ----------------------------------------------------------- TaskContext --
+
+std::vector<std::byte> TaskContext::pull(const DataDescriptor& desc) {
+  TransferStats stats;
+  auto data = dart_.get(dart_node_, desc.handle, &stats);
+  movement_seconds_ += stats.modeled_seconds;
+  movement_bytes_ += stats.bytes;
+  return data;
+}
+
+std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
+  auto bytes = pull(desc);
+  HIA_REQUIRE(bytes.size() % sizeof(double) == 0,
+              "pulled region is not a whole number of doubles");
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+// -------------------------------------------------------- StagingService --
+
+StagingService::StagingService(Dart& dart, Options options)
+    : dart_(dart), store_(options.num_servers) {
+  HIA_REQUIRE(options.num_buckets > 0, "need at least one staging bucket");
+  slots_.resize(static_cast<size_t>(options.num_buckets));
+  buckets_.resize(static_cast<size_t>(options.num_buckets));
+  for (int b = 0; b < options.num_buckets; ++b) {
+    buckets_[static_cast<size_t>(b)].dart_node =
+        dart_.register_node("bucket-" + std::to_string(b));
+    buckets_[static_cast<size_t>(b)].thread =
+        std::thread([this, b] { bucket_main(b); });
+  }
+}
+
+StagingService::~StagingService() {
+  drain();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& b : buckets_) b.thread.join();
+}
+
+void StagingService::register_handler(const std::string& analysis,
+                                      Handler handler) {
+  std::lock_guard lock(mutex_);
+  handlers_[analysis] = std::move(handler);
+}
+
+DataDescriptor StagingService::publish(int src_node,
+                                       const std::string& variable, long step,
+                                       const Box3& box,
+                                       const std::vector<double>& data) {
+  DataDescriptor desc;
+  desc.variable = variable;
+  desc.step = step;
+  desc.box = box;
+  desc.src_node = src_node;
+  desc.handle = dart_.put_doubles(src_node, data);
+  store_.put(desc);
+  return desc;
+}
+
+uint64_t StagingService::submit(InTransitTask task) {
+  uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    HIA_REQUIRE(handlers_.count(task.analysis) > 0,
+                "submit for unregistered analysis: " + task.analysis);
+    id = next_task_id_++;
+    task.task_id = id;
+    ++outstanding_;
+    task_queue_.push_back(Assigned{std::move(task), clock_.seconds()});
+  }
+  work_cv_.notify_all();
+  return id;
+}
+
+uint64_t StagingService::submit_for(const std::string& analysis, long step,
+                                    const std::vector<std::string>& variables) {
+  InTransitTask task;
+  task.analysis = analysis;
+  task.step = step;
+  for (const std::string& var : variables) {
+    auto descs = store_.take(var, step);
+    task.inputs.insert(task.inputs.end(), descs.begin(), descs.end());
+  }
+  return submit(std::move(task));
+}
+
+void StagingService::drain() {
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return outstanding_ == 0;
+  });
+}
+
+std::vector<TaskRecord> StagingService::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::optional<std::vector<std::byte>> StagingService::take_result(
+    uint64_t task_id) {
+  std::lock_guard lock(mutex_);
+  auto it = results_.find(task_id);
+  if (it == results_.end()) return std::nullopt;
+  std::vector<std::byte> out = std::move(it->second);
+  results_.erase(it);
+  return out;
+}
+
+size_t StagingService::pending_tasks() const {
+  std::lock_guard lock(mutex_);
+  return task_queue_.size();
+}
+
+int StagingService::free_bucket_count() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(free_buckets_.size());
+}
+
+void StagingService::bucket_main(int bucket_index) {
+  for (;;) {
+    Assigned assigned;
+    {
+      std::unique_lock lock(mutex_);
+      // Bucket-ready: join the free list, then FCFS-match queued work.
+      free_buckets_.push_back(bucket_index);
+      while (!task_queue_.empty() && !free_buckets_.empty()) {
+        const int b = free_buckets_.front();
+        free_buckets_.pop_front();
+        slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
+        task_queue_.pop_front();
+      }
+      if (slots_[static_cast<size_t>(bucket_index)].has_value()) {
+        // Matched above — possibly to a different bucket; wake the others.
+        work_cv_.notify_all();
+      } else {
+        work_cv_.wait(lock, [&] {
+          // A submit() may have queued work while every bucket slept; any
+          // woken bucket performs the match on behalf of the free list.
+          while (!task_queue_.empty() && !free_buckets_.empty()) {
+            const int b = free_buckets_.front();
+            free_buckets_.pop_front();
+            slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
+            task_queue_.pop_front();
+          }
+          return stopping_ ||
+                 slots_[static_cast<size_t>(bucket_index)].has_value();
+        });
+        work_cv_.notify_all();
+      }
+      if (slots_[static_cast<size_t>(bucket_index)].has_value()) {
+        assigned = std::move(*slots_[static_cast<size_t>(bucket_index)]);
+        slots_[static_cast<size_t>(bucket_index)].reset();
+      } else {
+        HIA_ASSERT(stopping_);
+        return;
+      }
+    }
+    execute(bucket_index, std::move(assigned));
+  }
+}
+
+void StagingService::execute(int bucket_index, Assigned assigned) {
+  const double assign_time = clock_.seconds();
+  Handler handler;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = handlers_.find(assigned.task.analysis);
+    HIA_ASSERT(it != handlers_.end());
+    handler = it->second;
+  }
+
+  TaskContext ctx(*this, dart_,
+                  assigned.task, bucket_index,
+                  buckets_[static_cast<size_t>(bucket_index)].dart_node);
+
+  Stopwatch watch;
+  bool failed = false;
+  try {
+    handler(ctx);
+  } catch (const std::exception& e) {
+    failed = true;
+    HIA_LOG_ERROR("staging", "task %llu (%s, step %ld) failed: %s",
+                  static_cast<unsigned long long>(assigned.task.task_id),
+                  assigned.task.analysis.c_str(), assigned.task.step,
+                  e.what());
+  }
+  const double wall = watch.seconds();
+
+  // The bucket consumed its inputs; free the published regions.
+  for (const DataDescriptor& d : assigned.task.inputs) {
+    dart_.release(d.handle);
+  }
+
+  TaskRecord record;
+  record.task_id = assigned.task.task_id;
+  record.analysis = assigned.task.analysis;
+  record.step = assigned.task.step;
+  record.bucket = bucket_index;
+  record.enqueue_time = assigned.enqueue_time;
+  record.assign_time = assign_time;
+  record.complete_time = clock_.seconds();
+  record.data_movement_seconds = ctx.movement_seconds_;
+  record.data_movement_bytes = ctx.movement_bytes_;
+  record.compute_seconds = wall;
+
+  {
+    std::lock_guard lock(mutex_);
+    records_.push_back(record);
+    if (!failed && ctx.result_.has_value()) {
+      results_[record.task_id] = std::move(*ctx.result_);
+    }
+    HIA_ASSERT(outstanding_ > 0);
+    --outstanding_;
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace hia

@@ -1,0 +1,165 @@
+// The scheduling and coordination layer (paper §IV, Fig. 5).
+//
+// Secondary resources host a set of staging "buckets" (dedicated cores, one
+// thread each here). Scheduling is triggered by two events:
+//   * data-ready  — in-situ ranks publish RDMA blocks and submit an
+//                   in-transit task descriptor into the task queue;
+//   * bucket-ready — an idle bucket announces availability and is appended
+//                   to the free-bucket list.
+// The matcher assigns tasks to buckets first-come first-served; the bucket
+// then *pulls* its input data directly from in-situ memory via Dart::get
+// (asynchronous pull-based scheduling). Successive timesteps of the same
+// analysis land on different buckets, pipelining the analyses and
+// decoupling analysis latency from the simulation rate (temporal
+// multiplexing).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "staging/descriptor.hpp"
+#include "staging/object_store.hpp"
+#include "transport/dart.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+class StagingService;
+
+/// Execution context handed to an in-transit handler running on a bucket.
+class TaskContext {
+ public:
+  [[nodiscard]] const InTransitTask& task() const { return task_; }
+  [[nodiscard]] int bucket() const { return bucket_; }
+  [[nodiscard]] Dart& dart() { return dart_; }
+
+  /// Pulls one input block from in-situ memory (one-sided RDMA get);
+  /// movement time/bytes are accumulated into this task's record.
+  std::vector<std::byte> pull(const DataDescriptor& desc);
+  std::vector<double> pull_doubles(const DataDescriptor& desc);
+
+  /// Stores an opaque result blob retrievable via
+  /// StagingService::take_result(task_id).
+  void set_result(std::vector<std::byte> result) {
+    result_ = std::move(result);
+  }
+
+ private:
+  friend class StagingService;
+  TaskContext(StagingService& service, Dart& dart, const InTransitTask& task,
+              int bucket, int dart_node)
+      : service_(service),
+        dart_(dart),
+        task_(task),
+        bucket_(bucket),
+        dart_node_(dart_node) {}
+
+  StagingService& service_;
+  Dart& dart_;
+  const InTransitTask& task_;
+  int bucket_;
+  int dart_node_;  // the bucket's Dart registration
+  double movement_seconds_ = 0.0;
+  size_t movement_bytes_ = 0;
+  std::optional<std::vector<std::byte>> result_;
+};
+
+/// The staging area: object store + task queue + bucket pool.
+class StagingService {
+ public:
+  struct Options {
+    int num_servers = 2;   // DataSpaces metadata servers
+    int num_buckets = 4;   // in-transit cores
+  };
+
+  using Handler = std::function<void(TaskContext&)>;
+
+  StagingService(Dart& dart, Options options);
+  ~StagingService();
+
+  StagingService(const StagingService&) = delete;
+  StagingService& operator=(const StagingService&) = delete;
+
+  /// Registers the in-transit stage of an analysis.
+  void register_handler(const std::string& analysis, Handler handler);
+
+  [[nodiscard]] ObjectStore& store() { return store_; }
+
+  /// In-situ side: publish a block through Dart and insert its descriptor
+  /// into the shared space. Returns the descriptor.
+  DataDescriptor publish(int src_node, const std::string& variable, long step,
+                         const Box3& box, const std::vector<double>& data);
+
+  /// Data-ready: queue an in-transit task. Returns the task id.
+  uint64_t submit(InTransitTask task);
+
+  /// Convenience: build a task from every block of `variables` at `step`
+  /// currently in the store (descriptors are *taken*: removed from the
+  /// store and owned by the task), then submit it.
+  uint64_t submit_for(const std::string& analysis, long step,
+                      const std::vector<std::string>& variables);
+
+  /// Blocks until every submitted task has completed.
+  void drain();
+
+  /// Timing records of completed tasks, in completion order.
+  [[nodiscard]] std::vector<TaskRecord> records() const;
+
+  /// Removes and returns the result blob a handler stored for `task_id`
+  /// (empty optional if the task stored none or isn't finished).
+  std::optional<std::vector<std::byte>> take_result(uint64_t task_id);
+
+  // ---- Instrumentation (Fig. 5 scheduler bench) ----
+  [[nodiscard]] size_t pending_tasks() const;
+  [[nodiscard]] int free_bucket_count() const;
+  [[nodiscard]] int num_buckets() const {
+    return static_cast<int>(buckets_.size());
+  }
+  /// Seconds since service start (the clock used in TaskRecord fields).
+  [[nodiscard]] double now() const { return clock_.seconds(); }
+
+ private:
+  friend class TaskContext;
+
+  struct Bucket {
+    std::thread thread;
+    int dart_node = -1;
+  };
+
+  struct Assigned {
+    InTransitTask task;
+    double enqueue_time = 0.0;
+  };
+
+  void bucket_main(int bucket_index);
+  void execute(int bucket_index, Assigned assigned);
+
+  Dart& dart_;
+  ObjectStore store_;
+  Stopwatch clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // wakes buckets
+  std::condition_variable drain_cv_;  // wakes drain()
+  std::map<std::string, Handler> handlers_;
+  std::deque<Assigned> task_queue_;
+  std::deque<int> free_buckets_;  // bucket-ready order (FCFS)
+  // Per-bucket assignment slot: matcher moves a task here, bucket picks up.
+  std::vector<std::optional<Assigned>> slots_;
+  std::vector<TaskRecord> records_;
+  std::map<uint64_t, std::vector<std::byte>> results_;
+  uint64_t next_task_id_ = 1;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace hia

@@ -1,0 +1,84 @@
+#include "staging/space_view.hpp"
+
+#include "util/error.hpp"
+
+namespace hia {
+
+DataDescriptor SpaceView::put(const std::string& variable, long step,
+                              const Box3& box,
+                              const std::vector<double>& data) {
+  HIA_REQUIRE(static_cast<int64_t>(data.size()) == box.num_cells(),
+              "put: data does not match box");
+  DataDescriptor desc;
+  desc.variable = variable;
+  desc.step = step;
+  desc.box = box;
+  desc.src_node = node_;
+  desc.handle = dart_.put_doubles(node_, data);
+  store_.put(desc);
+  return desc;
+}
+
+std::vector<double> SpaceView::get(const std::string& variable, long step,
+                                   const Box3& box, TransferStats* stats) {
+  HIA_REQUIRE(!box.empty(), "get: empty region");
+  const auto descs = store_.query(variable, step, box);
+
+  std::vector<double> out(static_cast<size_t>(box.num_cells()), 0.0);
+  std::vector<bool> filled(out.size(), false);
+  TransferStats total;
+
+  for (const DataDescriptor& d : descs) {
+    TransferStats one;
+    const auto block = dart_.get_doubles(node_, d.handle, &one);
+    total.bytes += one.bytes;
+    total.modeled_seconds += one.modeled_seconds;
+    const Box3 overlap = box.intersect(d.box);
+    for (int64_t k = overlap.lo[2]; k < overlap.hi[2]; ++k) {
+      for (int64_t j = overlap.lo[1]; j < overlap.hi[1]; ++j) {
+        for (int64_t i = overlap.lo[0]; i < overlap.hi[0]; ++i) {
+          const size_t dst = box.offset(i, j, k);
+          out[dst] = block[d.box.offset(i, j, k)];
+          filled[dst] = true;
+        }
+      }
+    }
+  }
+
+  for (size_t c = 0; c < filled.size(); ++c) {
+    if (!filled[c]) {
+      int64_t i, j, k;
+      box.coords(c, i, j, k);
+      throw Error("get: region not fully covered at (" + std::to_string(i) +
+                  "," + std::to_string(j) + "," + std::to_string(k) +
+                  ") for " + variable + " step " + std::to_string(step));
+    }
+  }
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+bool SpaceView::covered(const std::string& variable, long step,
+                        const Box3& box) const {
+  const auto descs = store_.query(variable, step, box);
+  std::vector<bool> filled(static_cast<size_t>(box.num_cells()), false);
+  for (const DataDescriptor& d : descs) {
+    const Box3 overlap = box.intersect(d.box);
+    for (int64_t k = overlap.lo[2]; k < overlap.hi[2]; ++k)
+      for (int64_t j = overlap.lo[1]; j < overlap.hi[1]; ++j)
+        for (int64_t i = overlap.lo[0]; i < overlap.hi[0]; ++i)
+          filled[box.offset(i, j, k)] = true;
+  }
+  for (const bool f : filled) {
+    if (!f) return false;
+  }
+  return true;
+}
+
+void SpaceView::evict(const std::string& variable, long step) {
+  for (const DataDescriptor& d : store_.take(variable, step)) {
+    dart_.release(d.handle);
+  }
+}
+
+}  // namespace hia

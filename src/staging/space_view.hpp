@@ -1,0 +1,51 @@
+// SpaceView — the geometric shared-space API of DataSpaces (dspaces_put /
+// dspaces_get): clients publish array regions into the versioned space and
+// retrieve *arbitrary* regions, which the view assembles from every
+// overlapping published block ("flexible data querying, filtering, data
+// redistribution", paper §IV).
+//
+// put() registers the block with Dart and inserts its descriptor into the
+// sharded ObjectStore; get() queries the store for overlapping
+// descriptors, pulls each contributing block one-sidedly, and copies out
+// the intersecting sub-regions. get() verifies complete coverage of the
+// requested region and throws otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "staging/object_store.hpp"
+#include "transport/dart.hpp"
+
+namespace hia {
+
+class SpaceView {
+ public:
+  /// `node` is this client's Dart registration.
+  SpaceView(ObjectStore& store, Dart& dart, int node)
+      : store_(store), dart_(dart), node_(node) {}
+
+  /// Publishes `data` (packed x-fastest over `box`) into the space.
+  DataDescriptor put(const std::string& variable, long step, const Box3& box,
+                     const std::vector<double>& data);
+
+  /// Assembles the requested region from all overlapping published blocks.
+  /// Throws hia::Error if any cell of `box` is not covered.
+  /// When `stats` is non-null, accumulated transfer cost is reported.
+  std::vector<double> get(const std::string& variable, long step,
+                          const Box3& box, TransferStats* stats = nullptr);
+
+  /// True if every cell of `box` is covered by published blocks.
+  [[nodiscard]] bool covered(const std::string& variable, long step,
+                             const Box3& box) const;
+
+  /// Removes a step's blocks from the space and releases their regions.
+  void evict(const std::string& variable, long step);
+
+ private:
+  ObjectStore& store_;
+  Dart& dart_;
+  int node_;
+};
+
+}  // namespace hia

@@ -1,0 +1,190 @@
+#include "transport/dart.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace hia {
+
+Dart::Dart(NetworkModel& network, Options options)
+    : network_(network), options_(options) {}
+
+int Dart::register_node(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const int id = next_node_++;
+  nodes_[id] = NodeState{name, true, {}};
+  return id;
+}
+
+void Dart::unregister_node(int node) {
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(node);
+  HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+              "unregister of unknown node");
+  it->second.registered = false;
+}
+
+int Dart::num_registered() const {
+  std::lock_guard lock(mutex_);
+  int count = 0;
+  for (const auto& [id, st] : nodes_) {
+    if (st.registered) ++count;
+  }
+  return count;
+}
+
+std::string Dart::node_name(int node) const {
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(node);
+  HIA_REQUIRE(it != nodes_.end(), "unknown node");
+  return it->second.name;
+}
+
+DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(owner_node);
+  HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+              "put from unregistered node");
+  const uint64_t id = next_handle_++;
+  const size_t bytes = data.size();
+  regions_.emplace(id, Region{owner_node, std::move(data)});
+  return DartHandle{id, bytes, owner_node};
+}
+
+DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data) {
+  std::vector<std::byte> bytes(data.size() * sizeof(double));
+  std::memcpy(bytes.data(), data.data(), bytes.size());
+  return put(owner_node, std::move(bytes));
+}
+
+std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
+                                 TransferStats* stats) {
+  HIA_REQUIRE(handle.valid(), "get with invalid handle");
+
+  std::vector<std::byte> data;
+  int owner = -1;
+  {
+    std::lock_guard lock(mutex_);
+    auto nit = nodes_.find(dest_node);
+    HIA_REQUIRE(nit != nodes_.end() && nit->second.registered,
+                "get from unregistered node");
+    auto rit = regions_.find(handle.id);
+    HIA_REQUIRE(rit != regions_.end(), "get of unknown/released region");
+    data = rit->second.data;  // RDMA read: copy out, region stays published
+    owner = rit->second.owner_node;
+  }
+
+  // Model the wire cost outside the lock so concurrent gets overlap.
+  NetworkModel::FlowGuard flow(network_);
+  const int flows = network_.active_flows();
+  const double seconds = network_.transfer_seconds(data.size(), flows);
+  const TransferPath path = network_.select_path(data.size());
+  if (options_.sleep_transfers) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        seconds * options_.time_scale));
+  }
+
+  if (stats != nullptr) {
+    *stats = TransferStats{path, data.size(), seconds, flows};
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    if (path == TransferPath::kSmsg) {
+      ++counters_.smsg_transfers;
+    } else {
+      ++counters_.bte_transfers;
+    }
+    counters_.bytes_moved += data.size();
+    counters_.modeled_seconds_total += seconds;
+
+    // Completion events at both ends (uGNI semantics). The destination's
+    // event is implicit in the synchronous return; the owner learns its
+    // buffer was consumed.
+    DartEvent ev;
+    ev.type = DartEvent::Type::kGetCompleted;
+    ev.src_node = dest_node;
+    ev.handle_id = handle.id;
+    push_event(owner, std::move(ev));
+  }
+  event_cv_.notify_all();
+  return data;
+}
+
+std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
+                                      TransferStats* stats) {
+  auto bytes = get(dest_node, handle, stats);
+  HIA_REQUIRE(bytes.size() % sizeof(double) == 0,
+              "region is not a whole number of doubles");
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+void Dart::release(const DartHandle& handle) {
+  std::lock_guard lock(mutex_);
+  auto it = regions_.find(handle.id);
+  HIA_REQUIRE(it != regions_.end(), "release of unknown region");
+  regions_.erase(it);
+}
+
+size_t Dart::num_published() const {
+  std::lock_guard lock(mutex_);
+  return regions_.size();
+}
+
+size_t Dart::published_bytes() const {
+  std::lock_guard lock(mutex_);
+  size_t total = 0;
+  for (const auto& [id, region] : regions_) total += region.data.size();
+  return total;
+}
+
+void Dart::push_event(int node, DartEvent event) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || !it->second.registered) return;  // best effort
+  it->second.events.push_back(std::move(event));
+}
+
+void Dart::notify(int dest_node, DartEvent event) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = nodes_.find(dest_node);
+    HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+                "notify of unregistered node");
+    it->second.events.push_back(std::move(event));
+  }
+  event_cv_.notify_all();
+}
+
+std::optional<DartEvent> Dart::poll(int node) {
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(node);
+  HIA_REQUIRE(it != nodes_.end(), "poll of unknown node");
+  if (it->second.events.empty()) return std::nullopt;
+  DartEvent ev = std::move(it->second.events.front());
+  it->second.events.pop_front();
+  return ev;
+}
+
+DartEvent Dart::wait_event(int node) {
+  std::unique_lock lock(mutex_);
+  auto it = nodes_.find(node);
+  HIA_REQUIRE(it != nodes_.end(), "wait_event of unknown node");
+  event_cv_.wait(lock, [&] { return !it->second.events.empty(); });
+  DartEvent ev = std::move(it->second.events.front());
+  it->second.events.pop_front();
+  return ev;
+}
+
+DartCounters Dart::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+void Dart::reset_counters() {
+  std::lock_guard lock(mutex_);
+  counters_ = DartCounters{};
+}
+
+}  // namespace hia

@@ -1,0 +1,160 @@
+// Dart — asynchronous data transport substrate modeled on DART [50], the
+// RDMA one-sided communication layer the paper's staging framework builds
+// on (ported to Gemini/uGNI in the paper, §IV).
+//
+// Services provided, mirroring the paper's list: node registration and
+// unregistration, one-sided data transfer (put to expose, get to pull),
+// small-message passing, and event notification/processing. Transfers pick
+// the SMSG (FMA) path for small payloads and the BTE RDMA path for bulk
+// data; completion raises an event at both the source and the destination.
+//
+// In the virtual cluster, "RDMA memory" is a registry of published buffers;
+// a get() copies out of the registry and charges the modeled Gemini
+// transfer time (optionally sleeping for it, so that pipelining and
+// congestion behaviour are observable in real time).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/network_model.hpp"
+#include "util/error.hpp"
+
+namespace hia {
+
+/// Handle to a published (RDMA-registered) buffer.
+struct DartHandle {
+  uint64_t id = 0;
+  size_t bytes = 0;
+  int owner_node = -1;
+
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Outcome of a one-sided transfer.
+struct TransferStats {
+  TransferPath path = TransferPath::kSmsg;
+  size_t bytes = 0;
+  double modeled_seconds = 0.0;
+  int concurrent_flows = 1;
+};
+
+/// Small control-plane notification delivered to a node's event queue.
+struct DartEvent {
+  enum class Type {
+    kUser,             // application-defined notification
+    kGetCompleted,     // raised at the buffer owner when a get() finishes
+    kPutCompleted,     // raised at the destination after publishing
+  };
+  Type type = Type::kUser;
+  int src_node = -1;
+  uint64_t handle_id = 0;
+  std::vector<std::byte> payload;  // small control messages only
+};
+
+/// Aggregate transport counters (thread-safe snapshot).
+struct DartCounters {
+  size_t smsg_transfers = 0;
+  size_t bte_transfers = 0;
+  size_t bytes_moved = 0;
+  double modeled_seconds_total = 0.0;
+};
+
+/// The transport instance shared by all nodes of the virtual cluster.
+/// All methods are thread-safe.
+class Dart {
+ public:
+  struct Options {
+    /// When true, get() sleeps for modeled_seconds * time_scale so that
+    /// asynchronous pipelining shows up in wall-clock measurements.
+    bool sleep_transfers = false;
+    double time_scale = 1.0;
+  };
+
+  explicit Dart(NetworkModel& network) : Dart(network, Options{}) {}
+  Dart(NetworkModel& network, Options options);
+
+  // ---- Node registration ----
+
+  /// Registers a participant; returns its node id.
+  int register_node(const std::string& name);
+  void unregister_node(int node);
+  [[nodiscard]] int num_registered() const;
+  [[nodiscard]] std::string node_name(int node) const;
+
+  // ---- One-sided data movement ----
+
+  /// Publishes `data` as an RDMA-readable region owned by `owner_node`.
+  /// Cheap: the data stays in the owner's memory (no transfer yet).
+  DartHandle put(int owner_node, std::vector<std::byte> data);
+
+  /// Typed convenience: publishes a vector of doubles.
+  DartHandle put_doubles(int owner_node, const std::vector<double>& data);
+
+  /// One-sided pull of a published region into `dest_node`'s memory.
+  /// Charges the modeled network cost and raises kGetCompleted at the
+  /// owner. The region stays published until release().
+  std::vector<std::byte> get(int dest_node, const DartHandle& handle,
+                             TransferStats* stats = nullptr);
+
+  std::vector<double> get_doubles(int dest_node, const DartHandle& handle,
+                                  TransferStats* stats = nullptr);
+
+  /// Frees a published region.
+  void release(const DartHandle& handle);
+
+  /// Number of currently published regions (for leak checks).
+  [[nodiscard]] size_t num_published() const;
+  /// Total bytes currently held in published regions.
+  [[nodiscard]] size_t published_bytes() const;
+
+  // ---- Messaging / events ----
+
+  /// Queues a user event on `dest_node`'s event queue.
+  void notify(int dest_node, DartEvent event);
+
+  /// Non-blocking poll of a node's event queue.
+  std::optional<DartEvent> poll(int node);
+
+  /// Blocking wait for the next event on a node's queue.
+  DartEvent wait_event(int node);
+
+  [[nodiscard]] DartCounters counters() const;
+  void reset_counters();
+
+  [[nodiscard]] NetworkModel& network() { return network_; }
+
+ private:
+  struct Region {
+    int owner_node;
+    std::vector<std::byte> data;
+  };
+
+  struct NodeState {
+    std::string name;
+    bool registered = false;
+    std::deque<DartEvent> events;
+  };
+
+  void push_event(int node, DartEvent event);  // requires mutex_ held
+
+  NetworkModel& network_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable event_cv_;
+  std::map<int, NodeState> nodes_;
+  std::map<uint64_t, Region> regions_;
+  int next_node_ = 0;
+  uint64_t next_handle_ = 1;
+  DartCounters counters_;
+};
+
+}  // namespace hia

@@ -1,0 +1,49 @@
+// Error-handling primitives shared across all HIA libraries.
+//
+// HIA_REQUIRE  — precondition on public API boundaries; throws hia::Error.
+// HIA_ASSERT   — internal invariant; aborts in all build types because a
+//                violated invariant means the process state is unreliable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hia {
+
+/// Exception type thrown by all HIA precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::string full = std::string("HIA_REQUIRE failed: (") + expr + ") at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += ": " + msg;
+  throw Error(full);
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line) {
+  std::fprintf(stderr, "HIA_ASSERT failed: (%s) at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace hia
+
+#define HIA_REQUIRE(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::hia::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define HIA_ASSERT(expr)                                          \
+  do {                                                            \
+    if (!(expr))                                                  \
+      ::hia::detail::assert_failed(#expr, __FILE__, __LINE__);    \
+  } while (false)

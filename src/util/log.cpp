@@ -1,0 +1,69 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace hia::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_sink_mutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_sink_mutex
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+void set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO";
+    case Level::kWarn:  return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void vemit(Level lvl, const char* component, const char* fmt,
+           std::va_list args) {
+  if (static_cast<int>(lvl) < g_level.load()) return;
+
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed < 0) return;
+
+  std::string body(static_cast<size_t>(needed) + 1, '\0');
+  std::vsnprintf(body.data(), body.size(), fmt, args);
+  body.resize(static_cast<size_t>(needed));
+
+  std::string line = std::string("[") + level_name(lvl) + "][" + component +
+                     "] " + body;
+
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void emit(Level lvl, const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vemit(lvl, component, fmt, args);
+  va_end(args);
+}
+
+}  // namespace hia::log

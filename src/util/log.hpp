@@ -1,0 +1,50 @@
+// Minimal thread-safe leveled logger.
+//
+// Usage:
+//   hia::log::set_level(hia::log::Level::kInfo);
+//   HIA_LOG_INFO("staging", "assigned task %d to bucket %d", t, b);
+//
+// The logger writes to stderr; tests can redirect via set_sink().
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace hia::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Redirects log output (default: stderr). Pass nullptr to restore stderr.
+/// The sink receives fully formatted lines without a trailing newline.
+void set_sink(std::function<void(const std::string&)> sink);
+
+/// Core emit function; prefer the HIA_LOG_* macros.
+void vemit(Level level, const char* component, const char* fmt, std::va_list);
+void emit(Level level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+const char* level_name(Level level);
+
+}  // namespace hia::log
+
+#define HIA_LOG_AT(lvl, component, ...)                      \
+  do {                                                       \
+    if (static_cast<int>(lvl) >= static_cast<int>(::hia::log::level())) \
+      ::hia::log::emit((lvl), (component), __VA_ARGS__);     \
+  } while (false)
+
+#define HIA_LOG_TRACE(component, ...) \
+  HIA_LOG_AT(::hia::log::Level::kTrace, component, __VA_ARGS__)
+#define HIA_LOG_DEBUG(component, ...) \
+  HIA_LOG_AT(::hia::log::Level::kDebug, component, __VA_ARGS__)
+#define HIA_LOG_INFO(component, ...) \
+  HIA_LOG_AT(::hia::log::Level::kInfo, component, __VA_ARGS__)
+#define HIA_LOG_WARN(component, ...) \
+  HIA_LOG_AT(::hia::log::Level::kWarn, component, __VA_ARGS__)
+#define HIA_LOG_ERROR(component, ...) \
+  HIA_LOG_AT(::hia::log::Level::kError, component, __VA_ARGS__)

@@ -1,0 +1,49 @@
+// Morton (Z-order) encoding used to shard staging objects across servers
+// while preserving spatial locality, and as a cache-friendly traversal order.
+#pragma once
+
+#include <cstdint>
+
+namespace hia {
+
+namespace detail {
+// Spreads the low 21 bits of v so there are two zero bits between each bit.
+constexpr uint64_t part1by2(uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+constexpr uint64_t compact1by2(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+}  // namespace detail
+
+/// Interleaves (x, y, z), each limited to 21 bits, into a 63-bit Morton code.
+constexpr uint64_t morton_encode(uint32_t x, uint32_t y, uint32_t z) {
+  return detail::part1by2(x) | (detail::part1by2(y) << 1) |
+         (detail::part1by2(z) << 2);
+}
+
+struct MortonPoint {
+  uint32_t x, y, z;
+};
+
+/// Inverse of morton_encode.
+constexpr MortonPoint morton_decode(uint64_t code) {
+  return {static_cast<uint32_t>(detail::compact1by2(code)),
+          static_cast<uint32_t>(detail::compact1by2(code >> 1)),
+          static_cast<uint32_t>(detail::compact1by2(code >> 2))};
+}
+
+}  // namespace hia

@@ -1,0 +1,89 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Simulations and workload generators need per-rank independent streams that
+// are reproducible across thread schedules; SplitMix64 seeds independent
+// xoshiro256** streams keyed by (seed, rank).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace hia {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality generator for bulk field synthesis.
+class Xoshiro256 {
+ public:
+  /// Derives an independent stream for (seed, stream_id) pairs.
+  explicit Xoshiro256(uint64_t seed, uint64_t stream_id = 0) {
+    SplitMix64 sm(seed ^ (stream_id * 0x9e3779b97f4a7c15ULL + 1));
+    for (auto& s : s_) s = sm.next();
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace hia

@@ -1,0 +1,58 @@
+// Wall-clock stopwatch used by every timing measurement in the framework.
+#pragma once
+
+#include <chrono>
+
+namespace hia {
+
+/// High-resolution wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before restart.
+  double restart() {
+    const auto now = Clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return seconds_between(start_, Clock::now());
+  }
+
+ private:
+  static double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations; cheap enough to keep per-rank.
+class TimeAccumulator {
+ public:
+  void add(double seconds) {
+    total_ += seconds;
+    ++count_;
+    if (seconds > max_) max_ = seconds;
+  }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] long count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  void reset() { total_ = 0.0; max_ = 0.0; count_ = 0; }
+
+ private:
+  double total_ = 0.0;
+  double max_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace hia

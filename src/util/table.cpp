@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hia {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HIA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HIA_REQUIRE(cells.size() <= header_.size(),
+              "row has more cells than header columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(width[c] + 2, '-') + "|";
+  }
+  rule += "\n";
+
+  std::string out = render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fmt_fixed(bytes, 2) + " " + units[u];
+}
+
+std::string fmt_percent(double v, double total) {
+  if (total == 0.0) return "n/a";
+  return fmt_fixed(100.0 * v / total, 2) + "%";
+}
+
+}  // namespace hia

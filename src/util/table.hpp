@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark output: the benches print rows in the
+// same layout as the paper's Tables I and II, so results can be compared
+// side by side with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hia {
+
+/// Column-aligned ASCII table. Rows may have fewer cells than the header;
+/// missing cells render empty.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (e.g. fmt_fixed(1.2345, 2) == "1.23").
+std::string fmt_fixed(double v, int precision);
+
+/// Human-readable byte count: "87.02 MB", "1.5 GB".
+std::string fmt_bytes(double bytes);
+
+/// Formats v as a percentage of total with two decimals: "4.33%".
+std::string fmt_percent(double v, double total);
+
+}  // namespace hia

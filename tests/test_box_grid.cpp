@@ -1,0 +1,156 @@
+// Tests for Box3, GlobalGrid, and the block decomposition (including
+// property sweeps over rank layouts: blocks must tile the grid exactly).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "sim/grid.hpp"
+
+namespace hia {
+namespace {
+
+TEST(Box3, ExtentAndCells) {
+  const Box3 b{{1, 2, 3}, {4, 6, 9}};
+  EXPECT_EQ(b.extent(0), 3);
+  EXPECT_EQ(b.extent(1), 4);
+  EXPECT_EQ(b.extent(2), 6);
+  EXPECT_EQ(b.num_cells(), 72);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE((Box3{{0, 0, 0}, {0, 5, 5}}).empty());
+}
+
+TEST(Box3, Contains) {
+  const Box3 b{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(b.contains(0, 0, 0));
+  EXPECT_TRUE(b.contains(1, 1, 1));
+  EXPECT_FALSE(b.contains(2, 0, 0));
+  EXPECT_FALSE(b.contains(-1, 0, 0));
+  EXPECT_TRUE(b.contains(Box3{{0, 0, 0}, {1, 2, 2}}));
+  EXPECT_FALSE(b.contains(Box3{{0, 0, 0}, {3, 2, 2}}));
+}
+
+TEST(Box3, IntersectAndOverlap) {
+  const Box3 a{{0, 0, 0}, {4, 4, 4}};
+  const Box3 b{{2, 2, 2}, {6, 6, 6}};
+  const Box3 i = a.intersect(b);
+  EXPECT_EQ(i, (Box3{{2, 2, 2}, {4, 4, 4}}));
+  EXPECT_TRUE(a.overlaps(b));
+  const Box3 c{{4, 0, 0}, {5, 4, 4}};
+  EXPECT_FALSE(a.overlaps(c));  // half-open: touching is not overlapping
+}
+
+TEST(Box3, GrownClampsToBounds) {
+  const Box3 bounds{{0, 0, 0}, {10, 10, 10}};
+  const Box3 b{{0, 4, 8}, {2, 6, 10}};
+  const Box3 g = b.grown(2, bounds);
+  EXPECT_EQ(g, (Box3{{0, 2, 6}, {4, 8, 10}}));
+}
+
+TEST(Box3, OffsetCoordsRoundTrip) {
+  const Box3 b{{3, -2, 5}, {7, 1, 9}};
+  std::set<size_t> seen;
+  for (int64_t k = b.lo[2]; k < b.hi[2]; ++k) {
+    for (int64_t j = b.lo[1]; j < b.hi[1]; ++j) {
+      for (int64_t i = b.lo[0]; i < b.hi[0]; ++i) {
+        const size_t off = b.offset(i, j, k);
+        seen.insert(off);
+        int64_t ri, rj, rk;
+        b.coords(off, ri, rj, rk);
+        EXPECT_EQ(ri, i);
+        EXPECT_EQ(rj, j);
+        EXPECT_EQ(rk, k);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(b.num_cells()));
+  EXPECT_EQ(*seen.rbegin(), static_cast<size_t>(b.num_cells()) - 1);
+}
+
+TEST(GlobalGrid, SpacingAndCoords) {
+  GlobalGrid g{{10, 20, 40}, {1.0, 2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(g.spacing(0), 0.1);
+  EXPECT_DOUBLE_EQ(g.spacing(1), 0.1);
+  EXPECT_DOUBLE_EQ(g.spacing(2), 0.1);
+  EXPECT_DOUBLE_EQ(g.coord(0, 0), 0.05);
+  EXPECT_DOUBLE_EQ(g.coord(0, 9), 0.95);
+  EXPECT_EQ(g.num_points(), 8000);
+}
+
+struct DecompCase {
+  std::array<int64_t, 3> dims;
+  std::array<int, 3> ranks;
+};
+
+class DecompositionProperty : public ::testing::TestWithParam<DecompCase> {};
+
+TEST_P(DecompositionProperty, BlocksTileGridExactly) {
+  const auto&[dims, ranks] = GetParam();
+  GlobalGrid grid{dims, {1.0, 1.0, 1.0}};
+  Decomposition d(grid, ranks);
+
+  int64_t total = 0;
+  for (int r = 0; r < d.num_ranks(); ++r) {
+    const Box3 b = d.block(r);
+    EXPECT_FALSE(b.empty());
+    total += b.num_cells();
+    // No block overlaps any other block.
+    for (int s = r + 1; s < d.num_ranks(); ++s) {
+      EXPECT_FALSE(b.overlaps(d.block(s)));
+    }
+  }
+  EXPECT_EQ(total, grid.num_points());
+}
+
+TEST_P(DecompositionProperty, OwnerMatchesBlocks) {
+  const auto&[dims, ranks] = GetParam();
+  GlobalGrid grid{dims, {1.0, 1.0, 1.0}};
+  Decomposition d(grid, ranks);
+  // Sample a lattice of points; the owner's block must contain each.
+  for (int64_t i = 0; i < dims[0]; i += std::max<int64_t>(1, dims[0] / 7)) {
+    for (int64_t j = 0; j < dims[1]; j += std::max<int64_t>(1, dims[1] / 7)) {
+      for (int64_t k = 0; k < dims[2];
+           k += std::max<int64_t>(1, dims[2] / 7)) {
+        const int owner = d.owner(i, j, k);
+        ASSERT_GE(owner, 0);
+        EXPECT_TRUE(d.block(owner).contains(i, j, k));
+      }
+    }
+  }
+}
+
+TEST_P(DecompositionProperty, RankCoordsRoundTrip) {
+  const auto&[dims, ranks] = GetParam();
+  GlobalGrid grid{dims, {1.0, 1.0, 1.0}};
+  Decomposition d(grid, ranks);
+  for (int r = 0; r < d.num_ranks(); ++r) {
+    EXPECT_EQ(d.rank_at(d.rank_coords(r)), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, DecompositionProperty,
+    ::testing::Values(DecompCase{{8, 8, 8}, {1, 1, 1}},
+                      DecompCase{{8, 8, 8}, {2, 2, 2}},
+                      DecompCase{{10, 9, 7}, {3, 2, 2}},   // remainders
+                      DecompCase{{16, 4, 4}, {4, 1, 1}},
+                      DecompCase{{5, 5, 5}, {5, 5, 5}},    // one point each
+                      DecompCase{{32, 28, 10}, {4, 4, 2}}));
+
+TEST(Decomposition, NeighborsAreAdjacent) {
+  GlobalGrid grid{{12, 12, 12}, {1.0, 1.0, 1.0}};
+  Decomposition d(grid, {3, 2, 2});
+  const int r = d.rank_at({1, 0, 1});
+  EXPECT_EQ(d.neighbor(r, -1, 0, 0), d.rank_at({0, 0, 1}));
+  EXPECT_EQ(d.neighbor(r, 1, 1, 0), d.rank_at({2, 1, 1}));
+  EXPECT_EQ(d.neighbor(r, 0, -1, 0), -1);  // domain boundary
+  EXPECT_EQ(d.neighbor(r, 0, 0, 1), -1);
+}
+
+TEST(Decomposition, RejectsOverDecomposition) {
+  GlobalGrid grid{{4, 4, 4}, {1.0, 1.0, 1.0}};
+  EXPECT_THROW(Decomposition(grid, {5, 1, 1}), Error);
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,203 @@
+// Tests for parallel contingency statistics (ref [22]) and merge-tree-
+// based segmentation, including the cross-validation property: the
+// segmentation read off the augmented merge tree must equal the voxel
+// union-find segmentation at every threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats/contingency.hpp"
+#include "analysis/topology/local_tree.hpp"
+#include "analysis/topology/segmentation.hpp"
+#include "sim/analytic_fields.hpp"
+#include "util/rng.hpp"
+
+namespace hia {
+namespace {
+
+TEST(Categorizer, BinsAndClamps) {
+  Categorizer c(0.0, 10.0, 5);
+  EXPECT_EQ(c.category(-1.0), 0);
+  EXPECT_EQ(c.category(0.0), 0);
+  EXPECT_EQ(c.category(1.9), 0);
+  EXPECT_EQ(c.category(2.0), 1);
+  EXPECT_EQ(c.category(9.99), 4);
+  EXPECT_EQ(c.category(10.0), 4);
+  EXPECT_EQ(c.category(99.0), 4);
+}
+
+TEST(ContingencyTable, CountsAndMarginals) {
+  ContingencyTable t(3, 2);
+  t.update(0, 0);
+  t.update(0, 0);
+  t.update(1, 1);
+  t.update(2, 0);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_EQ(t.count(0, 0), 2u);
+  EXPECT_EQ(t.count(1, 1), 1u);
+  EXPECT_EQ(t.count(2, 1), 0u);
+  EXPECT_EQ(t.nonzero_cells(), 3u);
+  EXPECT_EQ(t.x_marginal(), (std::vector<uint64_t>{2, 1, 1}));
+  EXPECT_EQ(t.y_marginal(), (std::vector<uint64_t>{3, 1}));
+  EXPECT_THROW(t.update(3, 0), Error);
+}
+
+class ContingencyCombine : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContingencyCombine, CombineEqualsSequential) {
+  const int parts = GetParam();
+  Xoshiro256 rng(19);
+  Categorizer cx(-3.0, 3.0, 8), cy(-3.0, 3.0, 6);
+
+  std::vector<double> x(3000), y(3000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.normal();  // correlated pair
+  }
+
+  ContingencyTable whole(8, 6);
+  whole.update(x, y, cx, cy);
+
+  ContingencyTable combined(8, 6);
+  const size_t chunk = x.size() / static_cast<size_t>(parts);
+  for (int p = 0; p < parts; ++p) {
+    const size_t b = static_cast<size_t>(p) * chunk;
+    const size_t e = p + 1 == parts ? x.size() : b + chunk;
+    ContingencyTable part(8, 6);
+    part.update(std::span(x.data() + b, e - b), std::span(y.data() + b, e - b),
+                cx, cy);
+    combined.combine(part);
+  }
+
+  EXPECT_EQ(combined.total(), whole.total());
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      EXPECT_EQ(combined.count(a, b), whole.count(a, b));
+    }
+  }
+  const auto ma = derive_contingency(whole);
+  const auto mb = derive_contingency(combined);
+  EXPECT_DOUBLE_EQ(ma.chi_squared, mb.chi_squared);
+  EXPECT_DOUBLE_EQ(ma.mutual_information, mb.mutual_information);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, ContingencyCombine,
+                         ::testing::Values(2, 3, 7, 16));
+
+TEST(ContingencyTable, SerializeRoundTrip) {
+  ContingencyTable t(4, 4);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    t.update(static_cast<int>(rng.below(4)), static_cast<int>(rng.below(4)));
+  }
+  const ContingencyTable r = ContingencyTable::deserialize(t.serialize());
+  EXPECT_EQ(r.total(), t.total());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) EXPECT_EQ(r.count(a, b), t.count(a, b));
+  }
+}
+
+TEST(DeriveContingency, IndependentVariables) {
+  // Independent uniform categories: chi2 small, MI ~ 0, V ~ 0.
+  Xoshiro256 rng(23);
+  ContingencyTable t(4, 4);
+  for (int i = 0; i < 100000; ++i) {
+    t.update(static_cast<int>(rng.below(4)), static_cast<int>(rng.below(4)));
+  }
+  const auto m = derive_contingency(t);
+  EXPECT_LT(m.cramers_v, 0.03);
+  EXPECT_LT(m.mutual_information, 0.002);
+  // chi2 for 9 dof should be O(10), not O(1000).
+  EXPECT_LT(m.chi_squared, 60.0);
+}
+
+TEST(DeriveContingency, PerfectlyDependentVariables) {
+  ContingencyTable t(4, 4);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const int c = static_cast<int>(rng.below(4));
+    t.update(c, c);  // y determined by x
+  }
+  const auto m = derive_contingency(t);
+  EXPECT_NEAR(m.cramers_v, 1.0, 1e-9);
+  // MI of uniform 4-category identity = log(4).
+  EXPECT_NEAR(m.mutual_information, std::log(4.0), 0.02);
+}
+
+TEST(DeriveContingency, EmptyTable) {
+  const auto m = derive_contingency(ContingencyTable(3, 3));
+  EXPECT_EQ(m.total, 0u);
+  EXPECT_DOUBLE_EQ(m.chi_squared, 0.0);
+  EXPECT_DOUBLE_EQ(m.cramers_v, 0.0);
+}
+
+// --------------------------------------------- merge-tree segmentation --
+
+class TreeSegmentationProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TreeSegmentationProperty, MatchesVoxelSegmentation) {
+  const double threshold = GetParam();
+  GlobalGrid grid{{20, 16, 12}, {1, 1, 1}};
+  Field field("f", grid.bounds());
+  fill_gaussian_mixture(field, grid,
+                        GaussianMixture::well_separated(6, 0.07, 13));
+  const auto values = field.pack_owned();
+
+  const MergeTree augmented =
+      build_local_tree(grid, grid.bounds(), values);
+  const TreeSegmentation tree_seg = segment_tree(augmented, threshold);
+  const Segmentation voxel_seg =
+      segment_superlevel(grid.bounds(), values, threshold);
+
+  // Same number of features, same sizes.
+  ASSERT_EQ(tree_seg.features.size(), voxel_seg.features.size());
+
+  // Same membership: every in-set voxel gets the same canonical feature
+  // (tree labels are max vertex-ids; voxel labels map to max offset which
+  // equals the vertex id on a whole-domain box).
+  size_t labeled = 0;
+  const Box3 box = grid.bounds();
+  for (size_t off = 0; off < voxel_seg.labels.size(); ++off) {
+    const int32_t vl = voxel_seg.labels[off];
+    auto it = tree_seg.label_of.find(static_cast<uint64_t>(off));
+    if (vl < 0) {
+      EXPECT_EQ(it, tree_seg.label_of.end());
+      continue;
+    }
+    ++labeled;
+    ASSERT_NE(it, tree_seg.label_of.end()) << "offset " << off;
+    EXPECT_EQ(it->second,
+              voxel_seg.features[static_cast<size_t>(vl)].max_id);
+  }
+  EXPECT_EQ(labeled, tree_seg.label_of.size());
+  (void)box;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TreeSegmentationProperty,
+                         ::testing::Values(0.15, 0.3, 0.5, 0.8, 1.2));
+
+TEST(TreeSegmentation, EmptyAboveRange) {
+  GlobalGrid grid{{8, 8, 8}, {1, 1, 1}};
+  Field field("f", grid.bounds());
+  fill_ramp_x(field, grid);
+  const MergeTree t =
+      build_local_tree(grid, grid.bounds(), field.pack_owned());
+  const auto seg = segment_tree(t, 100.0);
+  EXPECT_TRUE(seg.features.empty());
+  EXPECT_TRUE(seg.label_of.empty());
+}
+
+TEST(TreeSegmentation, WholeDomainOneFeature) {
+  GlobalGrid grid{{8, 8, 8}, {1, 1, 1}};
+  Field field("f", grid.bounds());
+  fill_ramp_x(field, grid);
+  const MergeTree t =
+      build_local_tree(grid, grid.bounds(), field.pack_owned());
+  const auto seg = segment_tree(t, -1.0);
+  ASSERT_EQ(seg.features.size(), 1u);
+  EXPECT_EQ(seg.features[0].second,
+            static_cast<int64_t>(grid.num_points()));
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,168 @@
+// Tests for the in-situ local merge-tree builder: known topologies on
+// analytic fields, augmentation invariants, subtree extraction, and
+// serialization.
+#include <gtest/gtest.h>
+
+#include "analysis/topology/local_tree.hpp"
+#include "sim/analytic_fields.hpp"
+
+namespace hia {
+namespace {
+
+std::vector<double> field_values(const GlobalGrid& grid, const Box3& box,
+                                 const std::function<double(const Vec3&)>& f) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(box.num_cells()));
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k)
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j)
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i)
+        out.push_back(
+            f(Vec3{grid.coord(0, i), grid.coord(1, j), grid.coord(2, k)}));
+  return out;
+}
+
+TEST(LocalTree, RampHasSingleLeafChain) {
+  GlobalGrid grid{{8, 4, 4}, {1.0, 0.5, 0.5}};
+  const Box3 box = grid.bounds();
+  const auto values =
+      field_values(grid, box, [](const Vec3& x) { return x.x; });
+  const MergeTree t = build_local_tree(grid, box, values);
+
+  EXPECT_EQ(t.size(), static_cast<size_t>(box.num_cells()));
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.roots().size(), 1u);
+  // Monotone field + id tie-breaking: exactly one maximum.
+  EXPECT_EQ(t.reduced().leaves().size(), 1u);
+}
+
+TEST(LocalTree, TwoBumpsGiveTwoLeavesAndOneSaddle) {
+  GlobalGrid grid{{24, 12, 12}, {1.0, 0.5, 0.5}};
+  GaussianMixture mix({{Vec3{0.25, 0.25, 0.25}, 0.05, 1.0},
+                       {Vec3{0.75, 0.25, 0.25}, 0.05, 0.8}});
+  const Box3 box = grid.bounds();
+  const auto values = field_values(
+      grid, box, [&](const Vec3& x) { return mix.value(x); });
+  const MergeTree reduced = build_local_tree(grid, box, values).reduced();
+
+  EXPECT_TRUE(reduced.validate().empty());
+  EXPECT_EQ(reduced.leaves().size(), 2u);
+  // Leaves + 1 saddle + 1 root = 4 critical nodes.
+  EXPECT_EQ(reduced.size(), 4u);
+
+  // The discrete maxima undershoot the analytic peaks (grid sampling), but
+  // the taller bump must dominate and both peaks must be prominent.
+  const auto pairs = persistence_pairs(reduced);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_GT(pairs[0].max_value, pairs[1].max_value);
+  EXPECT_GT(pairs[0].max_value, 0.5);
+  EXPECT_GT(pairs[1].max_value, 0.4);
+  EXPECT_NEAR(pairs[0].max_value / pairs[1].max_value, 1.0 / 0.8, 0.1);
+}
+
+class LeafCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafCountProperty, WellSeparatedBumpsYieldExactLeafCount) {
+  const int bumps = GetParam();
+  GlobalGrid grid{{32, 32, 32}, {1.0, 1.0, 1.0}};
+  const auto mix = GaussianMixture::well_separated(bumps, 0.04, 23);
+  const Box3 box = grid.bounds();
+  const auto values = field_values(
+      grid, box, [&](const Vec3& x) { return mix.value(x); });
+  const MergeTree reduced = build_local_tree(grid, box, values).reduced();
+  EXPECT_EQ(reduced.leaves().size(), static_cast<size_t>(bumps));
+  EXPECT_TRUE(reduced.validate().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(BumpCounts, LeafCountProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 12));
+
+TEST(LocalTree, ConstantFieldIsSingleComponent) {
+  GlobalGrid grid{{6, 6, 6}, {1.0, 1.0, 1.0}};
+  const Box3 box = grid.bounds();
+  std::vector<double> values(static_cast<size_t>(box.num_cells()), 1.0);
+  const MergeTree t = build_local_tree(grid, box, values);
+  // Ties broken by id: still a valid tree with a single root and one leaf.
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.roots().size(), 1u);
+  EXPECT_EQ(t.reduced().leaves().size(), 1u);
+}
+
+TEST(LocalTree, SubBoxUsesGlobalIds) {
+  GlobalGrid grid{{16, 8, 8}, {1.0, 0.5, 0.5}};
+  const Box3 box{{4, 2, 2}, {10, 6, 6}};
+  const auto values =
+      field_values(grid, box, [](const Vec3& x) { return x.x + x.y; });
+  const MergeTree t = build_local_tree(grid, box, values);
+  ASSERT_EQ(t.size(), static_cast<size_t>(box.num_cells()));
+  // All ids must decode to coordinates inside the box.
+  for (const auto& n : t.nodes()) {
+    const int64_t i = static_cast<int64_t>(n.id) % grid.dims[0];
+    const int64_t j =
+        (static_cast<int64_t>(n.id) / grid.dims[0]) % grid.dims[1];
+    const int64_t k =
+        static_cast<int64_t>(n.id) / (grid.dims[0] * grid.dims[1]);
+    EXPECT_TRUE(box.contains(i, j, k));
+  }
+}
+
+TEST(ExtendedBlock, GrowsPositiveDirectionsOnly) {
+  GlobalGrid grid{{10, 10, 10}, {1.0, 1.0, 1.0}};
+  const Box3 interior{{2, 2, 2}, {5, 5, 5}};
+  EXPECT_EQ(extended_block(grid, interior), (Box3{{2, 2, 2}, {6, 6, 6}}));
+  const Box3 at_edge{{5, 5, 5}, {10, 10, 10}};
+  EXPECT_EQ(extended_block(grid, at_edge), at_edge);  // clamped
+}
+
+TEST(ExtractSubtree, RetainsCriticalsAndBoundary) {
+  GlobalGrid grid{{16, 16, 16}, {1.0, 1.0, 1.0}};
+  const Box3 box{{0, 0, 0}, {9, 16, 16}};  // right face interior-shared
+  const auto mix = GaussianMixture::well_separated(4, 0.05, 3);
+  const auto values = field_values(
+      grid, box, [&](const Vec3& x) { return mix.value(x); });
+  const MergeTree local = build_local_tree(grid, box, values);
+  const SubtreeData sub = extract_subtree(grid, box, local);
+
+  // Much smaller than the full augmented tree…
+  EXPECT_LT(sub.num_vertices(), static_cast<size_t>(box.num_cells()) / 2);
+  // …but at least the shared face (i = 8) must be present in full.
+  const size_t face = 16 * 16;
+  EXPECT_GE(sub.num_vertices(), face);
+  // Every vertex on the shared face is retained.
+  size_t on_face = 0;
+  for (const uint64_t id : sub.vertex_ids) {
+    if (static_cast<int64_t>(id) % grid.dims[0] == 8) ++on_face;
+  }
+  EXPECT_EQ(on_face, face);
+
+  // Edges orient child strictly above parent.
+  for (size_t e = 0; e < sub.num_edges(); ++e) {
+    const auto c = sub.edge_child[e];
+    const auto p = sub.edge_parent[e];
+    EXPECT_TRUE(above(sub.vertex_values[c], sub.vertex_ids[c],
+                      sub.vertex_values[p], sub.vertex_ids[p]));
+  }
+}
+
+TEST(SubtreeData, SerializeRoundTrip) {
+  SubtreeData s;
+  s.vertex_ids = {10, 20, 30};
+  s.vertex_values = {3.0, 2.0, 1.0};
+  s.edge_child = {0, 1};
+  s.edge_parent = {1, 2};
+  const auto flat = s.serialize();
+  const SubtreeData r = SubtreeData::deserialize(flat);
+  EXPECT_EQ(r.vertex_ids, s.vertex_ids);
+  EXPECT_EQ(r.vertex_values, s.vertex_values);
+  EXPECT_EQ(r.edge_child, s.edge_child);
+  EXPECT_EQ(r.edge_parent, s.edge_parent);
+  EXPECT_GT(s.byte_size(), 0u);
+}
+
+TEST(SubtreeData, DeserializeRejectsMalformed) {
+  EXPECT_THROW(SubtreeData::deserialize(std::vector<double>{5.0}), Error);
+  EXPECT_THROW(SubtreeData::deserialize(std::vector<double>{1.0, 1.0, 2.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace hia

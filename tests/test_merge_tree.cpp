@@ -1,0 +1,183 @@
+// Tests for the MergeTree structure, persistence pairing (elder rule), and
+// persistence simplification on hand-constructed trees with known answers.
+#include <gtest/gtest.h>
+
+#include "analysis/topology/merge_tree.hpp"
+#include "util/error.hpp"
+
+namespace hia {
+namespace {
+
+// A classic two-peak profile:
+//   ids:      0     1     2     3     4
+//   values:  10     8     6     9     2
+// Tree: 0 (max) -> 2, 3 (max) -> 2 (saddle), 2 -> 4 (root/min), 1 regular
+// between 0 and 2.
+MergeTree two_peak() {
+  std::vector<MergeTree::Node> nodes = {
+      {0, 10.0, 2},   // idx 0: max A, parent = node idx 2 (value 8)
+      {3, 9.0, 3},    // idx 1: max B, parent = saddle (idx 3)
+      {1, 8.0, 3},    // idx 2: regular on A's branch -> saddle
+      {2, 6.0, 4},    // idx 3: saddle -> root
+      {4, 2.0, MergeTree::kNoParent},  // idx 4: root
+  };
+  return MergeTree(std::move(nodes));
+}
+
+TEST(MergeTree, BasicQueries) {
+  const MergeTree t = two_peak();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  const auto roots = t.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(t.nodes()[static_cast<size_t>(roots[0])].id, 4u);
+
+  EXPECT_EQ(t.index_of(3), 1);
+  EXPECT_EQ(t.index_of(99), -1);
+
+  const auto counts = t.child_counts();
+  EXPECT_EQ(counts[3], 2);  // the saddle
+  EXPECT_EQ(counts[4], 1);  // the root
+  EXPECT_EQ(counts[0], 0);
+}
+
+TEST(MergeTree, ValidateCatchesOrderViolation) {
+  std::vector<MergeTree::Node> nodes = {
+      {0, 1.0, 1},  // value 1 with parent of value 5: child below parent
+      {1, 5.0, MergeTree::kNoParent},
+  };
+  const MergeTree t(std::move(nodes));
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(MergeTree, ValidateCatchesBadParentIndex) {
+  std::vector<MergeTree::Node> nodes = {{0, 1.0, 7}};
+  EXPECT_FALSE(MergeTree(std::move(nodes)).validate().empty());
+}
+
+TEST(MergeTree, DuplicateIdsRejected) {
+  std::vector<MergeTree::Node> nodes = {{5, 1.0, MergeTree::kNoParent},
+                                        {5, 2.0, 0}};
+  EXPECT_THROW(MergeTree(std::move(nodes)), Error);
+}
+
+TEST(MergeTree, ReducedRemovesRegularNodes) {
+  const MergeTree t = two_peak();
+  const MergeTree r = t.reduced();
+  EXPECT_EQ(r.size(), 4u);  // regular node (id 1) contracted
+  EXPECT_EQ(r.index_of(1), -1);
+  EXPECT_TRUE(r.validate().empty());
+  // Max A (id 0) now points directly at the saddle (id 2).
+  const auto idx = r.index_of(0);
+  ASSERT_GE(idx, 0);
+  const auto parent = r.nodes()[static_cast<size_t>(idx)].parent;
+  ASSERT_NE(parent, MergeTree::kNoParent);
+  EXPECT_EQ(r.nodes()[static_cast<size_t>(parent)].id, 2u);
+}
+
+TEST(MergeTree, CanonicalAndSameStructure) {
+  const MergeTree a = two_peak();
+  // Same tree, nodes listed in a different order.
+  std::vector<MergeTree::Node> shuffled = {
+      {4, 2.0, MergeTree::kNoParent},
+      {2, 6.0, 0},
+      {0, 10.0, 3},
+      {1, 8.0, 1},
+      {3, 9.0, 1},
+  };
+  const MergeTree b(std::move(shuffled));
+  EXPECT_TRUE(a.same_structure(b));
+  EXPECT_TRUE(b.same_structure(a));
+
+  // Different parent topology breaks equality.
+  std::vector<MergeTree::Node> other = {
+      {0, 10.0, 2},
+      {3, 9.0, 2},   // B merges at id 1 instead of the saddle
+      {1, 8.0, 3},
+      {2, 6.0, 4},
+      {4, 2.0, MergeTree::kNoParent},
+  };
+  EXPECT_FALSE(a.same_structure(MergeTree(std::move(other))));
+}
+
+TEST(PersistencePairs, TwoPeakElderRule) {
+  const auto pairs = persistence_pairs(two_peak());
+  ASSERT_EQ(pairs.size(), 2u);
+  // Highest max (id 0, value 10) pairs with the root (value 2):
+  EXPECT_EQ(pairs[0].max_id, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].persistence(), 8.0);
+  EXPECT_EQ(pairs[0].saddle_id, 4u);
+  // Younger max (id 3, value 9) dies at the saddle (value 6):
+  EXPECT_EQ(pairs[1].max_id, 3u);
+  EXPECT_EQ(pairs[1].saddle_id, 2u);
+  EXPECT_DOUBLE_EQ(pairs[1].persistence(), 3.0);
+}
+
+// Three-branch tree: maxima 30, 25, 20 merging at saddles 15 then 10.
+MergeTree three_peak() {
+  std::vector<MergeTree::Node> nodes = {
+      {0, 30.0, 3},   // A -> saddle1
+      {1, 25.0, 4},   // B -> saddle2
+      {2, 20.0, 3},   // C -> saddle1
+      {10, 15.0, 4},  // saddle1 (A,C) -> saddle2
+      {11, 10.0, 5},  // saddle2 -> root
+      {12, 0.0, MergeTree::kNoParent},
+  };
+  return MergeTree(std::move(nodes));
+}
+
+TEST(PersistencePairs, ThreePeakOrdering) {
+  const auto pairs = persistence_pairs(three_peak());
+  ASSERT_EQ(pairs.size(), 3u);
+  // Descending persistence: A(30-0), B(25-10), C(20-15).
+  EXPECT_EQ(pairs[0].max_id, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].persistence(), 30.0);
+  EXPECT_EQ(pairs[1].max_id, 1u);
+  EXPECT_DOUBLE_EQ(pairs[1].persistence(), 15.0);
+  EXPECT_EQ(pairs[2].max_id, 2u);
+  EXPECT_DOUBLE_EQ(pairs[2].persistence(), 5.0);
+}
+
+TEST(Simplify, ThresholdPrunesLowPersistenceBranches) {
+  const MergeTree t = three_peak();
+  // Threshold 6: branch C (persistence 5) is removed; saddle1 becomes
+  // regular and is contracted away.
+  const MergeTree s = simplify(t, 6.0);
+  EXPECT_TRUE(s.validate().empty());
+  EXPECT_EQ(s.leaves().size(), 2u);
+  EXPECT_EQ(s.index_of(2), -1);   // C gone
+  EXPECT_EQ(s.index_of(10), -1);  // its saddle contracted
+
+  // Threshold 20: only branch A survives (root branch is always kept).
+  const MergeTree s2 = simplify(t, 20.0);
+  EXPECT_EQ(s2.leaves().size(), 1u);
+  ASSERT_GE(s2.index_of(0), 0);
+}
+
+TEST(Simplify, ZeroThresholdKeepsAllLeaves) {
+  const MergeTree s = simplify(three_peak(), 0.0);
+  EXPECT_EQ(s.leaves().size(), 3u);
+}
+
+TEST(Simplify, SingleNodeTree) {
+  std::vector<MergeTree::Node> nodes = {{0, 1.0, MergeTree::kNoParent}};
+  const MergeTree t(std::move(nodes));
+  const auto pairs = persistence_pairs(t);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].persistence(), 0.0);
+  EXPECT_EQ(simplify(t, 100.0).size(), 1u);
+}
+
+TEST(MergeTree, EmptyTree) {
+  const MergeTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_TRUE(persistence_pairs(t).empty());
+  EXPECT_TRUE(t.leaves().empty());
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,108 @@
+// Tests for the Gemini-like network model and machine topology presets.
+#include <gtest/gtest.h>
+
+#include "runtime/network_model.hpp"
+#include "runtime/topology.hpp"
+
+namespace hia {
+namespace {
+
+TEST(NetworkModel, PathSelectionMatchesDartCutoff) {
+  NetworkModel net;
+  EXPECT_EQ(net.select_path(1), TransferPath::kSmsg);
+  EXPECT_EQ(net.select_path(4096), TransferPath::kSmsg);
+  EXPECT_EQ(net.select_path(4097), TransferPath::kBte);
+  EXPECT_EQ(net.select_path(100 << 20), TransferPath::kBte);
+}
+
+TEST(NetworkModel, SmsgIsFasterForSmallMessages) {
+  NetworkParams p;
+  NetworkModel net(p);
+  // A 256-byte message via SMSG vs. forcing it through BTE parameters.
+  const double smsg = net.transfer_seconds(256);
+  const double bte_floor = p.bte_latency_s;
+  EXPECT_LT(smsg, bte_floor);
+}
+
+TEST(NetworkModel, BandwidthDominatesLargeTransfers) {
+  NetworkParams p;
+  NetworkModel net(p);
+  const size_t mb100 = 100u << 20;
+  const double t = net.transfer_seconds(mb100);
+  const double pure_bw = static_cast<double>(mb100) / p.bte_bandwidth_Bps;
+  EXPECT_NEAR(t, pure_bw, pure_bw * 0.01 + p.bte_latency_s * 2);
+}
+
+TEST(NetworkModel, MonotoneInSize) {
+  NetworkModel net;
+  double prev = 0.0;
+  for (size_t bytes = 64; bytes < (64u << 20); bytes *= 4) {
+    const double t = net.transfer_seconds(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, CongestionDividesBandwidth) {
+  NetworkModel net;
+  const size_t bytes = 8u << 20;
+  const double t1 = net.transfer_seconds(bytes, 1);
+  const double t4 = net.transfer_seconds(bytes, 4);
+  EXPECT_GT(t4, 3.5 * t1);
+  EXPECT_LT(t4, 4.5 * t1);
+}
+
+TEST(NetworkModel, FlowGuardTracksConcurrency) {
+  NetworkModel net;
+  EXPECT_EQ(net.active_flows(), 0);
+  {
+    NetworkModel::FlowGuard a(net);
+    EXPECT_EQ(net.active_flows(), 1);
+    {
+      NetworkModel::FlowGuard b(net);
+      EXPECT_EQ(net.active_flows(), 2);
+    }
+    EXPECT_EQ(net.active_flows(), 1);
+  }
+  EXPECT_EQ(net.active_flows(), 0);
+}
+
+TEST(NetworkModel, RejectsZeroFlows) {
+  NetworkModel net;
+  EXPECT_THROW((void)net.transfer_seconds(100, 0), Error);
+}
+
+TEST(Topology, Paper4896MatchesTableOne) {
+  const auto cfg = MachineConfig::paper_4896();
+  EXPECT_EQ(cfg.simulation_cores(), 4480);
+  EXPECT_EQ(cfg.dataspaces_servers, 160);
+  EXPECT_EQ(cfg.staging_buckets, 256);
+  EXPECT_EQ(cfg.total_cores(), 4896);
+}
+
+TEST(Topology, Paper9440MatchesTableOne) {
+  const auto cfg = MachineConfig::paper_9440();
+  EXPECT_EQ(cfg.simulation_cores(), 8960);
+  EXPECT_EQ(cfg.dataspaces_servers, 256);
+  EXPECT_EQ(cfg.staging_buckets, 224);
+  EXPECT_EQ(cfg.total_cores(), 9440);
+}
+
+TEST(Topology, LaptopConfigValid) {
+  const auto cfg = MachineConfig::laptop();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.simulation_cores(), 32);
+  EXPECT_FALSE(cfg.describe().empty());
+}
+
+TEST(Topology, ValidationRejectsBadConfigs) {
+  MachineConfig cfg{{0, 1, 1}, 1, 1};
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MachineConfig{{1, 1, 1}, 0, 1};
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MachineConfig{{1, 1, 1}, 1, 0};
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+}  // namespace
+}  // namespace hia

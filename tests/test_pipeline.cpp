@@ -1,0 +1,247 @@
+// End-to-end integration tests of the hybrid framework: MiniS3D + in-situ
+// stages + staging + in-transit stages, checking that the hybrid variants
+// produce the *same science* as the fully in-situ variants and that the
+// scheduler bookkeeping matches the run configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/topology/local_tree.hpp"
+#include "core/framework.hpp"
+#include "io/bp_lite.hpp"
+#include "core/report.hpp"
+#include "core/stats_pipeline.hpp"
+#include "core/topology_pipeline.hpp"
+#include "core/viz_pipeline.hpp"
+
+namespace hia {
+namespace {
+
+RunConfig small_config(long steps = 3) {
+  RunConfig cfg;
+  cfg.sim.grid = GlobalGrid{{24, 16, 16}, {1.0, 0.75, 0.75}};
+  cfg.sim.ranks_per_axis = {2, 2, 1};
+  cfg.staging_servers = 2;
+  cfg.staging_buckets = 3;
+  cfg.steps = steps;
+  return cfg;
+}
+
+TEST(Pipeline, HybridStatsMatchInSituStats) {
+  RunConfig cfg = small_config(3);
+  HybridRunner runner(cfg);
+  auto insitu = std::make_shared<InSituStatistics>();
+  auto hybrid = std::make_shared<HybridStatistics>();
+  runner.add_analysis(insitu);
+  runner.add_analysis(hybrid);
+  const RunReport report = runner.run();
+
+  const auto a = insitu->latest_models();
+  const auto b = hybrid->latest_models();
+  ASSERT_EQ(a.size(), static_cast<size_t>(kNumVariables));
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].count, b[v].count) << kVariableNames[v];
+    EXPECT_NEAR(a[v].mean, b[v].mean, 1e-9 * (1.0 + std::abs(a[v].mean)));
+    EXPECT_NEAR(a[v].variance, b[v].variance,
+                1e-8 * (1.0 + std::abs(a[v].variance)));
+    EXPECT_DOUBLE_EQ(a[v].min, b[v].min);
+    EXPECT_DOUBLE_EQ(a[v].max, b[v].max);
+  }
+
+  // Bookkeeping: 3 steps x 1 hybrid task; in-situ variant stages nothing.
+  size_t hybrid_tasks = 0;
+  for (const auto& r : report.in_transit) {
+    EXPECT_EQ(r.analysis, "stats-hybrid");
+    ++hybrid_tasks;
+  }
+  EXPECT_EQ(hybrid_tasks, 3u);
+  EXPECT_EQ(report.sim_step_seconds.size(), 3u);
+  EXPECT_GT(report.mean_in_situ_seconds("stats-insitu"), 0.0);
+  // Hybrid stats ship a few hundred bytes per rank, not the raw data.
+  EXPECT_LT(report.mean_movement_bytes("stats-hybrid"),
+            static_cast<double>(report.solution_bytes_per_step) / 100.0);
+}
+
+TEST(Pipeline, PureInTransitStatsMatchHybrid) {
+  RunConfig cfg = small_config(2);
+  HybridRunner runner(cfg);
+  auto hybrid = std::make_shared<HybridStatistics>(
+      std::vector<Variable>{Variable::kTemperature});
+  auto raw = std::make_shared<InTransitStatistics>(Variable::kTemperature);
+  runner.add_analysis(hybrid);
+  runner.add_analysis(raw);
+  const RunReport report = runner.run();
+
+  const auto h = hybrid->latest_models();
+  ASSERT_EQ(h.size(), 1u);
+  const auto r = raw->latest_model();
+  EXPECT_EQ(h[0].count, r.count);
+  EXPECT_NEAR(h[0].mean, r.mean, 1e-9);
+  EXPECT_NEAR(h[0].variance, r.variance, 1e-8);
+
+  // The raw path moves ~the full variable; the hybrid path moves a model.
+  const double raw_bytes = report.mean_movement_bytes("stats-intransit");
+  const double hybrid_bytes = report.mean_movement_bytes("stats-hybrid");
+  EXPECT_GT(raw_bytes, 100.0 * hybrid_bytes);
+}
+
+TEST(Pipeline, VisualizationVariantsProduceSimilarImages) {
+  RunConfig cfg = small_config(2);
+  VizConfig viz;
+  viz.image_size = 48;
+  viz.downsample_stride = 2;
+  HybridRunner runner(cfg);
+  auto insitu = std::make_shared<InSituVisualization>(viz);
+  auto hybrid = std::make_shared<HybridVisualization>(viz);
+  runner.add_analysis(insitu);
+  runner.add_analysis(hybrid);
+  (void)runner.run();
+
+  const auto a = insitu->latest_image();
+  const auto b = hybrid->latest_image();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const double psnr = image_psnr(*a, *b);
+  // Down-sampled rendering approximates the full-resolution image
+  // (Fig. 2: suitable for monitoring, not identical).
+  EXPECT_GT(psnr, 18.0) << "hybrid image too far from in-situ reference";
+}
+
+TEST(Pipeline, TopologyMatchesDirectGlobalTree) {
+  RunConfig cfg = small_config(3);
+  TopologyConfig topo;
+  topo.variable = Variable::kTemperature;
+  HybridRunner runner(cfg);
+  auto analysis = std::make_shared<HybridTopology>(topo);
+  runner.add_analysis(analysis);
+  (void)runner.run();
+
+  const TreeSummary summary = analysis->latest_summary();
+  EXPECT_EQ(summary.step, 3);
+  EXPECT_GT(summary.tree_leaves, 0u);
+  EXPECT_GE(summary.tree_nodes, summary.tree_leaves);
+
+  // Reference: advance an identical single-rank simulation to the same
+  // step (MiniS3D is decomposition-invariant) and build the global tree.
+  S3DParams ref_params = cfg.sim;
+  ref_params.ranks_per_axis = {1, 1, 1};
+  MergeTree reference;
+  {
+    World world(1);
+    world.run([&](Comm& comm) {
+      S3DRank sim(ref_params, 0);
+      sim.initialize();
+      for (long s = 0; s < cfg.steps; ++s) sim.advance(comm);
+      const auto values = sim.field(Variable::kTemperature).pack_owned();
+      reference = build_local_tree(ref_params.grid, ref_params.grid.bounds(),
+                                   values)
+                      .reduced();
+    });
+  }
+  const MergeTree combined = analysis->latest_tree();
+  EXPECT_TRUE(combined.same_structure(reference))
+      << "combined tree: " << combined.size()
+      << " nodes, reference: " << reference.size();
+}
+
+TEST(Pipeline, TopologyArcSinkWritesEvictedArcsToDisk) {
+  RunConfig cfg = small_config(1);
+  TopologyConfig topo;
+  topo.arc_output_dir = ::testing::TempDir();
+  HybridRunner runner(cfg);
+  auto analysis = std::make_shared<HybridTopology>(topo);
+  runner.add_analysis(analysis);
+  (void)runner.run();
+
+  const TreeSummary summary = analysis->latest_summary();
+  char path[512];
+  std::snprintf(path, sizeof(path), "%s/topo-hybrid.step%06ld.arcs.bp",
+                topo.arc_output_dir.c_str(), summary.step);
+  const auto entries = bp_read_file(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "evicted_arcs");
+  // One [id, value, child, parent] row per evicted vertex; mid-stream
+  // evictions plus the finish() sweep are all captured.
+  EXPECT_EQ(entries[0].values.size() % 4, 0u);
+  EXPECT_EQ(entries[0].values.size() / 4, summary.evicted);
+  EXPECT_GT(summary.evicted, 0u);
+  std::remove(path);
+}
+
+TEST(Pipeline, FrequencyControlsInvocationCount) {
+  RunConfig cfg = small_config(6);
+  HybridRunner runner(cfg);
+  auto every = std::make_shared<HybridStatistics>(
+      std::vector<Variable>{Variable::kTemperature});
+  auto sparse = std::make_shared<HybridTopology>(TopologyConfig{});
+  runner.add_analysis(every, 1);
+  runner.add_analysis(sparse, 3);  // steps 3 and 6 only
+  const RunReport report = runner.run();
+
+  size_t stats_tasks = 0, topo_tasks = 0;
+  for (const auto& r : report.in_transit) {
+    if (r.analysis == "stats-hybrid") ++stats_tasks;
+    if (r.analysis == "topo-hybrid") ++topo_tasks;
+  }
+  EXPECT_EQ(stats_tasks, 6u);
+  EXPECT_EQ(topo_tasks, 2u);
+}
+
+TEST(Pipeline, ReportFormattersProduceTables) {
+  RunConfig cfg = small_config(2);
+  HybridRunner runner(cfg);
+  runner.add_analysis(std::make_shared<InSituStatistics>());
+  runner.add_analysis(std::make_shared<HybridStatistics>());
+  const RunReport report = runner.run();
+
+  const auto t2 =
+      format_table2(report, {"stats-insitu", "stats-hybrid"});
+  EXPECT_NE(t2.find("stats-insitu"), std::string::npos);
+  EXPECT_NE(t2.find("in-transit time"), std::string::npos);
+
+  const auto f6 = format_fig6(report, {"stats-insitu", "stats-hybrid"});
+  EXPECT_NE(f6.find("simulation"), std::string::npos);
+  EXPECT_NE(f6.find("100.00%"), std::string::npos);
+
+  const auto t1 = format_table1(
+      {{MachineConfig::paper_4896(),
+        GlobalGrid{{1600, 1372, 430}, {1, 1, 1}}, 16.85, OstModel{}}});
+  EXPECT_NE(t1.find("16x28x10 = 4480"), std::string::npos);
+  EXPECT_NE(t1.find("4896 cores"), std::string::npos);
+}
+
+TEST(Pipeline, RunnerRejectsMisuse) {
+  RunConfig cfg = small_config(1);
+  HybridRunner runner(cfg);
+  EXPECT_THROW(runner.add_analysis(nullptr), Error);
+  runner.add_analysis(std::make_shared<InSituStatistics>());
+  EXPECT_THROW(runner.add_analysis(std::make_shared<InSituStatistics>(), 0),
+               Error);
+  (void)runner.run();
+  EXPECT_THROW((void)runner.run(), Error);
+}
+
+TEST(Pipeline, SimulationNotBlockedBySlowInTransit) {
+  // With sleep_transfers enabled and a large time_scale the in-transit
+  // stage takes much longer than a simulation step, yet the simulation
+  // completes all steps and drain() collects every task afterwards —
+  // the asynchronous decoupling the framework exists to provide.
+  RunConfig cfg = small_config(4);
+  cfg.staging_buckets = 4;
+  cfg.dart.sleep_transfers = true;
+  cfg.dart.time_scale = 3000.0;  // exaggerate wire time
+  HybridRunner runner(cfg);
+  runner.add_analysis(std::make_shared<HybridStatistics>(
+      std::vector<Variable>{Variable::kTemperature}));
+  const RunReport report = runner.run();
+  ASSERT_EQ(report.in_transit.size(), 4u);
+  // Every task completed and the pipeline used multiple buckets.
+  std::set<int> buckets;
+  for (const auto& r : report.in_transit) buckets.insert(r.bucket);
+  EXPECT_GE(buckets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,226 @@
+// Cross-module property tests: invariants that tie several subsystems
+// together, exercised with randomized inputs (fixed seeds for
+// reproducibility).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "analysis/stats/descriptive.hpp"
+#include "analysis/topology/local_tree.hpp"
+#include "analysis/topology/segmentation.hpp"
+#include "analysis/viz/image.hpp"
+#include "core/framework.hpp"
+#include "core/stats_pipeline.hpp"
+#include "core/timeseries_pipeline.hpp"
+#include "io/bp_lite.hpp"
+#include "runtime/network_model.hpp"
+#include "sim/analytic_fields.hpp"
+#include "util/rng.hpp"
+
+namespace hia {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, MomentsAreOrderInvariant) {
+  Xoshiro256 rng(GetParam());
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal() * 5.0 + 1.0;
+
+  const auto forward = stats_learn(xs);
+  std::vector<double> shuffled = xs;
+  std::mt19937 shuffle_rng(static_cast<unsigned>(GetParam()));
+  std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+  const auto permuted = stats_learn(shuffled);
+
+  EXPECT_EQ(forward.count(), permuted.count());
+  EXPECT_NEAR(forward.mean(), permuted.mean(), 1e-11);
+  EXPECT_NEAR(forward.m2(), permuted.m2(), std::abs(forward.m2()) * 1e-9);
+  EXPECT_NEAR(forward.m4(), permuted.m4(), std::abs(forward.m4()) * 1e-8);
+  EXPECT_DOUBLE_EQ(forward.min(), permuted.min());
+  EXPECT_DOUBLE_EQ(forward.max(), permuted.max());
+}
+
+TEST_P(SeededProperty, TreeLeavesMatchSegmentationAtEveryLevel) {
+  // For random noise fields: #superlevel components == #live branches.
+  GlobalGrid grid{{10, 10, 10}, {1, 1, 1}};
+  Field field("f", grid.bounds());
+  fill_noise(field, GetParam());
+  const auto values = field.pack_owned();
+  const MergeTree tree = build_local_tree(grid, grid.bounds(), values);
+  const auto pairs = persistence_pairs(tree.reduced());
+
+  for (const double iso : {0.15, 0.35, 0.55, 0.75, 0.95}) {
+    const auto seg = segment_superlevel(grid.bounds(), values, iso);
+    size_t live = 0;
+    for (const auto& p : pairs) {
+      if (p.max_value >= iso && p.saddle_value < iso) ++live;
+    }
+    EXPECT_EQ(seg.features.size(), live) << "iso " << iso;
+  }
+}
+
+TEST_P(SeededProperty, BpLiteFuzzRoundTrip) {
+  Xoshiro256 rng(GetParam() + 77);
+  std::vector<BpEntry> entries;
+  const int n = 1 + static_cast<int>(rng.below(6));
+  for (int e = 0; e < n; ++e) {
+    BpEntry entry;
+    entry.name = "var_" + std::to_string(rng.below(1000));
+    for (int a = 0; a < 3; ++a) {
+      entry.box.lo[a] = static_cast<int64_t>(rng.below(10));
+      entry.box.hi[a] = entry.box.lo[a] + static_cast<int64_t>(rng.below(6));
+    }
+    const size_t count = rng.below(200);
+    for (size_t i = 0; i < count; ++i) entry.values.push_back(rng.normal());
+    entries.push_back(std::move(entry));
+  }
+  const auto parsed = bp_parse(bp_serialize(entries));
+  ASSERT_EQ(parsed.size(), entries.size());
+  for (size_t e = 0; e < entries.size(); ++e) {
+    EXPECT_EQ(parsed[e].name, entries[e].name);
+    EXPECT_EQ(parsed[e].box, entries[e].box);
+    EXPECT_EQ(parsed[e].values, entries[e].values);
+  }
+}
+
+TEST_P(SeededProperty, SubtreeSerializationFuzz) {
+  GlobalGrid grid{{12, 10, 8}, {1, 1, 1}};
+  Field field("f", grid.bounds());
+  fill_noise(field, GetParam() + 5);
+  Decomposition decomp(grid, {2, 2, 1});
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    const Box3 ext = extended_block(grid, decomp.block(r));
+    const SubtreeData sub =
+        compute_rank_subtree(grid, decomp.block(r), field.pack(ext), ext);
+    const SubtreeData round = SubtreeData::deserialize(sub.serialize());
+    EXPECT_EQ(round.vertex_ids, sub.vertex_ids);
+    EXPECT_EQ(round.vertex_values, sub.vertex_values);
+    EXPECT_EQ(round.interior, sub.interior);
+    EXPECT_EQ(round.edge_child, sub.edge_child);
+    EXPECT_EQ(round.edge_parent, sub.edge_parent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Compositing, UnderOperatorIsAssociative) {
+  // (a under (b under c)) == ((a under b) under c) per pixel.
+  auto make = [](float r, float a) {
+    Image img(1, 1);
+    img.at(0, 0) = Rgba{r * a, 0, 0, a};  // premultiplied
+    return img;
+  };
+  const Image a = make(1.0f, 0.3f), b = make(0.5f, 0.5f), c = make(0.2f, 0.7f);
+
+  Image left_inner = c;     // back
+  left_inner.under(b);
+  Image left = left_inner;  // then a in front
+  left.under(a);
+
+  Image right_inner = b;
+  right_inner.under(a);     // front pair pre-composited
+  Image right = c;
+  // Compose the pre-composited front pair over c: under() puts argument in
+  // front, so this is exactly (a over b) over c.
+  right.under(right_inner);
+
+  EXPECT_NEAR(left.at(0, 0).r, right.at(0, 0).r, 1e-6f);
+  EXPECT_NEAR(left.at(0, 0).a, right.at(0, 0).a, 1e-6f);
+}
+
+TEST(NetworkModel, NoIncentiveToSplitBulkTransfers) {
+  // Splitting one BTE transfer into k smaller ones never reduces the
+  // modeled time (per-message latency is paid k times).
+  NetworkModel net;
+  const size_t bytes = 10u << 20;
+  const double whole = net.transfer_seconds(bytes);
+  for (const int k : {2, 4, 16}) {
+    const double split =
+        k * net.transfer_seconds(bytes / static_cast<size_t>(k));
+    EXPECT_GE(split, whole - 1e-12);
+  }
+}
+
+TEST(TimeSeries, AutocorrelationTracksGlobalMeanSeries) {
+  RunConfig cfg;
+  cfg.sim.grid = GlobalGrid{{20, 14, 14}, {1.0, 0.7, 0.7}};
+  cfg.sim.ranks_per_axis = {2, 1, 1};
+  cfg.steps = 8;
+
+  HybridRunner runner(cfg);
+  TimeSeriesConfig tcfg;
+  tcfg.variable = Variable::kTemperature;
+  tcfg.lags = {1, 3};
+  auto analysis = std::make_shared<TimeSeriesAutocorrelation>(tcfg);
+  runner.add_analysis(analysis);
+  (void)runner.run();
+
+  const auto series = analysis->series();
+  ASSERT_EQ(series.size(), 8u);
+  // Temperature mean rises monotonically as kernels inject heat.
+  for (double v : series) EXPECT_GT(v, 0.0);
+
+  // Verify against a serial recomputation of the same run.
+  S3DParams solo = cfg.sim;
+  solo.ranks_per_axis = {1, 1, 1};
+  std::vector<double> reference;
+  {
+    World world(1);
+    world.run([&](Comm& comm) {
+      S3DRank sim(solo, 0);
+      sim.initialize();
+      for (long s = 0; s < cfg.steps; ++s) {
+        sim.advance(comm);
+        double sum = 0.0;
+        for (const double v :
+             sim.field(Variable::kTemperature).pack_owned()) {
+          sum += v;
+        }
+        reference.push_back(sum /
+                            static_cast<double>(solo.grid.num_points()));
+      }
+    });
+  }
+  for (size_t s = 0; s < series.size(); ++s) {
+    EXPECT_NEAR(series[s], reference[s], 1e-11);
+  }
+
+  // A smooth upward series is strongly lag-1 autocorrelated.
+  const auto acs = analysis->autocorrelations();
+  ASSERT_FALSE(acs.empty());
+  EXPECT_EQ(acs[0].first, 1u);
+  EXPECT_GT(acs[0].second, 0.8);
+}
+
+TEST(Determinism, WholeCampaignIsReproducible) {
+  // Two identical campaigns produce identical science outputs.
+  auto run_once = [] {
+    RunConfig cfg;
+    cfg.sim.grid = GlobalGrid{{20, 14, 14}, {1.0, 0.7, 0.7}};
+    cfg.sim.ranks_per_axis = {2, 1, 1};
+    cfg.steps = 3;
+    HybridRunner runner(cfg);
+    auto stats = std::make_shared<HybridStatistics>(
+        std::vector<Variable>{Variable::kTemperature, Variable::kYH2O});
+    runner.add_analysis(stats);
+    (void)runner.run();
+    return stats->latest_models();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].count, b[v].count);
+    EXPECT_DOUBLE_EQ(a[v].mean, b[v].mean);
+    EXPECT_DOUBLE_EQ(a[v].variance, b[v].variance);
+    EXPECT_DOUBLE_EQ(a[v].min, b[v].min);
+    EXPECT_DOUBLE_EQ(a[v].max, b[v].max);
+  }
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,145 @@
+// Tests for superlevel-set segmentation and overlap-based feature tracking
+// (the machinery behind the Fig. 1 temporal-resolution experiment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/topology/segmentation.hpp"
+
+namespace hia {
+namespace {
+
+std::vector<double> blob_field(const Box3& box, double cx, double cy,
+                               double cz, double radius) {
+  std::vector<double> out(static_cast<size_t>(box.num_cells()), 0.0);
+  size_t off = 0;
+  for (int64_t k = box.lo[2]; k < box.hi[2]; ++k) {
+    for (int64_t j = box.lo[1]; j < box.hi[1]; ++j) {
+      for (int64_t i = box.lo[0]; i < box.hi[0]; ++i, ++off) {
+        const double dx = static_cast<double>(i) - cx;
+        const double dy = static_cast<double>(j) - cy;
+        const double dz = static_cast<double>(k) - cz;
+        out[off] = std::exp(-(dx * dx + dy * dy + dz * dz) /
+                            (2.0 * radius * radius));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Segmentation, EmptyAboveThreshold) {
+  const Box3 box{{0, 0, 0}, {4, 4, 4}};
+  std::vector<double> values(64, 0.1);
+  const auto seg = segment_superlevel(box, values, 0.5);
+  EXPECT_TRUE(seg.features.empty());
+  for (const auto l : seg.labels) EXPECT_EQ(l, -1);
+}
+
+TEST(Segmentation, WholeDomainIsOneFeature) {
+  const Box3 box{{0, 0, 0}, {4, 4, 4}};
+  std::vector<double> values(64, 1.0);
+  const auto seg = segment_superlevel(box, values, 0.5);
+  ASSERT_EQ(seg.features.size(), 1u);
+  EXPECT_EQ(seg.features[0].voxels, 64);
+  // Centroid of a full 4^3 box is (1.5, 1.5, 1.5).
+  EXPECT_NEAR(seg.features[0].centroid[0], 1.5, 1e-12);
+}
+
+TEST(Segmentation, TwoSeparateBlobs) {
+  const Box3 box{{0, 0, 0}, {20, 8, 8}};
+  auto a = blob_field(box, 4.0, 4.0, 4.0, 1.5);
+  const auto b = blob_field(box, 15.0, 4.0, 4.0, 1.5);
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  const auto seg = segment_superlevel(box, a, 0.5);
+  ASSERT_EQ(seg.features.size(), 2u);
+  // Features record their maxima and sensible centroids.
+  double cxs[2];
+  for (int f = 0; f < 2; ++f) {
+    EXPECT_GT(seg.features[static_cast<size_t>(f)].voxels, 3);
+    EXPECT_GT(seg.features[static_cast<size_t>(f)].max_value, 0.9);
+    cxs[f] = seg.features[static_cast<size_t>(f)].centroid[0];
+  }
+  EXPECT_NEAR(std::min(cxs[0], cxs[1]), 4.0, 0.5);
+  EXPECT_NEAR(std::max(cxs[0], cxs[1]), 15.0, 0.5);
+}
+
+TEST(Segmentation, DiagonalVoxelsAreSeparate) {
+  // 6-connectivity: two voxels sharing only an edge are distinct features.
+  const Box3 box{{0, 0, 0}, {2, 2, 1}};
+  std::vector<double> values{1.0, 0.0, 0.0, 1.0};  // (0,0) and (1,1)
+  const auto seg = segment_superlevel(box, values, 0.5);
+  EXPECT_EQ(seg.features.size(), 2u);
+}
+
+TEST(Segmentation, LabelsConsistentWithFeatures) {
+  const Box3 box{{0, 0, 0}, {12, 12, 12}};
+  const auto values = blob_field(box, 6.0, 6.0, 6.0, 2.0);
+  const auto seg = segment_superlevel(box, values, 0.3);
+  ASSERT_EQ(seg.features.size(), 1u);
+  int64_t count = 0;
+  for (const auto l : seg.labels) {
+    if (l >= 0) {
+      EXPECT_EQ(l, 0);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, seg.features[0].voxels);
+}
+
+TEST(OverlapTrack, MovingBlobKeepsIdentity) {
+  const Box3 box{{0, 0, 0}, {24, 10, 10}};
+  const auto f0 = segment_superlevel(box, blob_field(box, 6, 5, 5, 2.0), 0.4);
+  const auto f1 = segment_superlevel(box, blob_field(box, 8, 5, 5, 2.0), 0.4);
+  const auto edges = overlap_track(f0, f1);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_GT(edges[0].shared_voxels, 4);
+}
+
+TEST(OverlapTrack, FastBlobLosesTrack) {
+  const Box3 box{{0, 0, 0}, {24, 10, 10}};
+  const auto f0 = segment_superlevel(box, blob_field(box, 4, 5, 5, 1.5), 0.4);
+  const auto f1 =
+      segment_superlevel(box, blob_field(box, 19, 5, 5, 1.5), 0.4);
+  EXPECT_TRUE(overlap_track(f0, f1).empty());
+}
+
+TEST(TrackSequence, ContinuityDropsWithStride) {
+  // A blob moving 1 voxel/frame: dense sampling keeps overlap, a large
+  // stride (sampling every 12th frame) breaks it — the Fig. 1 phenomenon.
+  const Box3 box{{0, 0, 0}, {30, 8, 8}};
+  std::vector<Segmentation> dense, strided;
+  for (int t = 0; t <= 24; ++t) {
+    auto seg = segment_superlevel(
+        box, blob_field(box, 3.0 + t, 4, 4, 1.6), 0.4);
+    if (t % 12 == 0) strided.push_back(seg);
+    dense.push_back(std::move(seg));
+  }
+  const auto dense_summary = track_sequence(dense);
+  const auto strided_summary = track_sequence(strided);
+  EXPECT_DOUBLE_EQ(dense_summary.continuity(), 1.0);
+  EXPECT_LT(strided_summary.continuity(), 0.5);
+}
+
+TEST(TrackSequence, EmptySequences) {
+  EXPECT_DOUBLE_EQ(track_sequence({}).continuity(), 1.0);
+  const Box3 box{{0, 0, 0}, {4, 4, 4}};
+  std::vector<double> zeros(64, 0.0);
+  std::vector<Segmentation> frames{segment_superlevel(box, zeros, 0.5),
+                                   segment_superlevel(box, zeros, 0.5)};
+  const auto s = track_sequence(frames);
+  EXPECT_EQ(s.features_total, 0);
+  EXPECT_DOUBLE_EQ(s.continuity(), 1.0);
+}
+
+TEST(Segmentation, MismatchedBoxesRejected) {
+  const Box3 a{{0, 0, 0}, {4, 4, 4}};
+  const Box3 b{{0, 0, 0}, {5, 4, 4}};
+  const auto sa = segment_superlevel(a, std::vector<double>(64, 1.0), 0.5);
+  const auto sb = segment_superlevel(b, std::vector<double>(80, 1.0), 0.5);
+  EXPECT_THROW(overlap_track(sa, sb), Error);
+  EXPECT_THROW(segment_superlevel(a, std::vector<double>(63, 1.0), 0.5),
+               Error);
+}
+
+}  // namespace
+}  // namespace hia

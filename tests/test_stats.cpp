@@ -1,0 +1,258 @@
+// Tests for the statistics library: single-pass moment accuracy against
+// brute force, pairwise-combination equivalence (the property the parallel
+// learn stage relies on), the four-stage pattern, correlation, and
+// histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analysis/stats/correlation.hpp"
+#include "analysis/stats/descriptive.hpp"
+#include "analysis/stats/histogram.hpp"
+#include "analysis/stats/moments.hpp"
+#include "util/rng.hpp"
+
+namespace hia {
+namespace {
+
+std::vector<double> random_data(size_t n, uint64_t seed, double scale = 1.0,
+                                double offset = 0.0) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = offset + scale * rng.normal();
+  return out;
+}
+
+/// Brute-force centered moments for verification.
+struct Brute {
+  double mean = 0, m2 = 0, m3 = 0, m4 = 0;
+};
+Brute brute_force(const std::vector<double>& xs) {
+  Brute b;
+  for (const double x : xs) b.mean += x;
+  b.mean /= static_cast<double>(xs.size());
+  for (const double x : xs) {
+    const double d = x - b.mean;
+    b.m2 += d * d;
+    b.m3 += d * d * d;
+    b.m4 += d * d * d * d;
+  }
+  return b;
+}
+
+TEST(Moments, MatchesBruteForce) {
+  const auto xs = random_data(5000, 1, 2.5, -1.0);
+  const auto acc = stats_learn(xs);
+  const auto bf = brute_force(xs);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), bf.mean, 1e-10);
+  EXPECT_NEAR(acc.m2(), bf.m2, std::abs(bf.m2) * 1e-9);
+  EXPECT_NEAR(acc.m3(), bf.m3, std::abs(bf.m2) * 1e-7);
+  EXPECT_NEAR(acc.m4(), bf.m4, std::abs(bf.m4) * 1e-9);
+  EXPECT_EQ(acc.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(acc.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Moments, EmptyAndSingle) {
+  MomentAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  acc.update(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.m2(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+class MomentsCombine : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentsCombine, CombineEqualsSequential) {
+  const int parts = GetParam();
+  const auto xs = random_data(4096, 7, 3.0, 2.0);
+  const auto whole = stats_learn(xs);
+
+  // Split into `parts` unequal chunks, learn separately, combine.
+  std::vector<MomentAccumulator> partials;
+  size_t begin = 0;
+  for (int p = 0; p < parts; ++p) {
+    const size_t len = p + 1 == parts
+                           ? xs.size() - begin
+                           : (xs.size() / parts) + (p % 2 == 0 ? 17 : -17);
+    partials.push_back(stats_learn(
+        std::span(xs.data() + begin, std::min(len, xs.size() - begin))));
+    begin += len;
+  }
+  const auto combined = stats_combine(partials);
+
+  EXPECT_EQ(combined.count(), whole.count());
+  EXPECT_NEAR(combined.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(combined.m2(), whole.m2(), std::abs(whole.m2()) * 1e-10);
+  EXPECT_NEAR(combined.m3(), whole.m3(), std::abs(whole.m2()) * 1e-8);
+  EXPECT_NEAR(combined.m4(), whole.m4(), std::abs(whole.m4()) * 1e-10);
+  EXPECT_DOUBLE_EQ(combined.min(), whole.min());
+  EXPECT_DOUBLE_EQ(combined.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, MomentsCombine,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+TEST(Moments, CombineWithEmptySides) {
+  const auto xs = random_data(100, 3);
+  auto a = stats_learn(xs);
+  const MomentAccumulator empty;
+  auto b = a;
+  b.combine(empty);
+  EXPECT_EQ(b, a);
+  MomentAccumulator c;
+  c.combine(a);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Moments, PackUnpackRoundTrip) {
+  const auto acc = stats_learn(random_data(500, 11));
+  double packed[MomentAccumulator::kPackedSize];
+  acc.pack(packed);
+  EXPECT_EQ(MomentAccumulator::unpack(packed), acc);
+}
+
+TEST(Derive, KnownDistributions) {
+  // Standard normal: variance 1, skew 0, excess kurtosis 0.
+  const auto normal = derive_descriptive(stats_learn(random_data(200000, 5)));
+  EXPECT_NEAR(normal.mean, 0.0, 0.02);
+  EXPECT_NEAR(normal.variance, 1.0, 0.03);
+  EXPECT_NEAR(normal.skewness, 0.0, 0.05);
+  EXPECT_NEAR(normal.kurtosis_excess, 0.0, 0.1);
+
+  // Uniform [0,1): variance 1/12, excess kurtosis -1.2.
+  Xoshiro256 rng(8);
+  std::vector<double> uni(200000);
+  for (auto& x : uni) x = rng.uniform();
+  const auto u = derive_descriptive(stats_learn(uni));
+  EXPECT_NEAR(u.mean, 0.5, 0.01);
+  EXPECT_NEAR(u.variance, 1.0 / 12.0, 0.002);
+  EXPECT_NEAR(u.kurtosis_excess, -1.2, 0.05);
+}
+
+TEST(Assess, ZScores) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto model = derive_descriptive(stats_learn(xs));
+  const auto z = stats_assess(xs, model);
+  ASSERT_EQ(z.size(), xs.size());
+  EXPECT_NEAR(z[2], 0.0, 1e-12);         // the mean
+  EXPECT_NEAR(z[0], -z[4], 1e-12);       // symmetric
+  EXPECT_LT(z[0], 0.0);
+}
+
+TEST(TestStage, NormalityStatistic) {
+  // Normal data: small JB statistic / high p. Bimodal data: large JB.
+  const auto normal =
+      derive_descriptive(stats_learn(random_data(50000, 21)));
+  const auto jb_normal = stats_test_normality(normal);
+  EXPECT_LT(jb_normal.statistic, 12.0);
+
+  Xoshiro256 rng(22);
+  std::vector<double> bimodal(50000);
+  for (auto& x : bimodal) x = (rng.uniform() < 0.5 ? -3.0 : 3.0) + rng.normal();
+  const auto jb_bimodal =
+      stats_test_normality(derive_descriptive(stats_learn(bimodal)));
+  EXPECT_GT(jb_bimodal.statistic, 100.0);
+  EXPECT_LT(jb_bimodal.p_value, 0.01);
+}
+
+TEST(Covariance, PerfectLinearRelation) {
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.update(i, 2.0 * i + 5.0);
+  }
+  const auto m = derive_correlation(acc);
+  EXPECT_NEAR(m.pearson_r, 1.0, 1e-12);
+  EXPECT_NEAR(m.slope, 2.0, 1e-10);
+  EXPECT_NEAR(m.intercept, 5.0, 1e-8);
+}
+
+TEST(Covariance, IndependentVariablesNearZero) {
+  Xoshiro256 rng(31);
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.update(rng.normal(), rng.normal());
+  EXPECT_NEAR(derive_correlation(acc).pearson_r, 0.0, 0.02);
+}
+
+class CovCombine : public ::testing::TestWithParam<int> {};
+
+TEST_P(CovCombine, CombineEqualsSequential) {
+  const int parts = GetParam();
+  Xoshiro256 rng(41);
+  std::vector<double> x(3000), y(3000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 0.7 * x[i] + 0.3 * rng.normal();
+  }
+  const auto whole = correlation_learn(x, y);
+
+  CovarianceAccumulator combined;
+  const size_t chunk = x.size() / static_cast<size_t>(parts);
+  for (int p = 0; p < parts; ++p) {
+    const size_t b = static_cast<size_t>(p) * chunk;
+    const size_t e = p + 1 == parts ? x.size() : b + chunk;
+    combined.combine(correlation_learn(
+        std::span(x.data() + b, e - b), std::span(y.data() + b, e - b)));
+  }
+  EXPECT_EQ(combined.count(), whole.count());
+  EXPECT_NEAR(combined.c2(), whole.c2(), std::abs(whole.c2()) * 1e-10);
+  EXPECT_NEAR(derive_correlation(combined).pearson_r,
+              derive_correlation(whole).pearson_r, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, CovCombine, ::testing::Values(2, 5, 30));
+
+TEST(Autocorrelation, PeriodicSignal) {
+  std::vector<double> series(1000);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 50.0);
+  }
+  EXPECT_NEAR(autocorrelation(series, 50).pearson_r, 1.0, 1e-6);
+  EXPECT_NEAR(autocorrelation(series, 25).pearson_r, -1.0, 1e-6);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.update(i + 0.5);
+  h.update(-1.0);
+  h.update(11.0);
+  h.update(10.0);  // hi is exclusive -> overflow
+  for (int b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 13u);
+}
+
+TEST(Histogram, CombineMatchesUnion) {
+  Histogram a(0.0, 1.0, 20), b(0.0, 1.0, 20), whole(0.0, 1.0, 20);
+  Xoshiro256 rng(55);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform();
+    whole.update(x);
+    (i % 2 == 0 ? a : b).update(x);
+  }
+  a.combine(b);
+  for (int bin = 0; bin < 20; ++bin) EXPECT_EQ(a.count(bin), whole.count(bin));
+  EXPECT_EQ(a.total(), whole.total());
+}
+
+TEST(Histogram, CombineRejectsMismatchedBinning) {
+  Histogram a(0.0, 1.0, 10), b(0.0, 2.0, 10);
+  EXPECT_THROW(a.combine(b), Error);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(66);
+  for (int i = 0; i < 100000; ++i) h.update(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace hia

@@ -1,0 +1,215 @@
+// Tests for the streaming in-transit combiner — including the central
+// correctness property of the whole hybrid topology pipeline: combining
+// per-block subtrees (computed independently, glued on shared boundary
+// vertices) must reproduce the merge tree computed directly on the whole
+// domain, for arbitrary fields and decompositions, in any arrival order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <random>
+
+#include "analysis/topology/local_tree.hpp"
+#include "analysis/topology/stream_combine.hpp"
+#include "sim/analytic_fields.hpp"
+#include "sim/grid.hpp"
+
+namespace hia {
+namespace {
+
+TEST(StreamingCombiner, SingleChainInAnyOrder) {
+  // Path graph 1-2-3-4 with descending values: a single chain.
+  StreamingCombiner c;
+  c.insert_vertex(1, 4.0);
+  c.insert_vertex(2, 3.0);
+  c.insert_vertex(3, 2.0);
+  c.insert_vertex(4, 1.0);
+  // Edges inserted out of order.
+  c.insert_edge(3, 4);
+  c.insert_edge(1, 2);
+  c.insert_edge(2, 3);
+  const MergeTree t = c.finish();
+  EXPECT_TRUE(t.validate().empty());
+  // After eviction only the leaf and root survive.
+  EXPECT_EQ(t.leaves().size(), 1u);
+  EXPECT_EQ(t.roots().size(), 1u);
+  EXPECT_EQ(t.nodes()[static_cast<size_t>(t.leaves()[0])].id, 1u);
+  EXPECT_EQ(t.nodes()[static_cast<size_t>(t.roots()[0])].id, 4u);
+}
+
+TEST(StreamingCombiner, MergeAtSaddle) {
+  // Two maxima (10, 9) merging at 6, root 2: W-shaped profile.
+  StreamingCombiner c;
+  c.insert_vertex(0, 10.0);
+  c.insert_vertex(1, 8.0);
+  c.insert_vertex(2, 6.0);
+  c.insert_vertex(3, 9.0);
+  c.insert_vertex(4, 2.0);
+  c.insert_edge(0, 1);
+  c.insert_edge(1, 2);
+  c.insert_edge(3, 2);
+  c.insert_edge(2, 4);
+  const MergeTree t = c.finish();
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.leaves().size(), 2u);
+  const auto pairs = persistence_pairs(t);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].persistence(), 8.0);
+  EXPECT_DOUBLE_EQ(pairs[1].persistence(), 3.0);
+}
+
+TEST(StreamingCombiner, DuplicateVertexDeclarationsAreIdempotent) {
+  StreamingCombiner c;
+  c.insert_vertex(7, 1.5);
+  EXPECT_NO_THROW(c.insert_vertex(7, 1.5));
+  EXPECT_THROW(c.insert_vertex(7, 2.0), Error);
+}
+
+TEST(StreamingCombiner, EdgeNeedsDeclaredVertices) {
+  StreamingCombiner c;
+  c.insert_vertex(1, 1.0);
+  EXPECT_THROW(c.insert_edge(1, 2), Error);
+  EXPECT_THROW(c.insert_edge(1, 1), Error);
+}
+
+TEST(StreamingCombiner, FinalizationEvictsRegularVertices) {
+  StreamingCombiner c;
+  // Chain of 50 vertices; finalize as we go — memory must stay small.
+  const int n = 50;
+  c.insert_vertex(0, static_cast<double>(n));
+  for (int i = 1; i < n; ++i) {
+    c.insert_vertex(static_cast<uint64_t>(i), static_cast<double>(n - i));
+    c.insert_edge(static_cast<uint64_t>(i - 1), static_cast<uint64_t>(i));
+    if (i >= 2) c.finalize_vertex(static_cast<uint64_t>(i - 1));
+  }
+  // All interior chain vertices were evicted on the fly.
+  EXPECT_GT(c.evicted_count(), static_cast<size_t>(n - 10));
+  EXPECT_LT(c.live_nodes(), 10u);
+  const MergeTree t = c.finish();
+  EXPECT_EQ(t.leaves().size(), 1u);
+}
+
+TEST(StreamingCombiner, EvictionSinkReceivesArcs) {
+  StreamingCombiner c;
+  std::vector<EvictedArc> arcs;
+  c.set_eviction_sink([&](const EvictedArc& a) { arcs.push_back(a); });
+  c.insert_vertex(0, 3.0);
+  c.insert_vertex(1, 2.0);
+  c.insert_vertex(2, 1.0);
+  c.insert_edge(0, 1);
+  c.insert_edge(1, 2);
+  c.finalize_vertex(1);
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(arcs[0].id, 1u);
+  EXPECT_EQ(arcs[0].child_id, 0u);
+  EXPECT_EQ(arcs[0].parent_id, 2u);
+}
+
+// ------------------------------------------------------------------------
+// The distributed-equivalence property.
+// ------------------------------------------------------------------------
+
+struct CombineCase {
+  std::array<int64_t, 3> dims;
+  std::array<int, 3> ranks;
+  int field;  // 0 = gaussian mixture, 1 = noise, 2 = sine product
+  uint64_t seed;
+};
+
+class DistributedEquivalence : public ::testing::TestWithParam<CombineCase> {
+};
+
+std::vector<double> make_field(const GlobalGrid& grid, const Box3& box,
+                               int kind, uint64_t seed) {
+  Field f("v", box);
+  switch (kind) {
+    case 0:
+      fill_gaussian_mixture(f, grid,
+                            GaussianMixture::well_separated(6, 0.06, seed));
+      break;
+    case 1:
+      fill_noise(f, seed);
+      break;
+    default:
+      fill_sine_product(f, grid, 9.1, 7.3, 8.7);
+      break;
+  }
+  return f.pack_owned();
+}
+
+TEST_P(DistributedEquivalence, CombinedSubtreesMatchGlobalTree) {
+  const auto& [dims, ranks, kind, seed] = GetParam();
+  GlobalGrid grid{dims, {1.0, 1.0, 1.0}};
+  Decomposition decomp(grid, ranks);
+
+  // Reference: reduced merge tree of the whole domain.
+  const auto whole_values = make_field(grid, grid.bounds(), kind, seed);
+  const MergeTree reference =
+      build_local_tree(grid, grid.bounds(), whole_values).reduced();
+
+  // Distributed: per-rank subtrees over extended blocks.
+  std::vector<SubtreeData> subtrees;
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    const Box3 block = decomp.block(r);
+    const Box3 ext = extended_block(grid, block);
+    const auto values = make_field(grid, ext, kind, seed);
+    subtrees.push_back(compute_rank_subtree(grid, block, values, ext));
+  }
+
+  const MergeTree combined = combine_subtrees(subtrees);
+  EXPECT_TRUE(combined.validate().empty()) << combined.validate();
+  EXPECT_TRUE(combined.reduced().same_structure(reference))
+      << "combined " << combined.reduced().size() << " nodes vs reference "
+      << reference.size();
+}
+
+TEST_P(DistributedEquivalence, ArrivalOrderInvariance) {
+  const auto& [dims, ranks, kind, seed] = GetParam();
+  GlobalGrid grid{dims, {1.0, 1.0, 1.0}};
+  Decomposition decomp(grid, ranks);
+
+  std::vector<SubtreeData> subtrees;
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    const Box3 block = decomp.block(r);
+    const Box3 ext = extended_block(grid, block);
+    subtrees.push_back(compute_rank_subtree(
+        grid, block, make_field(grid, ext, kind, seed), ext));
+  }
+
+  const MergeTree in_order = combine_subtrees(subtrees).reduced();
+  std::mt19937 shuffle_rng(1234);
+  std::shuffle(subtrees.begin(), subtrees.end(), shuffle_rng);
+  const MergeTree shuffled = combine_subtrees(subtrees).reduced();
+  EXPECT_TRUE(in_order.same_structure(shuffled));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldsAndLayouts, DistributedEquivalence,
+    ::testing::Values(CombineCase{{16, 16, 16}, {2, 2, 2}, 0, 5},
+                      CombineCase{{16, 16, 16}, {4, 2, 1}, 0, 9},
+                      CombineCase{{12, 10, 8}, {3, 2, 2}, 1, 17},
+                      CombineCase{{8, 8, 8}, {2, 2, 2}, 1, 99},
+                      CombineCase{{20, 18, 12}, {2, 3, 2}, 2, 0},
+                      CombineCase{{16, 16, 16}, {1, 1, 1}, 0, 31},
+                      CombineCase{{24, 8, 8}, {8, 1, 1}, 2, 0}));
+
+TEST(StreamingCombiner, PeakMemoryBelowTotalWithFinalization) {
+  // Insert many disjoint chains, finalizing each before the next: peak
+  // memory must stay near one chain, not the whole stream.
+  StreamingCombiner c;
+  const uint64_t chains = 40, length = 50;
+  for (uint64_t ch = 0; ch < chains; ++ch) {
+    const uint64_t base = ch * 1000;
+    for (uint64_t i = 0; i < length; ++i) {
+      c.insert_vertex(base + i, static_cast<double>(length - i));
+      if (i > 0) c.insert_edge(base + i - 1, base + i);
+    }
+    for (uint64_t i = 0; i < length; ++i) c.finalize_vertex(base + i);
+  }
+  EXPECT_LT(c.peak_live_nodes(), chains * length / 4);
+  const MergeTree t = c.finish();
+  EXPECT_EQ(t.roots().size(), chains);
+}
+
+}  // namespace
+}  // namespace hia
