@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_buckets.dir/bench_ablate_buckets.cpp.o"
+  "CMakeFiles/bench_ablate_buckets.dir/bench_ablate_buckets.cpp.o.d"
+  "bench_ablate_buckets"
+  "bench_ablate_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

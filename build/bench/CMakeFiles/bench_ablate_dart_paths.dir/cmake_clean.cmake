@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dart_paths.dir/bench_ablate_dart_paths.cpp.o"
+  "CMakeFiles/bench_ablate_dart_paths.dir/bench_ablate_dart_paths.cpp.o.d"
+  "bench_ablate_dart_paths"
+  "bench_ablate_dart_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dart_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

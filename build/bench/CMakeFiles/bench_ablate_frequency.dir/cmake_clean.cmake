@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_frequency.dir/bench_ablate_frequency.cpp.o"
+  "CMakeFiles/bench_ablate_frequency.dir/bench_ablate_frequency.cpp.o.d"
+  "bench_ablate_frequency"
+  "bench_ablate_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_servers.dir/bench_ablate_servers.cpp.o"
+  "CMakeFiles/bench_ablate_servers.dir/bench_ablate_servers.cpp.o.d"
+  "bench_ablate_servers"
+  "bench_ablate_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_spectrum.dir/bench_ablate_spectrum.cpp.o"
+  "CMakeFiles/bench_ablate_spectrum.dir/bench_ablate_spectrum.cpp.o.d"
+  "bench_ablate_spectrum"
+  "bench_ablate_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

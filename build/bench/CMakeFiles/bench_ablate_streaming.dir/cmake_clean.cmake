@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_streaming.dir/bench_ablate_streaming.cpp.o"
+  "CMakeFiles/bench_ablate_streaming.dir/bench_ablate_streaming.cpp.o.d"
+  "bench_ablate_streaming"
+  "bench_ablate_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mergetree.dir/bench_fig3_mergetree.cpp.o"
+  "CMakeFiles/bench_fig3_mergetree.dir/bench_fig3_mergetree.cpp.o.d"
+  "bench_fig3_mergetree"
+  "bench_fig3_mergetree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mergetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_stats_stages.dir/bench_fig4_stats_stages.cpp.o"
+  "CMakeFiles/bench_fig4_stats_stages.dir/bench_fig4_stats_stages.cpp.o.d"
+  "bench_fig4_stats_stages"
+  "bench_fig4_stats_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_stats_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

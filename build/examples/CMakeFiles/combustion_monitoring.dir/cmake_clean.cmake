@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_monitoring.dir/combustion_monitoring.cpp.o"
+  "CMakeFiles/combustion_monitoring.dir/combustion_monitoring.cpp.o.d"
+  "combustion_monitoring"
+  "combustion_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_campaign.dir/hia_campaign.cpp.o"
+  "CMakeFiles/hia_campaign.dir/hia_campaign.cpp.o.d"
+  "hia_campaign"
+  "hia_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ignition_kernel_tracking.dir/ignition_kernel_tracking.cpp.o"
+  "CMakeFiles/ignition_kernel_tracking.dir/ignition_kernel_tracking.cpp.o.d"
+  "ignition_kernel_tracking"
+  "ignition_kernel_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ignition_kernel_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

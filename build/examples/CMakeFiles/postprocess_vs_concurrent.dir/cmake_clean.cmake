@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postprocess_vs_concurrent.dir/postprocess_vs_concurrent.cpp.o"
+  "CMakeFiles/postprocess_vs_concurrent.dir/postprocess_vs_concurrent.cpp.o.d"
+  "postprocess_vs_concurrent"
+  "postprocess_vs_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postprocess_vs_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steered_threshold.dir/steered_threshold.cpp.o"
+  "CMakeFiles/steered_threshold.dir/steered_threshold.cpp.o.d"
+  "steered_threshold"
+  "steered_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steered_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

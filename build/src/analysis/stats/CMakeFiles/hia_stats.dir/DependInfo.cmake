@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/stats/contingency.cpp" "src/analysis/stats/CMakeFiles/hia_stats.dir/contingency.cpp.o" "gcc" "src/analysis/stats/CMakeFiles/hia_stats.dir/contingency.cpp.o.d"
+  "/root/repo/src/analysis/stats/correlation.cpp" "src/analysis/stats/CMakeFiles/hia_stats.dir/correlation.cpp.o" "gcc" "src/analysis/stats/CMakeFiles/hia_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/analysis/stats/descriptive.cpp" "src/analysis/stats/CMakeFiles/hia_stats.dir/descriptive.cpp.o" "gcc" "src/analysis/stats/CMakeFiles/hia_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/analysis/stats/histogram.cpp" "src/analysis/stats/CMakeFiles/hia_stats.dir/histogram.cpp.o" "gcc" "src/analysis/stats/CMakeFiles/hia_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/stats/moments.cpp" "src/analysis/stats/CMakeFiles/hia_stats.dir/moments.cpp.o" "gcc" "src/analysis/stats/CMakeFiles/hia_stats.dir/moments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

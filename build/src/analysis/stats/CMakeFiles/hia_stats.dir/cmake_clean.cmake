@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_stats.dir/contingency.cpp.o"
+  "CMakeFiles/hia_stats.dir/contingency.cpp.o.d"
+  "CMakeFiles/hia_stats.dir/correlation.cpp.o"
+  "CMakeFiles/hia_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/hia_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hia_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hia_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hia_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hia_stats.dir/moments.cpp.o"
+  "CMakeFiles/hia_stats.dir/moments.cpp.o.d"
+  "libhia_stats.a"
+  "libhia_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

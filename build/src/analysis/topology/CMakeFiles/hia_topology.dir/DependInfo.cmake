@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/topology/feature_stats.cpp" "src/analysis/topology/CMakeFiles/hia_topology.dir/feature_stats.cpp.o" "gcc" "src/analysis/topology/CMakeFiles/hia_topology.dir/feature_stats.cpp.o.d"
+  "/root/repo/src/analysis/topology/local_tree.cpp" "src/analysis/topology/CMakeFiles/hia_topology.dir/local_tree.cpp.o" "gcc" "src/analysis/topology/CMakeFiles/hia_topology.dir/local_tree.cpp.o.d"
+  "/root/repo/src/analysis/topology/merge_tree.cpp" "src/analysis/topology/CMakeFiles/hia_topology.dir/merge_tree.cpp.o" "gcc" "src/analysis/topology/CMakeFiles/hia_topology.dir/merge_tree.cpp.o.d"
+  "/root/repo/src/analysis/topology/segmentation.cpp" "src/analysis/topology/CMakeFiles/hia_topology.dir/segmentation.cpp.o" "gcc" "src/analysis/topology/CMakeFiles/hia_topology.dir/segmentation.cpp.o.d"
+  "/root/repo/src/analysis/topology/stream_combine.cpp" "src/analysis/topology/CMakeFiles/hia_topology.dir/stream_combine.cpp.o" "gcc" "src/analysis/topology/CMakeFiles/hia_topology.dir/stream_combine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/stats/CMakeFiles/hia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

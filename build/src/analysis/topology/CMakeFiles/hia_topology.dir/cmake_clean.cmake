@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_topology.dir/feature_stats.cpp.o"
+  "CMakeFiles/hia_topology.dir/feature_stats.cpp.o.d"
+  "CMakeFiles/hia_topology.dir/local_tree.cpp.o"
+  "CMakeFiles/hia_topology.dir/local_tree.cpp.o.d"
+  "CMakeFiles/hia_topology.dir/merge_tree.cpp.o"
+  "CMakeFiles/hia_topology.dir/merge_tree.cpp.o.d"
+  "CMakeFiles/hia_topology.dir/segmentation.cpp.o"
+  "CMakeFiles/hia_topology.dir/segmentation.cpp.o.d"
+  "CMakeFiles/hia_topology.dir/stream_combine.cpp.o"
+  "CMakeFiles/hia_topology.dir/stream_combine.cpp.o.d"
+  "libhia_topology.a"
+  "libhia_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

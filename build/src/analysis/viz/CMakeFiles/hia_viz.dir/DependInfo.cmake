@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/viz/block_lut.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/block_lut.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/block_lut.cpp.o.d"
+  "/root/repo/src/analysis/viz/compositor.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/compositor.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/compositor.cpp.o.d"
+  "/root/repo/src/analysis/viz/downsample.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/downsample.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/downsample.cpp.o.d"
+  "/root/repo/src/analysis/viz/image.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/image.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/image.cpp.o.d"
+  "/root/repo/src/analysis/viz/isosurface.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/isosurface.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/isosurface.cpp.o.d"
+  "/root/repo/src/analysis/viz/raycast.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/raycast.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/raycast.cpp.o.d"
+  "/root/repo/src/analysis/viz/slice.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/slice.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/slice.cpp.o.d"
+  "/root/repo/src/analysis/viz/transfer_function.cpp" "src/analysis/viz/CMakeFiles/hia_viz.dir/transfer_function.cpp.o" "gcc" "src/analysis/viz/CMakeFiles/hia_viz.dir/transfer_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

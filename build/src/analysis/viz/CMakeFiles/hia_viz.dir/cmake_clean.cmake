@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_viz.dir/block_lut.cpp.o"
+  "CMakeFiles/hia_viz.dir/block_lut.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/compositor.cpp.o"
+  "CMakeFiles/hia_viz.dir/compositor.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/downsample.cpp.o"
+  "CMakeFiles/hia_viz.dir/downsample.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/image.cpp.o"
+  "CMakeFiles/hia_viz.dir/image.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/isosurface.cpp.o"
+  "CMakeFiles/hia_viz.dir/isosurface.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/raycast.cpp.o"
+  "CMakeFiles/hia_viz.dir/raycast.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/slice.cpp.o"
+  "CMakeFiles/hia_viz.dir/slice.cpp.o.d"
+  "CMakeFiles/hia_viz.dir/transfer_function.cpp.o"
+  "CMakeFiles/hia_viz.dir/transfer_function.cpp.o.d"
+  "libhia_viz.a"
+  "libhia_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cohosted.cpp" "src/core/CMakeFiles/hia_core.dir/cohosted.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/cohosted.cpp.o.d"
+  "/root/repo/src/core/contingency_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/contingency_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/contingency_pipeline.cpp.o.d"
+  "/root/repo/src/core/correlation_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/correlation_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/correlation_pipeline.cpp.o.d"
+  "/root/repo/src/core/feature_stats_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/feature_stats_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/feature_stats_pipeline.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/hia_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/histogram_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/histogram_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/histogram_pipeline.cpp.o.d"
+  "/root/repo/src/core/isosurface_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/isosurface_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/isosurface_pipeline.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/hia_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hia_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/stats_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/stats_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/stats_pipeline.cpp.o.d"
+  "/root/repo/src/core/timeseries_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/timeseries_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/timeseries_pipeline.cpp.o.d"
+  "/root/repo/src/core/topology_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/topology_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/topology_pipeline.cpp.o.d"
+  "/root/repo/src/core/viz_pipeline.cpp" "src/core/CMakeFiles/hia_core.dir/viz_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hia_core.dir/viz_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hia_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/staging/CMakeFiles/hia_staging.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hia_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/stats/CMakeFiles/hia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/topology/CMakeFiles/hia_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/viz/CMakeFiles/hia_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_core.dir/cohosted.cpp.o"
+  "CMakeFiles/hia_core.dir/cohosted.cpp.o.d"
+  "CMakeFiles/hia_core.dir/contingency_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/contingency_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/correlation_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/correlation_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/feature_stats_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/feature_stats_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/framework.cpp.o"
+  "CMakeFiles/hia_core.dir/framework.cpp.o.d"
+  "CMakeFiles/hia_core.dir/histogram_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/histogram_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/isosurface_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/isosurface_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/metrics.cpp.o"
+  "CMakeFiles/hia_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hia_core.dir/report.cpp.o"
+  "CMakeFiles/hia_core.dir/report.cpp.o.d"
+  "CMakeFiles/hia_core.dir/stats_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/stats_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/timeseries_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/timeseries_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/topology_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/topology_pipeline.cpp.o.d"
+  "CMakeFiles/hia_core.dir/viz_pipeline.cpp.o"
+  "CMakeFiles/hia_core.dir/viz_pipeline.cpp.o.d"
+  "libhia_core.a"
+  "libhia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

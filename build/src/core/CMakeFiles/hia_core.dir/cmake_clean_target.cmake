@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhia_core.a"
+)

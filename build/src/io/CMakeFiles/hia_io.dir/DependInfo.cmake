@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/adios_lite.cpp" "src/io/CMakeFiles/hia_io.dir/adios_lite.cpp.o" "gcc" "src/io/CMakeFiles/hia_io.dir/adios_lite.cpp.o.d"
+  "/root/repo/src/io/bp_lite.cpp" "src/io/CMakeFiles/hia_io.dir/bp_lite.cpp.o" "gcc" "src/io/CMakeFiles/hia_io.dir/bp_lite.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/hia_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/hia_io.dir/checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/staging/CMakeFiles/hia_staging.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hia_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_io.dir/adios_lite.cpp.o"
+  "CMakeFiles/hia_io.dir/adios_lite.cpp.o.d"
+  "CMakeFiles/hia_io.dir/bp_lite.cpp.o"
+  "CMakeFiles/hia_io.dir/bp_lite.cpp.o.d"
+  "CMakeFiles/hia_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/hia_io.dir/checkpoint.cpp.o.d"
+  "libhia_io.a"
+  "libhia_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_runtime.dir/comm.cpp.o"
+  "CMakeFiles/hia_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/hia_runtime.dir/network_model.cpp.o"
+  "CMakeFiles/hia_runtime.dir/network_model.cpp.o.d"
+  "CMakeFiles/hia_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/hia_runtime.dir/thread_pool.cpp.o.d"
+  "libhia_runtime.a"
+  "libhia_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

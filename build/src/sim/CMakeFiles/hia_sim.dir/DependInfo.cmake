@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic_fields.cpp" "src/sim/CMakeFiles/hia_sim.dir/analytic_fields.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/analytic_fields.cpp.o.d"
+  "/root/repo/src/sim/chemistry.cpp" "src/sim/CMakeFiles/hia_sim.dir/chemistry.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/chemistry.cpp.o.d"
+  "/root/repo/src/sim/derived_fields.cpp" "src/sim/CMakeFiles/hia_sim.dir/derived_fields.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/derived_fields.cpp.o.d"
+  "/root/repo/src/sim/halo.cpp" "src/sim/CMakeFiles/hia_sim.dir/halo.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/halo.cpp.o.d"
+  "/root/repo/src/sim/s3d.cpp" "src/sim/CMakeFiles/hia_sim.dir/s3d.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/s3d.cpp.o.d"
+  "/root/repo/src/sim/turbulence.cpp" "src/sim/CMakeFiles/hia_sim.dir/turbulence.cpp.o" "gcc" "src/sim/CMakeFiles/hia_sim.dir/turbulence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_sim.dir/analytic_fields.cpp.o"
+  "CMakeFiles/hia_sim.dir/analytic_fields.cpp.o.d"
+  "CMakeFiles/hia_sim.dir/chemistry.cpp.o"
+  "CMakeFiles/hia_sim.dir/chemistry.cpp.o.d"
+  "CMakeFiles/hia_sim.dir/derived_fields.cpp.o"
+  "CMakeFiles/hia_sim.dir/derived_fields.cpp.o.d"
+  "CMakeFiles/hia_sim.dir/halo.cpp.o"
+  "CMakeFiles/hia_sim.dir/halo.cpp.o.d"
+  "CMakeFiles/hia_sim.dir/s3d.cpp.o"
+  "CMakeFiles/hia_sim.dir/s3d.cpp.o.d"
+  "CMakeFiles/hia_sim.dir/turbulence.cpp.o"
+  "CMakeFiles/hia_sim.dir/turbulence.cpp.o.d"
+  "libhia_sim.a"
+  "libhia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

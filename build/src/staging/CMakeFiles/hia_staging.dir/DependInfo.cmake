@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staging/object_store.cpp" "src/staging/CMakeFiles/hia_staging.dir/object_store.cpp.o" "gcc" "src/staging/CMakeFiles/hia_staging.dir/object_store.cpp.o.d"
+  "/root/repo/src/staging/scheduler.cpp" "src/staging/CMakeFiles/hia_staging.dir/scheduler.cpp.o" "gcc" "src/staging/CMakeFiles/hia_staging.dir/scheduler.cpp.o.d"
+  "/root/repo/src/staging/space_view.cpp" "src/staging/CMakeFiles/hia_staging.dir/space_view.cpp.o" "gcc" "src/staging/CMakeFiles/hia_staging.dir/space_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hia_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hia_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_staging.dir/object_store.cpp.o"
+  "CMakeFiles/hia_staging.dir/object_store.cpp.o.d"
+  "CMakeFiles/hia_staging.dir/scheduler.cpp.o"
+  "CMakeFiles/hia_staging.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hia_staging.dir/space_view.cpp.o"
+  "CMakeFiles/hia_staging.dir/space_view.cpp.o.d"
+  "libhia_staging.a"
+  "libhia_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

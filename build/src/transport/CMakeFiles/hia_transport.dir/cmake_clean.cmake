@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_transport.dir/dart.cpp.o"
+  "CMakeFiles/hia_transport.dir/dart.cpp.o.d"
+  "libhia_transport.a"
+  "libhia_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hia_util.dir/log.cpp.o"
+  "CMakeFiles/hia_util.dir/log.cpp.o.d"
+  "CMakeFiles/hia_util.dir/table.cpp.o"
+  "CMakeFiles/hia_util.dir/table.cpp.o.d"
+  "libhia_util.a"
+  "libhia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

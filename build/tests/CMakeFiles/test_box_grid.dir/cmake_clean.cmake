@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box_grid.dir/test_box_grid.cpp.o"
+  "CMakeFiles/test_box_grid.dir/test_box_grid.cpp.o.d"
+  "test_box_grid"
+  "test_box_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contingency.dir/test_contingency.cpp.o"
+  "CMakeFiles/test_contingency.dir/test_contingency.cpp.o.d"
+  "test_contingency"
+  "test_contingency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contingency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derived_fields.dir/test_derived_fields.cpp.o"
+  "CMakeFiles/test_derived_fields.dir/test_derived_fields.cpp.o.d"
+  "test_derived_fields"
+  "test_derived_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derived_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

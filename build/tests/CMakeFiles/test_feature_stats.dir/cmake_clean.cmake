@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_stats.dir/test_feature_stats.cpp.o"
+  "CMakeFiles/test_feature_stats.dir/test_feature_stats.cpp.o.d"
+  "test_feature_stats"
+  "test_feature_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_halo.dir/test_field_halo.cpp.o"
+  "CMakeFiles/test_field_halo.dir/test_field_halo.cpp.o.d"
+  "test_field_halo"
+  "test_field_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isosurface.dir/test_isosurface.cpp.o"
+  "CMakeFiles/test_isosurface.dir/test_isosurface.cpp.o.d"
+  "test_isosurface"
+  "test_isosurface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isosurface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

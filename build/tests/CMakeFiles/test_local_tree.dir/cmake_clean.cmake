@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_tree.dir/test_local_tree.cpp.o"
+  "CMakeFiles/test_local_tree.dir/test_local_tree.cpp.o.d"
+  "test_local_tree"
+  "test_local_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_tree.dir/test_merge_tree.cpp.o"
+  "CMakeFiles/test_merge_tree.dir/test_merge_tree.cpp.o.d"
+  "test_merge_tree"
+  "test_merge_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

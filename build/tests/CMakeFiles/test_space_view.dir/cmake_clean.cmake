@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_view.dir/test_space_view.cpp.o"
+  "CMakeFiles/test_space_view.dir/test_space_view.cpp.o.d"
+  "test_space_view"
+  "test_space_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

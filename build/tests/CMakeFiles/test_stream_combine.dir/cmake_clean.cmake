@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_combine.dir/test_stream_combine.cpp.o"
+  "CMakeFiles/test_stream_combine.dir/test_stream_combine.cpp.o.d"
+  "test_stream_combine"
+  "test_stream_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
