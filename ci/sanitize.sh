@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the whole tree under ASan + UBSan (the `sanitize` CMake preset)
+# and runs the full test suite. Any sanitizer report fails the run:
+# -fno-sanitize-recover=all turns UBSan diagnostics into aborts, and
+# halt_on_error makes ASan exit on the first leak-free error too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --preset sanitize -j "$(nproc)"

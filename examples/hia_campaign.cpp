@@ -37,6 +37,7 @@ struct Options {
   int servers = 2;
   int frequency = 1;
   std::string analyses = "stats,viz,topo";
+  std::string codec;
   std::string output_dir;
   bool list_only = false;
 };
@@ -74,6 +75,8 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --servers N         DataSpaces servers (default 2)\n"
       "  --frequency N       run analyses every Nth step (default 1)\n"
       "  --analyses a,b,...  comma list or 'all' (default stats,viz,topo)\n"
+      "  --codec SPEC        staging codec: raw, rle, delta, or\n"
+      "                      quantize:<abs error bound> (default: none)\n"
       "  --output-dir DIR    write PPM/OBJ artifacts there\n"
       "  --list              list available analyses and exit\n");
   std::exit(code);
@@ -108,6 +111,8 @@ Options parse(int argc, char** argv) {
       opt.frequency = std::atoi(need("--frequency"));
     } else if (std::strcmp(argv[a], "--analyses") == 0) {
       opt.analyses = need("--analyses");
+    } else if (std::strcmp(argv[a], "--codec") == 0) {
+      opt.codec = need("--codec");
     } else if (std::strcmp(argv[a], "--output-dir") == 0) {
       opt.output_dir = need("--output-dir");
     } else if (std::strcmp(argv[a], "--list") == 0) {
@@ -160,6 +165,15 @@ int main(int argc, char** argv) {
   config.staging_servers = opt.servers;
   config.staging_buckets = opt.buckets;
   config.steps = opt.steps;
+  config.staging_codec = opt.codec;
+  if (!opt.codec.empty()) {
+    try {
+      (void)make_codec(opt.codec);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --codec: %s\n", e.what());
+      return 2;
+    }
+  }
 
   HybridRunner runner(config);
 
@@ -221,6 +235,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(opt.grid[2]), opt.ranks[0],
               opt.ranks[1], opt.ranks[2], opt.buckets, opt.frequency,
               opt.analyses.c_str());
+  if (!opt.codec.empty()) {
+    std::printf("staging codec: %s (wire/ratio columns below show the "
+                "published-byte reduction)\n\n",
+                opt.codec.c_str());
+  }
 
   const RunReport report = runner.run();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -57,13 +58,13 @@ std::vector<double> ContingencyTable::serialize() const {
 
 ContingencyTable ContingencyTable::deserialize(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 3, "contingency payload too short");
-  ContingencyTable t(static_cast<int>(data[0]), static_cast<int>(data[1]));
-  const auto n = static_cast<size_t>(data[2]);
+  ContingencyTable t(round_to<int>(data[0]), round_to<int>(data[1]));
+  const auto n = round_to<size_t>(data[2]);
   HIA_REQUIRE(data.size() == 3 + n * 3, "contingency payload size mismatch");
   for (size_t c = 0; c < n; ++c) {
-    const int x = static_cast<int>(data[3 + c * 3]);
-    const int y = static_cast<int>(data[3 + c * 3 + 1]);
-    const auto count = static_cast<uint64_t>(data[3 + c * 3 + 2]);
+    const int x = round_to<int>(data[3 + c * 3]);
+    const int y = round_to<int>(data[3 + c * 3 + 1]);
+    const auto count = round_to<uint64_t>(data[3 + c * 3 + 2]);
     HIA_REQUIRE(x >= 0 && x < t.x_bins_ && y >= 0 && y < t.y_bins_,
                 "contingency cell out of range");
     t.cells_[{x, y}] += count;

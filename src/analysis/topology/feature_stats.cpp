@@ -8,6 +8,7 @@
 #include "analysis/topology/merge_tree.hpp"  // above()
 #include "analysis/topology/segmentation.hpp"
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -99,29 +100,29 @@ std::vector<double> LocalFeatureData::serialize() const {
 LocalFeatureData LocalFeatureData::deserialize(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 3, "feature payload too short");
   LocalFeatureData d;
-  const auto n = static_cast<size_t>(data[0]);
-  const auto nb = static_cast<size_t>(data[1]);
-  const auto nl = static_cast<size_t>(data[2]);
+  const auto n = round_to<size_t>(data[0]);
+  const auto nb = round_to<size_t>(data[1]);
+  const auto nl = round_to<size_t>(data[2]);
   const size_t per_comp = 6 + MomentAccumulator::kPackedSize;
   HIA_REQUIRE(data.size() == 3 + n * per_comp + nb * 2 + nl * 2,
               "feature payload size mismatch");
   size_t off = 3;
   for (size_t c = 0; c < n; ++c) {
-    d.comp_max_id.push_back(static_cast<uint64_t>(data[off++]));
+    d.comp_max_id.push_back(round_to<uint64_t>(data[off++]));
     d.comp_max_value.push_back(data[off++]);
-    d.comp_voxels.push_back(static_cast<int64_t>(data[off++]));
+    d.comp_voxels.push_back(round_to<int64_t>(data[off++]));
     for (int a = 0; a < 3; ++a) d.comp_centroid_sum.push_back(data[off++]);
     for (int m = 0; m < MomentAccumulator::kPackedSize; ++m) {
       d.comp_moments.push_back(data[off++]);
     }
   }
   for (size_t b = 0; b < nb; ++b) {
-    d.boundary_gid.push_back(static_cast<uint64_t>(data[off++]));
-    d.boundary_comp.push_back(static_cast<uint32_t>(data[off++]));
+    d.boundary_gid.push_back(round_to<uint64_t>(data[off++]));
+    d.boundary_comp.push_back(round_to<uint32_t>(data[off++]));
   }
   for (size_t l = 0; l < nl; ++l) {
-    d.link_comp.push_back(static_cast<uint32_t>(data[off++]));
-    d.link_gid.push_back(static_cast<uint64_t>(data[off++]));
+    d.link_comp.push_back(round_to<uint32_t>(data[off++]));
+    d.link_gid.push_back(round_to<uint64_t>(data[off++]));
   }
   return d;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -27,8 +28,8 @@ std::vector<double> SubtreeData::serialize() const {
 SubtreeData SubtreeData::deserialize(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 2, "subtree payload too short");
   SubtreeData s;
-  const auto nv = static_cast<size_t>(data[0]);
-  const auto ne = static_cast<size_t>(data[1]);
+  const auto nv = round_to<size_t>(data[0]);
+  const auto ne = round_to<size_t>(data[1]);
   HIA_REQUIRE(data.size() == 2 + nv * 3 + ne * 2,
               "subtree payload size mismatch");
   s.vertex_ids.reserve(nv);
@@ -36,15 +37,15 @@ SubtreeData SubtreeData::deserialize(std::span<const double> data) {
   s.interior.reserve(nv);
   size_t off = 2;
   for (size_t i = 0; i < nv; ++i) {
-    s.vertex_ids.push_back(static_cast<uint64_t>(data[off++]));
+    s.vertex_ids.push_back(round_to<uint64_t>(data[off++]));
     s.vertex_values.push_back(data[off++]);
-    s.interior.push_back(static_cast<uint8_t>(data[off++]));
+    s.interior.push_back(round_to<uint8_t>(data[off++]));
   }
   s.edge_child.reserve(ne);
   s.edge_parent.reserve(ne);
   for (size_t e = 0; e < ne; ++e) {
-    s.edge_child.push_back(static_cast<uint32_t>(data[off++]));
-    s.edge_parent.push_back(static_cast<uint32_t>(data[off++]));
+    s.edge_child.push_back(round_to<uint32_t>(data[off++]));
+    s.edge_parent.push_back(round_to<uint32_t>(data[off++]));
   }
   return s;
 }

@@ -1,6 +1,7 @@
 #include "analysis/viz/downsample.hpp"
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -19,10 +20,10 @@ DownsampledBlock DownsampledBlock::deserialize(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 10, "downsampled block payload too short");
   DownsampledBlock b;
   size_t off = 0;
-  for (int a = 0; a < 3; ++a) b.bounds.lo[a] = static_cast<int64_t>(data[off++]);
-  for (int a = 0; a < 3; ++a) b.bounds.hi[a] = static_cast<int64_t>(data[off++]);
-  b.stride = static_cast<int>(data[off++]);
-  for (int a = 0; a < 3; ++a) b.samples[a] = static_cast<int64_t>(data[off++]);
+  for (int a = 0; a < 3; ++a) b.bounds.lo[a] = round_to<int64_t>(data[off++]);
+  for (int a = 0; a < 3; ++a) b.bounds.hi[a] = round_to<int64_t>(data[off++]);
+  b.stride = round_to<int>(data[off++]);
+  for (int a = 0; a < 3; ++a) b.samples[a] = round_to<int64_t>(data[off++]);
   const size_t expected = static_cast<size_t>(b.samples[0]) *
                           static_cast<size_t>(b.samples[1]) *
                           static_cast<size_t>(b.samples[2]);

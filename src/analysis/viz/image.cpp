@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -75,8 +76,8 @@ std::vector<double> serialize_image(const Image& image) {
 
 Image deserialize_image(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 2, "image payload too short");
-  const int w = static_cast<int>(data[0]);
-  const int h = static_cast<int>(data[1]);
+  const int w = round_to<int>(data[0]);
+  const int h = round_to<int>(data[1]);
   HIA_REQUIRE(w > 0 && h > 0 &&
                   data.size() == 2 + static_cast<size_t>(w) *
                                      static_cast<size_t>(h) * 4,

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -50,8 +51,8 @@ std::vector<double> TriangleMesh::serialize() const {
 TriangleMesh TriangleMesh::deserialize(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 2, "mesh payload too short");
   TriangleMesh m;
-  const auto nv = static_cast<size_t>(data[0]);
-  const auto nt = static_cast<size_t>(data[1]);
+  const auto nv = round_to<size_t>(data[0]);
+  const auto nt = round_to<size_t>(data[1]);
   HIA_REQUIRE(data.size() == 2 + nv * 3 + nt * 3,
               "mesh payload size mismatch");
   size_t off = 2;
@@ -63,9 +64,9 @@ TriangleMesh TriangleMesh::deserialize(std::span<const double> data) {
   }
   m.triangles.reserve(nt);
   for (size_t t = 0; t < nt; ++t) {
-    m.triangles.push_back({static_cast<uint32_t>(data[off]),
-                           static_cast<uint32_t>(data[off + 1]),
-                           static_cast<uint32_t>(data[off + 2])});
+    m.triangles.push_back({round_to<uint32_t>(data[off]),
+                           round_to<uint32_t>(data[off + 1]),
+                           round_to<uint32_t>(data[off + 2])});
     off += 3;
     for (const uint32_t idx : m.triangles.back()) {
       HIA_REQUIRE(idx < nv, "mesh triangle index out of range");

@@ -1,0 +1,88 @@
+// The built-in codec implementations. See codec.hpp for the frame format
+// and the selection rationale per payload class.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace hia {
+
+/// Identity baseline: payload is the little-endian IEEE-754 bytes of the
+/// values. Every comparison in the ablation bench is against this.
+class RawCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::kRaw; }
+  [[nodiscard]] std::string name() const override { return "raw"; }
+  [[nodiscard]] std::vector<std::byte> encode_payload(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode_payload(
+      std::span<const std::byte> payload, size_t count,
+      double param) const override;
+};
+
+/// Run-length coding over bit-identical values: [varint run length,
+/// 8-byte value] per run. Wins on segmentation label fields and other
+/// piecewise-constant payloads; lossless (runs compare the raw bit
+/// patterns, so NaNs and signed zeros round-trip exactly).
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::kRle; }
+  [[nodiscard]] std::string name() const override { return "rle"; }
+  [[nodiscard]] std::vector<std::byte> encode_payload(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode_payload(
+      std::span<const std::byte> payload, size_t count,
+      double param) const override;
+};
+
+/// Zig-zag delta varint for integral payloads (merge-tree arc ids, sorted
+/// vertex indices, counts). If every value is a finite integer within a
+/// safe int64 range the payload is first-differences in zig-zag varint
+/// form; otherwise it falls back to the raw bytes so the codec stays
+/// lossless on arbitrary input.
+class DeltaVarintCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecKind kind() const override {
+    return CodecKind::kDeltaVarint;
+  }
+  [[nodiscard]] std::string name() const override { return "delta"; }
+  [[nodiscard]] std::vector<std::byte> encode_payload(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode_payload(
+      std::span<const std::byte> payload, size_t count,
+      double param) const override;
+};
+
+/// Fixed-point quantization under a user-set absolute error bound,
+/// followed by a byte shuffle of the fixed-width quantized planes.
+///
+/// bound > 0: k = llround(x / (2*bound)); the reconstruction k * 2*bound
+/// differs from x by at most `bound`. The k values are offset by their
+/// minimum and stored in the smallest byte width that spans their range,
+/// shuffled so plane b holds byte b of every value (smooth fields put all
+/// the entropy in the low planes). Non-finite values and quantizer
+/// overflows are carried verbatim in an exception list and restored
+/// bit-exactly.
+///
+/// bound == 0: lossless mode — the raw IEEE doubles are byte-shuffled
+/// (width 8), demonstrating the shuffle transform at ratio 1.
+class QuantizeShuffleCodec final : public Codec {
+ public:
+  explicit QuantizeShuffleCodec(double bound);
+
+  [[nodiscard]] CodecKind kind() const override {
+    return CodecKind::kQuantizeShuffle;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double param() const override { return bound_; }
+  [[nodiscard]] double error_bound() const override { return bound_; }
+  [[nodiscard]] std::vector<std::byte> encode_payload(
+      std::span<const double> values) const override;
+  [[nodiscard]] std::vector<double> decode_payload(
+      std::span<const std::byte> payload, size_t count,
+      double param) const override;
+
+ private:
+  double bound_;
+};
+
+}  // namespace hia

@@ -28,13 +28,15 @@ namespace hia {
 class InSituContext {
  public:
   InSituContext(S3DRank& sim, Comm& comm, StagingService& staging,
-                SteeringBoard& steering, int dart_node, long step)
+                SteeringBoard& steering, int dart_node, long step,
+                const Codec* codec = nullptr)
       : sim_(sim),
         comm_(comm),
         staging_(staging),
         steering_(steering),
         dart_node_(dart_node),
-        step_(step) {}
+        step_(step),
+        codec_(codec) {}
 
   /// Native simulation data structures, shared with the solver.
   [[nodiscard]] S3DRank& sim() { return sim_; }
@@ -45,14 +47,26 @@ class InSituContext {
 
   /// Publishes an intermediate data block to the staging area (data-ready
   /// path) and accounts its size toward this rank's published volume.
+  /// Blocks travel through the run's staging codec (if any): the logical
+  /// size counts toward published_bytes(), what actually crosses the wire
+  /// toward published_wire_bytes().
   DataDescriptor publish(const std::string& variable, const Box3& box,
                          const std::vector<double>& data) {
     published_bytes_ += data.size() * sizeof(double);
-    return staging_.publish(dart_node_, variable, step_, box, data);
+    DataDescriptor desc =
+        staging_.publish(dart_node_, variable, step_, box, data, codec_);
+    published_wire_bytes_ += desc.handle.bytes;
+    return desc;
   }
 
   /// Bytes published through this context (per rank, per invocation).
   [[nodiscard]] size_t published_bytes() const { return published_bytes_; }
+  /// Post-encoding bytes actually exposed for RDMA pulls.
+  [[nodiscard]] size_t published_wire_bytes() const {
+    return published_wire_bytes_;
+  }
+  /// The run's staging codec, or nullptr when publishing raw.
+  [[nodiscard]] const Codec* codec() const { return codec_; }
 
   /// The run's steering board: in-transit stages (or an operator) post
   /// parameter updates; in-situ stages read them at step boundaries.
@@ -65,7 +79,9 @@ class InSituContext {
   SteeringBoard& steering_;
   int dart_node_;
   long step_;
+  const Codec* codec_;
   size_t published_bytes_ = 0;
+  size_t published_wire_bytes_ = 0;
 };
 
 class HybridAnalysis {

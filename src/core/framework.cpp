@@ -15,6 +15,9 @@ HybridRunner::HybridRunner(RunConfig config)
   staging_ = std::make_unique<StagingService>(
       *dart_, StagingService::Options{config.staging_servers,
                                       config.staging_buckets});
+  if (!config_.staging_codec.empty()) {
+    codec_ = make_codec(config_.staging_codec);
+  }
 }
 
 HybridRunner::~HybridRunner() = default;
@@ -45,6 +48,7 @@ RunReport HybridRunner::run() {
   RunReport report;
   report.steps = config_.steps;
   report.sim_ranks = nranks;
+  report.staging_codec = config_.staging_codec;
   report.solution_bytes_per_step =
       static_cast<size_t>(config_.sim.grid.num_points()) * kNumVariables *
       sizeof(double);
@@ -74,7 +78,7 @@ RunReport HybridRunner::run() {
         if (sim.step() % sched.frequency != 0) continue;
 
         InSituContext ctx(sim, comm, *staging_, steering_, dart_node,
-                          sim.step());
+                          sim.step(), codec_.get());
         Stopwatch watch;
         sched.analysis->in_situ(ctx);
         const double seconds = watch.seconds();
@@ -83,6 +87,8 @@ RunReport HybridRunner::run() {
         const double sum_s = comm.allreduce_sum(seconds);
         const double bytes = comm.allreduce_sum(
             static_cast<double>(ctx.published_bytes()));
+        const double wire_bytes = comm.allreduce_sum(
+            static_cast<double>(ctx.published_wire_bytes()));
 
         // 3. Data-ready: rank 0 creates the in-transit task.
         const auto staged = sched.analysis->staged_variables();
@@ -94,7 +100,7 @@ RunReport HybridRunner::run() {
           report.in_situ.push_back(InSituMetric{
               sched.analysis->name(), sim.step(), max_s,
               sum_s / static_cast<double>(comm.size()),
-              static_cast<size_t>(bytes)});
+              static_cast<size_t>(bytes), static_cast<size_t>(wire_bytes)});
         }
         // Publishing must complete on all ranks before the task pulls; the
         // allreduce above already provides that synchronization.

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "core/analysis.hpp"
 #include "core/metrics.hpp"
 #include "runtime/network_model.hpp"
@@ -32,6 +34,10 @@ struct RunConfig {
   long steps = 5;
   NetworkParams network{};
   Dart::Options dart{};
+  /// Data-reduction codec applied to every block published to staging:
+  /// a make_codec() spec ("raw", "rle", "delta", "quantize:1e-6").
+  /// Empty = publish raw (no frame, no codec overhead).
+  std::string staging_codec;
 };
 
 class HybridRunner {
@@ -65,6 +71,7 @@ class HybridRunner {
   NetworkModel network_;
   std::unique_ptr<Dart> dart_;
   std::unique_ptr<StagingService> staging_;
+  std::shared_ptr<const Codec> codec_;  // null = publish raw
   SteeringBoard steering_;
   std::vector<Scheduled> analyses_;
   bool ran_ = false;

@@ -1,6 +1,7 @@
 #include "core/histogram_pipeline.hpp"
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -20,12 +21,12 @@ std::vector<double> serialize_histogram(const Histogram& h) {
 
 Histogram deserialize_histogram(std::span<const double> data) {
   HIA_REQUIRE(data.size() >= 5, "histogram payload too short");
-  const int bins = static_cast<int>(data[2]);
+  const int bins = round_to<int>(data[2]);
   HIA_REQUIRE(data.size() == 5 + static_cast<size_t>(bins),
               "histogram payload size mismatch");
   Histogram h(data[0], data[1], bins);
   h.restore(std::span(data.data() + 5, static_cast<size_t>(bins)),
-            static_cast<uint64_t>(data[3]), static_cast<uint64_t>(data[4]));
+            round_to<uint64_t>(data[3]), round_to<uint64_t>(data[4]));
   return h;
 }
 

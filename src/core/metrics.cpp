@@ -46,4 +46,28 @@ double RunReport::mean_movement_bytes(const std::string& analysis) const {
       [](const TaskRecord& r) { return static_cast<double>(r.data_movement_bytes); });
 }
 
+double RunReport::mean_movement_raw_bytes(const std::string& analysis) const {
+  return mean_over(
+      in_transit, [&](const TaskRecord& r) { return r.analysis == analysis; },
+      [](const TaskRecord& r) {
+        return static_cast<double>(r.data_movement_raw_bytes);
+      });
+}
+
+double RunReport::mean_decode_seconds(const std::string& analysis) const {
+  return mean_over(
+      in_transit, [&](const TaskRecord& r) { return r.analysis == analysis; },
+      [](const TaskRecord& r) { return r.decode_seconds; });
+}
+
+double RunReport::compression_ratio(const std::string& analysis) const {
+  double raw = 0.0, wire = 0.0;
+  for (const TaskRecord& r : in_transit) {
+    if (r.analysis != analysis) continue;
+    raw += static_cast<double>(r.data_movement_raw_bytes);
+    wire += static_cast<double>(r.data_movement_bytes);
+  }
+  return wire == 0.0 ? 1.0 : raw / wire;
+}
+
 }  // namespace hia

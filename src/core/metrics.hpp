@@ -17,12 +17,15 @@ struct InSituMetric {
   double max_rank_seconds = 0.0;   // slowest rank (the simulation waits on it)
   double mean_rank_seconds = 0.0;
   size_t published_bytes = 0;      // intermediate data shipped to staging
+  size_t published_wire_bytes = 0;  // after the staging codec (== published
+                                    // when publishing raw)
 };
 
 /// Full record of one hybrid run.
 struct RunReport {
   long steps = 0;
   int sim_ranks = 0;
+  std::string staging_codec;  // codec spec the run published through ("" = raw)
 
   std::vector<double> sim_step_seconds;      // max over ranks, per step
   std::vector<InSituMetric> in_situ;         // one per (analysis, step)
@@ -54,7 +57,16 @@ struct RunReport {
       const std::string& analysis) const;
   [[nodiscard]] double mean_movement_seconds(
       const std::string& analysis) const;
+  /// Mean wire bytes pulled per task (post-codec).
   [[nodiscard]] double mean_movement_bytes(const std::string& analysis) const;
+  /// Mean logical bytes pulled per task (pre-codec).
+  [[nodiscard]] double mean_movement_raw_bytes(
+      const std::string& analysis) const;
+  /// Mean bucket-side codec decode seconds per task.
+  [[nodiscard]] double mean_decode_seconds(const std::string& analysis) const;
+  /// raw / wire over this analysis's pulls (1.0 when publishing raw or when
+  /// nothing moved).
+  [[nodiscard]] double compression_ratio(const std::string& analysis) const;
 };
 
 }  // namespace hia

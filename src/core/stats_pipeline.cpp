@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -79,7 +80,7 @@ std::vector<DescriptiveModel> deserialize_models(
   for (size_t i = 0; i < out.size(); ++i) {
     DescriptiveModel& m = out[i];
     const double* p = &flat[i * 8];
-    m.count = static_cast<uint64_t>(p[0]);
+    m.count = round_to<uint64_t>(p[0]);
     m.mean = p[1];
     m.min = p[2];
     m.max = p[3];

@@ -44,7 +44,7 @@ void TimeSeriesAutocorrelation::in_transit(TaskContext& ctx) {
     }
   }
   std::vector<std::byte> bytes(flat.size() * sizeof(double));
-  std::memcpy(bytes.data(), flat.data(), bytes.size());
+  if (!bytes.empty()) std::memcpy(bytes.data(), flat.data(), bytes.size());
   ctx.set_result(std::move(bytes));
 }
 

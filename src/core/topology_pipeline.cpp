@@ -6,6 +6,7 @@
 #include "io/bp_lite.hpp"
 #include "sim/halo.hpp"
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace hia {
 
@@ -35,17 +36,17 @@ TreeSummary TreeSummary::deserialize(std::span<const std::byte> bytes) {
   std::vector<double> flat(bytes.size() / sizeof(double));
   std::memcpy(flat.data(), bytes.data(), bytes.size());
   TreeSummary s;
-  s.step = static_cast<long>(flat[0]);
-  s.tree_nodes = static_cast<size_t>(flat[1]);
-  s.tree_leaves = static_cast<size_t>(flat[2]);
-  s.peak_live_nodes = static_cast<size_t>(flat[3]);
-  s.evicted = static_cast<size_t>(flat[4]);
+  s.step = round_to<long>(flat[0]);
+  s.tree_nodes = round_to<size_t>(flat[1]);
+  s.tree_leaves = round_to<size_t>(flat[2]);
+  s.peak_live_nodes = round_to<size_t>(flat[3]);
+  s.evicted = round_to<size_t>(flat[4]);
   HIA_REQUIRE((flat.size() - 5) % 4 == 0, "tree summary pair data malformed");
   for (size_t off = 5; off + 3 < flat.size(); off += 4) {
     PersistencePair p;
-    p.max_id = static_cast<uint64_t>(flat[off]);
+    p.max_id = round_to<uint64_t>(flat[off]);
     p.max_value = flat[off + 1];
-    p.saddle_id = static_cast<uint64_t>(flat[off + 2]);
+    p.saddle_id = round_to<uint64_t>(flat[off + 2]);
     p.saddle_value = flat[off + 3];
     s.top_pairs.push_back(p);
   }

@@ -26,6 +26,14 @@ AdiosGroup::AdiosGroup(std::string group_name, int writer_id,
       method_(AdiosMethod::kStagingMethod),
       space_(&space) {}
 
+void AdiosGroup::set_codec(const std::string& spec) {
+  codec_ = spec.empty() ? nullptr : make_codec(spec);
+}
+
+void AdiosGroup::set_codec(std::shared_ptr<const Codec> codec) {
+  codec_ = std::move(codec);
+}
+
 void AdiosGroup::define_variable(const std::string& name) {
   for (const auto& v : variables_) {
     HIA_REQUIRE(v != name, "variable already defined: " + name);
@@ -64,13 +72,17 @@ AdiosWriteResult AdiosGroup::write(
     const std::string path = file_path(step);
     bp_write_file(path, entries);
     result.files.push_back(path);
+    result.wire_bytes = result.bytes;
     result.modeled_seconds = ost_.write_seconds(
         result.bytes * static_cast<size_t>(concurrent_writers),
         concurrent_writers);
   } else {
     for (size_t v = 0; v < variables_.size(); ++v) {
-      space_->put(group_name_ + "/" + variables_[v], step, box, payloads[v]);
+      const DataDescriptor desc = space_->put(
+          group_name_ + "/" + variables_[v], step, box, payloads[v],
+          codec_.get());
       result.bytes += payloads[v].size() * sizeof(double);
+      result.wire_bytes += desc.handle.bytes;
     }
     // Publishing is local (data stays in the writer's memory); the wire
     // cost is paid by whoever pulls. Modeled time is therefore ~0.

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "io/bp_lite.hpp"
 #include "io/ost_model.hpp"
 #include "staging/space_view.hpp"
@@ -27,7 +28,8 @@ enum class AdiosMethod { kPosixMethod, kStagingMethod };
 const char* to_string(AdiosMethod method);
 
 struct AdiosWriteResult {
-  size_t bytes = 0;
+  size_t bytes = 0;                // logical payload bytes
+  size_t wire_bytes = 0;           // bytes published/written after encoding
   double measured_seconds = 0.0;   // actual wall time on this machine
   double modeled_seconds = 0.0;    // OST model (posix) / network (staging)
   std::vector<std::string> files;  // posix method only
@@ -45,6 +47,14 @@ class AdiosGroup {
 
   /// Declares a variable carried by this group (order defines layout).
   void define_variable(const std::string& name);
+
+  /// Selects the data-reduction codec for this group's staging writes —
+  /// the ADIOS "one line in the XML" knob. Pass a spec string understood
+  /// by make_codec() ("raw", "rle", "delta", "quantize:1e-6") or a codec
+  /// instance; an empty spec clears it. Ignored by the posix method.
+  void set_codec(const std::string& spec);
+  void set_codec(std::shared_ptr<const Codec> codec);
+  [[nodiscard]] const Codec* codec() const { return codec_.get(); }
 
   [[nodiscard]] AdiosMethod method() const { return method_; }
   [[nodiscard]] const std::vector<std::string>& variables() const {
@@ -73,6 +83,7 @@ class AdiosGroup {
 
   // staging method state
   SpaceView* space_ = nullptr;
+  std::shared_ptr<const Codec> codec_;
 
   [[nodiscard]] std::string file_path(long step) const;
 };

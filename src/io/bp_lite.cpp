@@ -48,8 +48,10 @@ std::vector<std::byte> bp_serialize(const std::vector<BpEntry>& entries) {
     append_pod(out, static_cast<uint64_t>(e.values.size()));
     const size_t voff = out.size();
     out.resize(voff + e.values.size() * sizeof(double));
-    std::memcpy(out.data() + voff, e.values.data(),
-                e.values.size() * sizeof(double));
+    if (!e.values.empty()) {
+      std::memcpy(out.data() + voff, e.values.data(),
+                  e.values.size() * sizeof(double));
+    }
   }
   return out;
 }
@@ -74,7 +76,9 @@ std::vector<BpEntry> bp_parse(std::span<const std::byte> data) {
     HIA_REQUIRE(off + nvals * sizeof(double) <= data.size(),
                 "BP-lite: truncated payload");
     e.values.resize(nvals);
-    std::memcpy(e.values.data(), data.data() + off, nvals * sizeof(double));
+    if (nvals > 0) {
+      std::memcpy(e.values.data(), data.data() + off, nvals * sizeof(double));
+    }
     off += nvals * sizeof(double);
     entries.push_back(std::move(e));
   }

@@ -40,7 +40,9 @@ struct TaskRecord {
   double assign_time = 0.0;
   double complete_time = 0.0;
   double data_movement_seconds = 0.0;  // modeled wire time for all pulls
-  size_t data_movement_bytes = 0;
+  size_t data_movement_bytes = 0;      // wire bytes (encoded when compressed)
+  size_t data_movement_raw_bytes = 0;  // logical bytes before encoding
+  double decode_seconds = 0.0;         // bucket-side codec decode time
   double compute_seconds = 0.0;        // handler wall time minus pulls
 };
 

@@ -1,7 +1,5 @@
 #include "staging/scheduler.hpp"
 
-#include <cstring>
-
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -14,16 +12,18 @@ std::vector<std::byte> TaskContext::pull(const DataDescriptor& desc) {
   auto data = dart_.get(dart_node_, desc.handle, &stats);
   movement_seconds_ += stats.modeled_seconds;
   movement_bytes_ += stats.bytes;
+  movement_raw_bytes_ += stats.raw_bytes;
   return data;
 }
 
 std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
-  auto bytes = pull(desc);
-  HIA_REQUIRE(bytes.size() % sizeof(double) == 0,
-              "pulled region is not a whole number of doubles");
-  std::vector<double> out(bytes.size() / sizeof(double));
-  std::memcpy(out.data(), bytes.data(), bytes.size());
-  return out;
+  TransferStats stats;
+  auto data = dart_.get_doubles(dart_node_, desc.handle, &stats);
+  movement_seconds_ += stats.modeled_seconds;
+  movement_bytes_ += stats.bytes;
+  movement_raw_bytes_ += stats.raw_bytes;
+  decode_seconds_ += stats.decode_seconds;
+  return data;
 }
 
 // -------------------------------------------------------- StagingService --
@@ -60,13 +60,15 @@ void StagingService::register_handler(const std::string& analysis,
 DataDescriptor StagingService::publish(int src_node,
                                        const std::string& variable, long step,
                                        const Box3& box,
-                                       const std::vector<double>& data) {
+                                       const std::vector<double>& data,
+                                       const Codec* codec) {
   DataDescriptor desc;
   desc.variable = variable;
   desc.step = step;
   desc.box = box;
   desc.src_node = src_node;
-  desc.handle = dart_.put_doubles(src_node, data);
+  desc.handle = codec == nullptr ? dart_.put_doubles(src_node, data)
+                                 : dart_.put_doubles(src_node, data, *codec);
   store_.put(desc);
   return desc;
 }
@@ -215,6 +217,8 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   record.complete_time = clock_.seconds();
   record.data_movement_seconds = ctx.movement_seconds_;
   record.data_movement_bytes = ctx.movement_bytes_;
+  record.data_movement_raw_bytes = ctx.movement_raw_bytes_;
+  record.decode_seconds = ctx.decode_seconds_;
   record.compute_seconds = wall;
 
   {

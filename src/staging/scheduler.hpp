@@ -41,7 +41,9 @@ class TaskContext {
   [[nodiscard]] Dart& dart() { return dart_; }
 
   /// Pulls one input block from in-situ memory (one-sided RDMA get);
-  /// movement time/bytes are accumulated into this task's record.
+  /// movement time/bytes are accumulated into this task's record. pull()
+  /// returns the wire bytes verbatim; pull_doubles() transparently decodes
+  /// codec-published blocks, charging decode seconds to the task record.
   std::vector<std::byte> pull(const DataDescriptor& desc);
   std::vector<double> pull_doubles(const DataDescriptor& desc);
 
@@ -67,7 +69,9 @@ class TaskContext {
   int bucket_;
   int dart_node_;  // the bucket's Dart registration
   double movement_seconds_ = 0.0;
-  size_t movement_bytes_ = 0;
+  size_t movement_bytes_ = 0;      // wire bytes
+  size_t movement_raw_bytes_ = 0;  // logical bytes before encoding
+  double decode_seconds_ = 0.0;
   std::optional<std::vector<std::byte>> result_;
 };
 
@@ -93,9 +97,12 @@ class StagingService {
   [[nodiscard]] ObjectStore& store() { return store_; }
 
   /// In-situ side: publish a block through Dart and insert its descriptor
-  /// into the shared space. Returns the descriptor.
+  /// into the shared space. Returns the descriptor. When `codec` is given
+  /// the block travels encoded: the descriptor's handle carries the wire
+  /// size and every bucket pull is charged on the compressed bytes.
   DataDescriptor publish(int src_node, const std::string& variable, long step,
-                         const Box3& box, const std::vector<double>& data);
+                         const Box3& box, const std::vector<double>& data,
+                         const Codec* codec = nullptr);
 
   /// Data-ready: queue an in-transit task. Returns the task id.
   uint64_t submit(InTransitTask task);

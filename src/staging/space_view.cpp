@@ -6,7 +6,8 @@ namespace hia {
 
 DataDescriptor SpaceView::put(const std::string& variable, long step,
                               const Box3& box,
-                              const std::vector<double>& data) {
+                              const std::vector<double>& data,
+                              const Codec* codec) {
   HIA_REQUIRE(static_cast<int64_t>(data.size()) == box.num_cells(),
               "put: data does not match box");
   DataDescriptor desc;
@@ -14,7 +15,8 @@ DataDescriptor SpaceView::put(const std::string& variable, long step,
   desc.step = step;
   desc.box = box;
   desc.src_node = node_;
-  desc.handle = dart_.put_doubles(node_, data);
+  desc.handle = codec == nullptr ? dart_.put_doubles(node_, data)
+                                 : dart_.put_doubles(node_, data, *codec);
   store_.put(desc);
   return desc;
 }
@@ -32,7 +34,10 @@ std::vector<double> SpaceView::get(const std::string& variable, long step,
     TransferStats one;
     const auto block = dart_.get_doubles(node_, d.handle, &one);
     total.bytes += one.bytes;
+    total.raw_bytes += one.raw_bytes;
     total.modeled_seconds += one.modeled_seconds;
+    total.decode_seconds += one.decode_seconds;
+    total.encoded = total.encoded || one.encoded;
     const Box3 overlap = box.intersect(d.box);
     for (int64_t k = overlap.lo[2]; k < overlap.hi[2]; ++k) {
       for (int64_t j = overlap.lo[1]; j < overlap.hi[1]; ++j) {

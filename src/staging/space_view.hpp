@@ -25,13 +25,17 @@ class SpaceView {
   SpaceView(ObjectStore& store, Dart& dart, int node)
       : store_(store), dart_(dart), node_(node) {}
 
-  /// Publishes `data` (packed x-fastest over `box`) into the space.
+  /// Publishes `data` (packed x-fastest over `box`) into the space. When
+  /// `codec` is given the block is published encoded, so every get() of a
+  /// region overlapping it moves (and charges) only the wire bytes.
   DataDescriptor put(const std::string& variable, long step, const Box3& box,
-                     const std::vector<double>& data);
+                     const std::vector<double>& data,
+                     const Codec* codec = nullptr);
 
-  /// Assembles the requested region from all overlapping published blocks.
-  /// Throws hia::Error if any cell of `box` is not covered.
-  /// When `stats` is non-null, accumulated transfer cost is reported.
+  /// Assembles the requested region from all overlapping published blocks,
+  /// transparently decoding encoded ones. Throws hia::Error if any cell of
+  /// `box` is not covered. When `stats` is non-null, accumulated transfer
+  /// cost (wire/raw bytes, modeled and decode seconds) is reported.
   std::vector<double> get(const std::string& variable, long step,
                           const Box3& box, TransferStats* stats = nullptr);
 

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <thread>
 
+#include "compress/codec.hpp"
+#include "util/stopwatch.hpp"
+
 namespace hia {
 
 Dart::Dart(NetworkModel& network, Options options)
@@ -47,7 +50,7 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
               "put from unregistered node");
   const uint64_t id = next_handle_++;
   const size_t bytes = data.size();
-  regions_.emplace(id, Region{owner_node, std::move(data)});
+  regions_.emplace(id, Region{owner_node, std::move(data), bytes, false});
   return DartHandle{id, bytes, owner_node};
 }
 
@@ -57,12 +60,33 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data) {
   return put(owner_node, std::move(bytes));
 }
 
+DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
+                             const Codec& codec, double* encode_seconds) {
+  Stopwatch watch;
+  std::vector<std::byte> frame = codec.encode(data);
+  const double seconds = watch.seconds();
+  if (encode_seconds != nullptr) *encode_seconds = seconds;
+
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(owner_node);
+  HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+              "put from unregistered node");
+  counters_.encode_seconds_total += seconds;
+  const uint64_t id = next_handle_++;
+  const size_t wire = frame.size();
+  regions_.emplace(id, Region{owner_node, std::move(frame),
+                              data.size() * sizeof(double), true});
+  return DartHandle{id, wire, owner_node};
+}
+
 std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
                                  TransferStats* stats) {
   HIA_REQUIRE(handle.valid(), "get with invalid handle");
 
   std::vector<std::byte> data;
   int owner = -1;
+  size_t raw_bytes = 0;
+  bool encoded = false;
   {
     std::lock_guard lock(mutex_);
     auto nit = nodes_.find(dest_node);
@@ -72,6 +96,8 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
     HIA_REQUIRE(rit != regions_.end(), "get of unknown/released region");
     data = rit->second.data;  // RDMA read: copy out, region stays published
     owner = rit->second.owner_node;
+    raw_bytes = rit->second.raw_bytes;
+    encoded = rit->second.encoded;
   }
 
   // Model the wire cost outside the lock so concurrent gets overlap.
@@ -85,7 +111,14 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
   }
 
   if (stats != nullptr) {
-    *stats = TransferStats{path, data.size(), seconds, flows};
+    TransferStats s;
+    s.path = path;
+    s.bytes = data.size();
+    s.raw_bytes = raw_bytes;
+    s.modeled_seconds = seconds;
+    s.concurrent_flows = flows;
+    s.encoded = encoded;
+    *stats = s;
   }
 
   {
@@ -96,6 +129,7 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
       ++counters_.bte_transfers;
     }
     counters_.bytes_moved += data.size();
+    counters_.raw_bytes_moved += raw_bytes;
     counters_.modeled_seconds_total += seconds;
 
     // Completion events at both ends (uGNI semantics). The destination's
@@ -113,11 +147,23 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
 
 std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
                                       TransferStats* stats) {
-  auto bytes = get(dest_node, handle, stats);
-  HIA_REQUIRE(bytes.size() % sizeof(double) == 0,
-              "region is not a whole number of doubles");
-  std::vector<double> out(bytes.size() / sizeof(double));
-  std::memcpy(out.data(), bytes.data(), bytes.size());
+  TransferStats local;
+  auto bytes = get(dest_node, handle, &local);
+
+  std::vector<double> out;
+  if (local.encoded) {
+    Stopwatch watch;
+    out = decode_frame(bytes);
+    local.decode_seconds = watch.seconds();
+    std::lock_guard lock(mutex_);
+    counters_.decode_seconds_total += local.decode_seconds;
+  } else {
+    HIA_REQUIRE(bytes.size() % sizeof(double) == 0,
+                "region is not a whole number of doubles");
+    out.resize(bytes.size() / sizeof(double));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

@@ -29,6 +29,8 @@
 
 namespace hia {
 
+class Codec;
+
 /// Handle to a published (RDMA-registered) buffer.
 struct DartHandle {
   uint64_t id = 0;
@@ -38,12 +40,18 @@ struct DartHandle {
   [[nodiscard]] bool valid() const { return id != 0; }
 };
 
-/// Outcome of a one-sided transfer.
+/// Outcome of a one-sided transfer. `bytes` is what crossed the wire
+/// (the encoded frame when the region was published through a codec);
+/// `raw_bytes` is the logical payload size before encoding. The modeled
+/// network time is always charged on the wire bytes.
 struct TransferStats {
   TransferPath path = TransferPath::kSmsg;
-  size_t bytes = 0;
+  size_t bytes = 0;            // wire bytes (encoded size when compressed)
+  size_t raw_bytes = 0;        // logical bytes before encoding
   double modeled_seconds = 0.0;
+  double decode_seconds = 0.0;  // bucket-side decode time (get_doubles)
   int concurrent_flows = 1;
+  bool encoded = false;  // region was published through a codec
 };
 
 /// Small control-plane notification delivered to a node's event queue.
@@ -63,8 +71,11 @@ struct DartEvent {
 struct DartCounters {
   size_t smsg_transfers = 0;
   size_t bte_transfers = 0;
-  size_t bytes_moved = 0;
+  size_t bytes_moved = 0;      // wire bytes
+  size_t raw_bytes_moved = 0;  // logical bytes the wire bytes stood for
   double modeled_seconds_total = 0.0;
+  double encode_seconds_total = 0.0;
+  double decode_seconds_total = 0.0;
 };
 
 /// The transport instance shared by all nodes of the virtual cluster.
@@ -98,12 +109,24 @@ class Dart {
   /// Typed convenience: publishes a vector of doubles.
   DartHandle put_doubles(int owner_node, const std::vector<double>& data);
 
+  /// Codec-aware publish: encodes `data` into a self-describing frame and
+  /// publishes the *encoded* bytes, so every subsequent get() charges the
+  /// modeled network time on the compressed size. Encode time is added to
+  /// the transport counters (and to *encode_seconds when given) — it is
+  /// paid on the publishing rank, not on the wire.
+  DartHandle put_doubles(int owner_node, const std::vector<double>& data,
+                         const Codec& codec,
+                         double* encode_seconds = nullptr);
+
   /// One-sided pull of a published region into `dest_node`'s memory.
   /// Charges the modeled network cost and raises kGetCompleted at the
-  /// owner. The region stays published until release().
+  /// owner. The region stays published until release(). Returns the wire
+  /// bytes verbatim (still encoded for codec-published regions).
   std::vector<std::byte> get(int dest_node, const DartHandle& handle,
                              TransferStats* stats = nullptr);
 
+  /// Typed pull; transparently decodes codec-published regions, charging
+  /// the decode time to stats->decode_seconds and the counters.
   std::vector<double> get_doubles(int dest_node, const DartHandle& handle,
                                   TransferStats* stats = nullptr);
 
@@ -134,7 +157,9 @@ class Dart {
  private:
   struct Region {
     int owner_node;
-    std::vector<std::byte> data;
+    std::vector<std::byte> data;  // wire bytes (encoded frame if `encoded`)
+    size_t raw_bytes = 0;         // logical payload size before encoding
+    bool encoded = false;
   };
 
   struct NodeState {

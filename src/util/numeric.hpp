@@ -1,0 +1,20 @@
+// Numeric conversion helpers shared by the serialized-payload decoders.
+#pragma once
+
+#include <cmath>
+
+namespace hia {
+
+/// Round-to-nearest conversion for integral fields carried inside double
+/// payloads (ids, counts, box bounds). Structured summaries travel the
+/// staging path as double arrays, and a lossy staging codec may perturb
+/// them by up to its error bound; a truncating static_cast would then be
+/// off by one (e.g. 12345 decoded as 12344.9999994). Rounding recovers the
+/// exact integer for any perturbation below 0.5 — far above every usable
+/// quantization bound.
+template <typename T>
+[[nodiscard]] T round_to(double v) {
+  return static_cast<T>(std::llround(v));
+}
+
+}  // namespace hia

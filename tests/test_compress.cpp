@@ -1,0 +1,225 @@
+// Unit tests for the data-reduction codecs: lossless round-trips, the
+// quantizer's absolute error bound (including non-finite values), frame
+// self-description, and rejection of truncated / corrupt buffers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "compress/codecs.hpp"
+#include "util/error.hpp"
+
+namespace hia {
+namespace {
+
+std::vector<double> roundtrip(const Codec& codec,
+                              const std::vector<double>& values) {
+  const std::vector<std::byte> frame = codec.encode(values);
+  EXPECT_TRUE(is_encoded_frame(frame));
+  EXPECT_EQ(frame_value_count(frame), values.size());
+  return decode_frame(frame);
+}
+
+/// Bit-exact comparison: distinguishes -0.0 from 0.0 and treats any NaN
+/// payload as significant.
+void expect_bit_exact(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a[i], 8);
+    std::memcpy(&bb, &b[i], 8);
+    EXPECT_EQ(ba, bb) << "index " << i;
+  }
+}
+
+std::vector<double> awkward_values() {
+  return {0.0,
+          -0.0,
+          1.0,
+          -1.0,
+          3.141592653589793,
+          -2.5e-308,  // subnormal territory
+          1.7e308,
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::denorm_min(),
+          42.0};
+}
+
+TEST(RawCodec, RoundTripsBitExact) {
+  RawCodec codec;
+  expect_bit_exact(awkward_values(), roundtrip(codec, awkward_values()));
+  EXPECT_TRUE(roundtrip(codec, {}).empty());
+}
+
+TEST(RleCodec, RoundTripsBitExact) {
+  RleCodec codec;
+  std::vector<double> labels;
+  for (int run = 0; run < 7; ++run) {
+    for (int i = 0; i < 1 + run * 13; ++i) {
+      labels.push_back(static_cast<double>(run % 3));
+    }
+  }
+  expect_bit_exact(labels, roundtrip(codec, labels));
+  expect_bit_exact(awkward_values(), roundtrip(codec, awkward_values()));
+  EXPECT_TRUE(roundtrip(codec, {}).empty());
+}
+
+TEST(RleCodec, CompressesConstantRuns) {
+  RleCodec codec;
+  const std::vector<double> labels(4096, 7.0);
+  const auto frame = codec.encode(labels);
+  EXPECT_LT(frame.size(), labels.size() * sizeof(double) / 100);
+}
+
+TEST(DeltaVarintCodec, RoundTripsSortedIds) {
+  DeltaVarintCodec codec;
+  std::vector<double> ids;
+  uint64_t v = 5;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(static_cast<double>(v));
+    v += static_cast<uint64_t>(1 + (i % 17));
+  }
+  expect_bit_exact(ids, roundtrip(codec, ids));
+  const auto frame = codec.encode(ids);
+  EXPECT_LT(frame.size(), ids.size() * sizeof(double) / 2);
+}
+
+TEST(DeltaVarintCodec, FallsBackLosslesslyOnNonIntegral) {
+  DeltaVarintCodec codec;
+  expect_bit_exact(awkward_values(), roundtrip(codec, awkward_values()));
+}
+
+TEST(QuantizeShuffleCodec, ZeroBoundIsBitExact) {
+  QuantizeShuffleCodec codec(0.0);
+  EXPECT_EQ(codec.error_bound(), 0.0);
+  expect_bit_exact(awkward_values(), roundtrip(codec, awkward_values()));
+}
+
+TEST(QuantizeShuffleCodec, RespectsAbsoluteErrorBound) {
+  // Randomized fields spanning several magnitudes, plus non-finite values
+  // that must be preserved exactly.
+  std::mt19937_64 rng(12345);
+  for (const double bound : {1e-2, 1e-6, 1e-12}) {
+    QuantizeShuffleCodec codec(bound);
+    EXPECT_EQ(codec.error_bound(), bound);
+    std::vector<double> values;
+    std::uniform_real_distribution<double> unit(-1.0, 1.0);
+    for (int i = 0; i < 5000; ++i) {
+      const double scale = std::pow(10.0, static_cast<int>(rng() % 7) - 3);
+      values.push_back(unit(rng) * scale);
+    }
+    values.push_back(std::numeric_limits<double>::infinity());
+    values.push_back(-std::numeric_limits<double>::infinity());
+    values.push_back(std::numeric_limits<double>::quiet_NaN());
+    values.push_back(1.9e306);  // overflows the quantizer -> exception list
+
+    const std::vector<double> decoded = roundtrip(codec, values);
+    ASSERT_EQ(decoded.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (std::isfinite(values[i])) {
+        EXPECT_LE(std::abs(values[i] - decoded[i]), bound) << "index " << i;
+      } else {
+        uint64_t ba = 0, bb = 0;
+        std::memcpy(&ba, &values[i], 8);
+        std::memcpy(&bb, &decoded[i], 8);
+        EXPECT_EQ(ba, bb) << "non-finite index " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizeShuffleCodec, ReducesSmoothFieldSize) {
+  // A smooth field quantized at 1e-6 needs few offset bytes per value.
+  QuantizeShuffleCodec codec(1e-6);
+  std::vector<double> field;
+  for (int i = 0; i < 8192; ++i) {
+    field.push_back(std::sin(0.001 * i) + 0.1 * std::cos(0.01 * i));
+  }
+  const auto frame = codec.encode(field);
+  EXPECT_LT(frame.size() * 2, field.size() * sizeof(double));
+}
+
+TEST(CodecRegistry, MakeCodecParsesSpecs) {
+  EXPECT_EQ(make_codec("raw")->kind(), CodecKind::kRaw);
+  EXPECT_EQ(make_codec("rle")->kind(), CodecKind::kRle);
+  EXPECT_EQ(make_codec("delta")->kind(), CodecKind::kDeltaVarint);
+  const auto q = make_codec("quantize:1e-6");
+  EXPECT_EQ(q->kind(), CodecKind::kQuantizeShuffle);
+  EXPECT_DOUBLE_EQ(q->error_bound(), 1e-6);
+  EXPECT_THROW((void)make_codec("zstd"), Error);
+  EXPECT_THROW((void)make_codec("quantize:-1"), Error);
+  EXPECT_THROW((void)make_codec("quantize:bogus"), Error);
+  EXPECT_GE(codec_names().size(), 4u);
+}
+
+TEST(Frame, RejectsTruncatedAndCorruptBuffers) {
+  QuantizeShuffleCodec codec(1e-6);
+  std::vector<double> values;
+  for (int i = 0; i < 257; ++i) values.push_back(0.25 * i);
+  const std::vector<std::byte> frame = codec.encode(values);
+
+  // Too short to even hold a header.
+  std::vector<std::byte> stub(frame.begin(), frame.begin() + 8);
+  EXPECT_FALSE(is_encoded_frame(stub));
+  EXPECT_THROW((void)decode_frame(stub), Error);
+
+  // Header intact but payload truncated at several depths.
+  for (const size_t keep : {frame.size() - 1, frame.size() / 2, size_t{33}}) {
+    std::vector<std::byte> cut(frame.begin(),
+                               frame.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)decode_frame(cut), Error);
+  }
+
+  // Bad magic and unsupported version must be rejected outright.
+  std::vector<std::byte> bad_magic = frame;
+  bad_magic[0] = std::byte{0xFF};
+  EXPECT_FALSE(is_encoded_frame(bad_magic));
+  EXPECT_THROW((void)decode_frame(bad_magic), Error);
+  std::vector<std::byte> bad_version = frame;
+  bad_version[4] = std::byte{99};
+  EXPECT_THROW((void)decode_frame(bad_version), Error);
+
+  // Unknown codec kind in an otherwise valid header.
+  std::vector<std::byte> bad_kind = frame;
+  bad_kind[5] = std::byte{200};
+  EXPECT_THROW((void)decode_frame(bad_kind), Error);
+
+  // Corrupt interior payload bytes: decode must throw, never crash or
+  // return silently wrong sizes. (Flipping offset bytes may legally decode
+  // to different values for a lossy codec, so corrupt the structured
+  // leading section where validation applies.)
+  for (const size_t at : {size_t{32}, size_t{40}}) {
+    std::vector<std::byte> corrupt = frame;
+    corrupt[at] = std::byte{0xEE};
+    try {
+      const auto decoded = decode_frame(corrupt);
+      EXPECT_EQ(decoded.size(), values.size());
+    } catch (const Error&) {
+      // Rejection is the expected outcome.
+    }
+  }
+}
+
+TEST(Frame, DeltaAndRleRejectTruncation) {
+  DeltaVarintCodec delta;
+  RleCodec rle;
+  std::vector<double> ids;
+  for (int i = 0; i < 300; ++i) ids.push_back(static_cast<double>(i * 3));
+  for (const Codec* codec : {static_cast<const Codec*>(&delta),
+                             static_cast<const Codec*>(&rle)}) {
+    const auto frame = codec->encode(ids);
+    std::vector<std::byte> cut(frame.begin(),
+                               frame.begin() + static_cast<long>(40));
+    EXPECT_THROW((void)decode_frame(cut), Error);
+  }
+}
+
+}  // namespace
+}  // namespace hia
