@@ -4,9 +4,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/framework.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace hia::bench {
 
@@ -55,5 +58,41 @@ inline void print_header(const std::string& title) {
 inline void shape_check(const char* description, bool ok) {
   std::printf("  [shape %s] %s\n", ok ? "OK  " : "FAIL", description);
 }
+
+// ---- Observability hooks (shared --trace/--metrics handling) ----
+
+/// Scans argv for `--trace <out.json>` / `--metrics <out.txt>`. When either
+/// is present, enables the tracer for the whole bench run; call `finish()`
+/// after the measured section to write the requested files.
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+
+  static ObsCli parse(int argc, char** argv) {
+    ObsCli cli;
+    for (int a = 1; a + 1 < argc; ++a) {
+      if (std::strcmp(argv[a], "--trace") == 0) {
+        cli.trace_path = argv[a + 1];
+      } else if (std::strcmp(argv[a], "--metrics") == 0) {
+        cli.metrics_path = argv[a + 1];
+      }
+    }
+    if (cli.enabled()) obs::enable();
+    return cli;
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+
+  void finish() const {
+    if (!trace_path.empty() && obs::write_chrome_trace(trace_path)) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty() && obs::write_metrics(metrics_path)) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+  }
+};
 
 }  // namespace hia::bench

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The full CI gate:
+#   1. tier-1: default build + full ctest suite
+#   2. traced smoke: hia_campaign with --trace/--metrics, JSON gated by
+#      trace_lint (parses the trace and proves every 'B' pairs with an 'E')
+#   3. sanitizers: ASan+UBSan over everything, TSan over the concurrent
+#      paths (see ci/sanitize.sh)
+#
+#   ci/check.sh              # everything
+#   ci/check.sh --fast       # tier-1 + traced smoke only (skip sanitizers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> tier-1: build + ctest"
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+echo "==> traced smoke: hia_campaign --trace + trace_lint"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/examples/hia_campaign --steps 2 --analyses stats,viz,topo \
+  --trace "$smoke_dir/trace.json" --metrics "$smoke_dir/metrics.txt" \
+  > "$smoke_dir/stdout.txt"
+./build/examples/trace_lint "$smoke_dir/trace.json"
+grep -q '^hia_staging_tasks_completed' "$smoke_dir/metrics.txt" || {
+  echo "metrics dump missing staging counters" >&2
+  exit 1
+}
+echo "traced smoke OK"
+
+if [[ "$fast" -eq 0 ]]; then
+  echo "==> sanitizers: asan"
+  ci/sanitize.sh asan
+  echo "==> sanitizers: tsan (tracer + runtime concurrency)"
+  ci/sanitize.sh tsan
+fi
+
+echo "ci/check.sh: all gates passed"

@@ -1,14 +1,40 @@
 #!/usr/bin/env bash
-# Builds the whole tree under ASan + UBSan (the `sanitize` CMake preset)
-# and runs the full test suite. Any sanitizer report fails the run:
-# -fno-sanitize-recover=all turns UBSan diagnostics into aborts, and
-# halt_on_error makes ASan exit on the first leak-free error too.
+# Sanitized build + test.
+#
+#   ci/sanitize.sh           # ASan + UBSan over the full test suite
+#   ci/sanitize.sh asan      # same
+#   ci/sanitize.sh tsan      # ThreadSanitizer over the concurrency-heavy
+#                            # tests (tracer, pool, comm, dart, staging)
+#
+# Any sanitizer report fails the run: -fno-sanitize-recover=all turns
+# UBSan diagnostics into aborts, halt_on_error makes ASan exit on the
+# first error, and TSan exits non-zero on any race report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset sanitize
-cmake --build --preset sanitize -j "$(nproc)"
+mode="${1:-asan}"
 
-export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
-export UBSAN_OPTIONS="print_stacktrace=1"
-ctest --preset sanitize -j "$(nproc)"
+case "$mode" in
+  asan)
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "$(nproc)"
+    export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+    export UBSAN_OPTIONS="print_stacktrace=1"
+    ctest --preset sanitize -j "$(nproc)"
+    ;;
+  tsan)
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" --target \
+      test_obs test_util test_comm test_dart test_staging test_network
+    export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+    # Scope to the tests that exercise the tracer's and the runtime's
+    # concurrent paths; TSan slows everything ~10x, so the full pipeline
+    # tests stay on the ASan leg.
+    ctest --preset tsan -j "$(nproc)" \
+      -R 'test_(obs|util|comm|dart|staging|network)'
+    ;;
+  *)
+    echo "usage: ci/sanitize.sh [asan|tsan]" >&2
+    exit 2
+    ;;
+esac

@@ -7,6 +7,7 @@
 //   hia_campaign --steps 10 --analyses stats,viz,topo
 //   hia_campaign --grid 64x48x32 --ranks 2x2x2 --buckets 8
 //                --analyses all --frequency 2 --output-dir campaign_out
+//   hia_campaign --steps 5 --trace trace.json --metrics metrics.txt
 //   hia_campaign --list
 #include <cstdio>
 #include <cstring>
@@ -24,6 +25,8 @@
 #include "core/timeseries_pipeline.hpp"
 #include "core/topology_pipeline.hpp"
 #include "core/viz_pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -39,6 +42,8 @@ struct Options {
   std::string analyses = "stats,viz,topo";
   std::string codec;
   std::string output_dir;
+  std::string trace_path;
+  std::string metrics_path;
   bool list_only = false;
 };
 
@@ -78,6 +83,9 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --codec SPEC        staging codec: raw, rle, delta, or\n"
       "                      quantize:<abs error bound> (default: none)\n"
       "  --output-dir DIR    write PPM/OBJ artifacts there\n"
+      "  --trace FILE        write a Chrome trace-event JSON (load in\n"
+      "                      Perfetto / chrome://tracing)\n"
+      "  --metrics FILE      write a flat Prometheus-style counter dump\n"
       "  --list              list available analyses and exit\n");
   std::exit(code);
 }
@@ -115,6 +123,10 @@ Options parse(int argc, char** argv) {
       opt.codec = need("--codec");
     } else if (std::strcmp(argv[a], "--output-dir") == 0) {
       opt.output_dir = need("--output-dir");
+    } else if (std::strcmp(argv[a], "--trace") == 0) {
+      opt.trace_path = need("--trace");
+    } else if (std::strcmp(argv[a], "--metrics") == 0) {
+      opt.metrics_path = need("--metrics");
     } else if (std::strcmp(argv[a], "--list") == 0) {
       opt.list_only = true;
     } else if (std::strcmp(argv[a], "--help") == 0) {
@@ -173,6 +185,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --codec: %s\n", e.what());
       return 2;
     }
+  }
+
+  if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
+    obs::enable();
   }
 
   HybridRunner runner(config);
@@ -251,6 +267,15 @@ int main(int argc, char** argv) {
               report.mean_sim_step_seconds());
   if (!opt.output_dir.empty()) {
     std::printf("artifacts written under %s/\n", opt.output_dir.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    if (!obs::write_chrome_trace(opt.trace_path)) return 1;
+    std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    if (!obs::write_metrics(opt.metrics_path)) return 1;
+    std::printf("metrics written to %s\n", opt.metrics_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,37 @@
+// trace_lint — validates a Chrome trace-event JSON file produced by the
+// tracer (or any tool): parses the JSON and checks that every 'B' event
+// has a matching, correctly nested 'E' on its (pid, tid) track.
+//
+// Usage: trace_lint <trace.json>
+// Exit status: 0 when the trace is well-formed, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_lint <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  const hia::obs::TraceValidation v =
+      hia::obs::validate_chrome_trace_json(buf.str());
+  if (!v.ok) {
+    std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", argv[1],
+                 v.error.c_str());
+    return 1;
+  }
+  std::printf("trace_lint: %s: OK (%zu events, %zu spans)\n", argv[1],
+              v.events, v.spans);
+  return 0;
+}

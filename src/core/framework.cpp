@@ -1,7 +1,9 @@
 #include "core/framework.hpp"
 
+#include <cstdio>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -58,6 +60,7 @@ RunReport HybridRunner::run() {
   World world(nranks);
   world.run([&](Comm& comm) {
     const int r = comm.rank();
+    obs::set_thread_track(obs::rank_track(r));
     const int dart_node =
         dart_->register_node("sim-" + std::to_string(r));
 
@@ -80,7 +83,16 @@ RunReport HybridRunner::run() {
         InSituContext ctx(sim, comm, *staging_, steering_, dart_node,
                           sim.step(), codec_.get());
         Stopwatch watch;
-        sched.analysis->in_situ(ctx);
+        {
+          char span_name[obs::Event::kNameCapacity];
+          std::snprintf(span_name, sizeof(span_name), "insitu:%s",
+                        sched.analysis->name().c_str());
+          obs::Span insitu_span("insitu", span_name,
+                                {.rank = r,
+                                 .step = sim.step(),
+                                 .vtime = sim.time()});
+          sched.analysis->in_situ(ctx);
+        }
         const double seconds = watch.seconds();
 
         const double max_s = comm.allreduce_max(seconds);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
 
@@ -113,8 +114,12 @@ void InSituStatistics::in_situ(InSituContext& ctx) {
   // learn: per-rank primary models for every variable.
   std::vector<MomentAccumulator> locals;
   locals.reserve(variables_.size());
-  for (const Variable v : variables_) {
-    locals.push_back(learn_field(ctx.sim().field(v)));
+  {
+    obs::Span learn_span("insitu", "stats.learn",
+                         {.rank = ctx.comm().rank(), .step = ctx.step()});
+    for (const Variable v : variables_) {
+      locals.push_back(learn_field(ctx.sim().field(v)));
+    }
   }
 
   // learn epilogue: all-to-all combination so every rank has the global
@@ -124,6 +129,8 @@ void InSituStatistics::in_situ(InSituContext& ctx) {
   const auto global = unpack_accumulators(global_packed);
 
   // derive: every rank derives the detailed model locally.
+  obs::Span derive_span("insitu", "stats.derive",
+                        {.rank = ctx.comm().rank(), .step = ctx.step()});
   std::vector<DescriptiveModel> models;
   models.reserve(global.size());
   for (const MomentAccumulator& acc : global) {
@@ -157,6 +164,8 @@ void HybridStatistics::in_situ(InSituContext& ctx) {
 
 void HybridStatistics::in_transit(TaskContext& ctx) {
   // Aggregate all partial models (serial), then derive.
+  obs::Span agg_span("intransit", "stats.aggregate",
+                     {.bucket = ctx.bucket(), .step = ctx.task().step});
   std::vector<MomentAccumulator> global;
   for (const DataDescriptor& desc : ctx.task().inputs) {
     const auto packed = ctx.pull_doubles(desc);

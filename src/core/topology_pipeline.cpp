@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "io/bp_lite.hpp"
+#include "obs/trace.hpp"
 #include "sim/halo.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
@@ -69,6 +70,8 @@ void HybridTopology::in_situ(InSituContext& ctx) {
   const Box3 block = field.owned();
   const Box3 ext = extended_block(grid, block);
   const auto values = field.pack(ext);
+  obs::Span subtree_span("insitu", "topo.subtree",
+                         {.rank = ctx.comm().rank(), .step = ctx.step()});
   const SubtreeData subtree = compute_rank_subtree(grid, block, values, ext);
 
   ctx.publish("topo.subtree", ext, subtree.serialize());
@@ -104,9 +107,13 @@ void HybridTopology::in_transit(TaskContext& ctx) {
     });
   }
   SubtreeStreamDriver driver(grid, std::move(blocks));
-  for (const DataDescriptor& desc : ctx.task().inputs) {
-    driver.ingest(combiner,
-                  SubtreeData::deserialize(ctx.pull_doubles(desc)));
+  {
+    obs::Span ingest_span("intransit", "topo.ingest",
+                          {.bucket = ctx.bucket(), .step = ctx.task().step});
+    for (const DataDescriptor& desc : ctx.task().inputs) {
+      driver.ingest(combiner,
+                    SubtreeData::deserialize(ctx.pull_doubles(desc)));
+    }
   }
 
   TreeSummary summary;

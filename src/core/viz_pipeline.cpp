@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hia {
@@ -41,8 +42,12 @@ void InSituVisualization::in_situ(InSituContext& ctx) {
   const BrickSampler sampler(grid, box, values);
 
   Image partial(config_.image_size, config_.image_size);
-  render_volume(setup.camera, sampler, physical_bounds(grid, box), setup.tf,
-                setup.params, partial);
+  {
+    obs::Span render_span("insitu", "viz.render",
+                          {.rank = ctx.comm().rank(), .step = ctx.step()});
+    render_volume(setup.camera, sampler, physical_bounds(grid, box), setup.tf,
+                  setup.params, partial);
+  }
 
   // Sort-last composite: gather (image, depth) to rank 0.
   auto payload = serialize_image(partial);
@@ -52,6 +57,8 @@ void InSituVisualization::in_situ(InSituContext& ctx) {
   auto gathered = ctx.comm().gather(0, bytes);
 
   if (ctx.comm().rank() == 0) {
+    obs::Span composite_span("insitu", "viz.composite",
+                             {.rank = 0, .step = ctx.step()});
     std::vector<BrickImage> bricks;
     bricks.reserve(gathered.size());
     for (const auto& blob : gathered) {
@@ -106,8 +113,12 @@ void HybridVisualization::in_transit(TaskContext& ctx) {
   }
 
   Image frame(config_.image_size, config_.image_size);
-  render_volume(setup.camera, lut, physical_bounds(grid, grid.bounds()),
-                setup.tf, setup.params, frame);
+  {
+    obs::Span render_span("intransit", "viz.render",
+                          {.bucket = ctx.bucket(), .step = ctx.task().step});
+    render_volume(setup.camera, lut, physical_bounds(grid, grid.bounds()),
+                  setup.tf, setup.params, frame);
+  }
 
   maybe_write_ppm(config_.output_dir, name(), ctx.task().step, frame);
 

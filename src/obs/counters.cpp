@@ -1,0 +1,54 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hia::obs {
+
+namespace {
+
+struct CounterRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> cells;
+};
+
+CounterRegistry& counter_registry() {
+  static CounterRegistry* r = new CounterRegistry();  // leaked: see trace.cpp
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  CounterRegistry& reg = counter_registry();
+  std::lock_guard lock(reg.mutex);
+  auto it = reg.cells.find(name);
+  if (it == reg.cells.end()) {
+    it = reg.cells.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<CounterSample> counters_snapshot() {
+  CounterRegistry& reg = counter_registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<CounterSample> out;
+  out.reserve(reg.cells.size());
+  for (const auto& [name, cell] : reg.cells) {
+    out.push_back(CounterSample{name, cell->value(), cell->max()});
+  }
+  return out;
+}
+
+void reset_counters() {
+  CounterRegistry& reg = counter_registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& [name, cell] : reg.cells) {
+    cell->value_.store(0, std::memory_order_relaxed);
+    cell->max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hia::obs

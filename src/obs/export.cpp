@@ -1,0 +1,560 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "obs/counters.hpp"
+#include "util/log.hpp"
+
+namespace hia::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_args(std::string& out, const SpanArgs& args) {
+  std::string body;
+  char buf[64];
+  auto field = [&](const char* key, const char* fmt, auto value) {
+    if (!body.empty()) body += ", ";
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    body += std::string("\"") + key + "\": " + buf;
+  };
+  if (args.rank >= 0) field("rank", "%d", args.rank);
+  if (args.bucket >= 0) field("bucket", "%d", args.bucket);
+  if (args.step >= 0) field("step", "%ld", args.step);
+  if (args.bytes >= 0) field("bytes", "%lld", args.bytes);
+  if (args.vtime >= 0.0) field("vt_s", "%.9f", args.vtime);
+  if (body.empty()) return;
+  out += ", \"args\": {" + body + "}";
+}
+
+void append_event_line(std::string& out, const Event& ev, bool trailing_comma) {
+  char buf[96];
+  out += "    {\"ph\": \"";
+  out += static_cast<char>(ev.phase);
+  out += "\", \"pid\": ";
+  std::snprintf(buf, sizeof(buf), "%d", ev.track);
+  out += buf;
+  out += ", \"tid\": ";
+  std::snprintf(buf, sizeof(buf), "%u", ev.tid);
+  out += buf;
+  out += ", \"ts\": ";
+  std::snprintf(buf, sizeof(buf), "%.3f", ev.t_us);
+  out += buf;
+  out += ", \"cat\": \"";
+  append_escaped(out, ev.category);
+  out += "\", \"name\": \"";
+  append_escaped(out, ev.name);
+  out += "\"";
+  if (ev.phase == Phase::kCounter) {
+    std::snprintf(buf, sizeof(buf), "%.6f", ev.value);
+    out += std::string(", \"args\": {\"value\": ") + buf + "}";
+  } else if (ev.phase != Phase::kEnd) {
+    append_args(out, ev.args);
+  }
+  if (ev.phase == Phase::kInstant) out += ", \"s\": \"t\"";
+  out += "}";
+  if (trailing_comma) out += ",";
+  out += "\n";
+}
+
+std::string track_name(int track) {
+  int idx = 0;
+  if (is_rank_track(track, &idx)) return "sim rank " + std::to_string(idx);
+  if (is_bucket_track(track, &idx)) return "bucket " + std::to_string(idx);
+  return "control";
+}
+
+/// Drops orphan 'E' events (their 'B' fell out of a ring) and closes spans
+/// still open at the snapshot horizon, so the export always pairs B/E.
+std::vector<Event> paired_events(std::vector<Event> events) {
+  double horizon = 0.0;
+  for (const Event& ev : events) horizon = std::max(horizon, ev.t_us);
+
+  // Per (pid, tid): stack of indices of open 'B' events.
+  std::map<std::pair<int, uint32_t>, std::vector<size_t>> open;
+  std::vector<bool> keep(events.size(), true);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& ev = events[i];
+    if (ev.phase == Phase::kBegin) {
+      open[{ev.track, ev.tid}].push_back(i);
+    } else if (ev.phase == Phase::kEnd) {
+      auto& stack = open[{ev.track, ev.tid}];
+      if (stack.empty()) {
+        keep[i] = false;  // orphan from ring overflow
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<Event> out;
+  out.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (keep[i]) out.push_back(events[i]);
+  }
+  // Close remaining open spans, innermost first per thread.
+  for (auto& [key, stack] : open) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      Event close = events[*it];
+      close.phase = Phase::kEnd;
+      close.t_us = horizon;
+      close.args = SpanArgs{};
+      out.push_back(close);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<Event> events = paired_events(snapshot());
+
+  std::set<int> tracks;
+  for (const Event& ev : events) tracks.insert(ev.track);
+
+  std::string out;
+  out.reserve(events.size() * 120 + 4096);
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+
+  // Metadata: name every track ("process").
+  for (const int track : tracks) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", track);
+    out += "    {\"ph\": \"M\", \"pid\": ";
+    out += buf;
+    out += ", \"tid\": 0, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"";
+    append_escaped(out, track_name(track).c_str());
+    out += "\"}},\n";
+  }
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    append_event_line(out, events[i], i + 1 < events.size());
+  }
+
+  char buf[64];
+  out += "  ],\n  \"otherData\": {\n";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(dropped_events()));
+  out += std::string("    \"dropped_events\": ") + buf + ",\n";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(oversized_names()));
+  out += std::string("    \"oversized_names\": ") + buf + "\n  }\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    HIA_LOG_ERROR("obs", "cannot open trace output %s", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    HIA_LOG_ERROR("obs", "short write to trace output %s", path.c_str());
+    return false;
+  }
+  const uint64_t dropped = dropped_events();
+  if (dropped > 0) {
+    HIA_LOG_WARN("obs",
+                 "trace ring overflow: %llu events dropped (raise "
+                 "obs::set_ring_capacity)",
+                 static_cast<unsigned long long>(dropped));
+  }
+  HIA_LOG_INFO("obs", "wrote %zu trace events to %s",
+               recorded_events(), path.c_str());
+  return true;
+}
+
+std::string metrics_text() {
+  std::string out;
+  char buf[64];
+  auto line = [&](const std::string& name, int64_t value) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out += "hia_" + name + " " + buf + "\n";
+  };
+  for (const CounterSample& s : counters_snapshot()) {
+    out += "# TYPE hia_" + s.name + " gauge\n";
+    line(s.name, s.value);
+    line(s.name + "_max", s.max);
+  }
+  out += "# TYPE hia_trace_dropped_events counter\n";
+  line("trace_dropped_events", static_cast<int64_t>(dropped_events()));
+  out += "# TYPE hia_trace_oversized_names counter\n";
+  line("trace_oversized_names", static_cast<int64_t>(oversized_names()));
+  out += "# TYPE hia_trace_recorded_events gauge\n";
+  line("trace_recorded_events", static_cast<int64_t>(recorded_events()));
+  return out;
+}
+
+bool write_metrics(const std::string& path) {
+  const std::string text = metrics_text();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    HIA_LOG_ERROR("obs", "cannot open metrics output %s", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+// ------------------------------------------------------------ validation --
+
+namespace {
+
+/// Minimal JSON DOM, just enough to validate exported traces.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object[key] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            // Validation only: keep the raw escape, no UTF-8 decoding.
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.type = JsonValue::Type::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.type = JsonValue::Type::kNumber;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = true;
+      ++pos_;
+    }
+    if (!digits) return fail("expected number");
+    out.number = std::strtod(text_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+const JsonValue* find(const JsonValue& obj, const std::string& key) {
+  if (obj.type != JsonValue::Type::kObject) return nullptr;
+  auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace_json(const std::string& json) {
+  TraceValidation v;
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.parse(root, v.error)) return v;
+
+  const JsonValue* events = find(root, "traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    v.error = "missing traceEvents array";
+    return v;
+  }
+
+  struct OpenSpan {
+    std::string name;
+    double ts = 0.0;
+  };
+  std::map<std::pair<double, double>, std::vector<OpenSpan>> stacks;
+
+  for (const JsonValue& ev : events->array) {
+    ++v.events;
+    const JsonValue* ph = find(ev, "ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+        ph->string.size() != 1) {
+      v.error = "event without a one-char ph";
+      return v;
+    }
+    const char phase = ph->string[0];
+    if (phase == 'M') continue;  // metadata
+    const JsonValue* pid = find(ev, "pid");
+    const JsonValue* tid = find(ev, "tid");
+    const JsonValue* ts = find(ev, "ts");
+    const JsonValue* name = find(ev, "name");
+    if (pid == nullptr || tid == nullptr || ts == nullptr || name == nullptr ||
+        pid->type != JsonValue::Type::kNumber ||
+        tid->type != JsonValue::Type::kNumber ||
+        ts->type != JsonValue::Type::kNumber ||
+        name->type != JsonValue::Type::kString) {
+      v.error = "event missing pid/tid/ts/name";
+      return v;
+    }
+    auto& stack = stacks[{pid->number, tid->number}];
+    if (phase == 'B') {
+      stack.push_back(OpenSpan{name->string, ts->number});
+    } else if (phase == 'E') {
+      if (stack.empty()) {
+        v.error = "E without matching B: " + name->string;
+        return v;
+      }
+      if (stack.back().name != name->string) {
+        v.error = "mismatched span nesting: B " + stack.back().name +
+                  " closed by E " + name->string;
+        return v;
+      }
+      if (ts->number + 1e-9 < stack.back().ts) {
+        v.error = "span ends before it begins: " + name->string;
+        return v;
+      }
+      stack.pop_back();
+      ++v.spans;
+    } else if (phase != 'i' && phase != 'C' && phase != 'X') {
+      v.error = std::string("unexpected phase '") + phase + "'";
+      return v;
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    if (!stack.empty()) {
+      v.error = "unclosed span: " + stack.back().name;
+      return v;
+    }
+  }
+  v.ok = true;
+  return v;
+}
+
+// ------------------------------------------------- trace-derived stats --
+
+SchedulerTraceStats scheduler_trace_stats() {
+  SchedulerTraceStats stats;
+  const std::vector<Event> events = paired_events(snapshot());
+
+  std::map<int, TrackUtilization> buckets;  // keyed by bucket index
+  std::map<std::pair<int, uint32_t>, std::vector<double>> open;
+  double first_b = -1.0, last_e = 0.0;
+
+  for (const Event& ev : events) {
+    if (std::string_view(ev.category) != "sched") continue;
+    if (ev.phase == Phase::kBegin) {
+      open[{ev.track, ev.tid}].push_back(ev.t_us);
+      if (first_b < 0.0 || ev.t_us < first_b) first_b = ev.t_us;
+    } else if (ev.phase == Phase::kEnd) {
+      auto& stack = open[{ev.track, ev.tid}];
+      if (stack.empty()) continue;
+      const double begin_us = stack.back();
+      stack.pop_back();
+      last_e = std::max(last_e, ev.t_us);
+      int bucket = -1;
+      // Only outermost sched spans on bucket tracks count as busy time.
+      if (stack.empty() && is_bucket_track(ev.track, &bucket)) {
+        TrackUtilization& u = buckets[bucket];
+        u.id = bucket;
+        u.busy_s += (ev.t_us - begin_us) * 1e-6;
+        ++u.spans;
+      }
+    }
+  }
+  for (auto& [bucket, util] : buckets) stats.buckets.push_back(util);
+  if (first_b >= 0.0 && last_e > first_b) {
+    stats.span_s = (last_e - first_b) * 1e-6;
+  }
+  stats.queue_depth_max = counter("staging_queue_depth").max();
+  stats.busy_buckets_max = counter("staging_busy_buckets").max();
+  return stats;
+}
+
+}  // namespace hia::obs

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace hia {
 
 // ---------------------------------------------------------------- World ----
@@ -105,6 +107,7 @@ int collective_tag(int epoch, int round) {
 }  // namespace
 
 void Comm::barrier() {
+  HIA_TRACE_SPAN_ARGS("comm", "barrier", {.rank = rank_});
   const int epoch = collective_epoch_++;
   const int n = size();
   for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
@@ -119,6 +122,10 @@ std::vector<double> Comm::reduce(
     std::span<const double> local, int root,
     const std::function<void(std::span<double>, std::span<const double>)>&
         combine) {
+  HIA_TRACE_SPAN_ARGS("comm", "reduce",
+                      {.rank = rank_,
+                       .bytes = static_cast<long long>(local.size() *
+                                                       sizeof(double))});
   const int epoch = collective_epoch_++;
   const int n = size();
   const int vrank = (rank_ - root + n) % n;  // virtual rank, root -> 0
@@ -147,6 +154,9 @@ std::vector<double> Comm::reduce(
 
 std::vector<std::byte> Comm::broadcast(int root,
                                        std::span<const std::byte> data) {
+  HIA_TRACE_SPAN_ARGS("comm", "broadcast",
+                      {.rank = rank_,
+                       .bytes = static_cast<long long>(data.size())});
   const int epoch = collective_epoch_++;
   const int n = size();
   const int vrank = (rank_ - root + n) % n;
@@ -216,6 +226,9 @@ double Comm::allreduce_min(double v) {
 
 std::vector<std::vector<std::byte>> Comm::gather(
     int root, std::span<const std::byte> data) {
+  HIA_TRACE_SPAN_ARGS("comm", "gather",
+                      {.rank = rank_,
+                       .bytes = static_cast<long long>(data.size())});
   const int epoch = collective_epoch_++;
   const int tag = collective_tag(epoch, 0);
   if (rank_ != root) {
@@ -236,6 +249,7 @@ std::vector<std::vector<std::byte>> Comm::alltoall(
     const std::vector<std::vector<std::byte>>& sends) {
   HIA_REQUIRE(static_cast<int>(sends.size()) == size(),
               "alltoall: need one payload per destination rank");
+  HIA_TRACE_SPAN_ARGS("comm", "alltoall", {.rank = rank_});
   const int epoch = collective_epoch_++;
   const int tag = collective_tag(epoch, 0);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hia {
@@ -24,11 +26,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> work) {
+  static obs::Counter& depth = obs::counter("pool_queue_depth");
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(!stopping_, "enqueue on stopping pool");
     queue_.push_back(std::move(work));
   }
+  depth.add(1);
   cv_.notify_one();
 }
 
@@ -38,6 +42,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Counter& depth = obs::counter("pool_queue_depth");
   for (;;) {
     std::function<void()> work;
     {
@@ -48,7 +53,11 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    work();
+    depth.add(-1);
+    {
+      HIA_TRACE_SPAN("pool", "task");
+      work();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace hia {
@@ -58,6 +60,9 @@ void exchange_halos(Comm& comm, const Decomposition& decomp,
   }
 
   // Phase 1: post all (buffered) sends.
+  static obs::Counter& halo_bytes = obs::counter("halo_exchange_bytes");
+  long long sent_bytes = 0;
+  obs::Span halo_span("sim", "halo", {.rank = r});
   for (int dz = -1; dz <= 1; ++dz) {
     for (int dy = -1; dy <= 1; ++dy) {
       for (int dx = -1; dx <= 1; ++dx) {
@@ -68,10 +73,13 @@ void exchange_halos(Comm& comm, const Decomposition& decomp,
         const Box3 send_box = mine.intersect(neighbor_storage);
         if (send_box.empty()) continue;
         auto payload = pack_fields(fields, send_box);
+        sent_bytes +=
+            static_cast<long long>(payload.size() * sizeof(double));
         comm.send_vector(n, kHaloTagBase + dir_index(dx, dy, dz), payload);
       }
     }
   }
+  halo_bytes.add(sent_bytes);
 
   // Phase 2: receive and unpack ghost slabs.
   for (int dz = -1; dz <= 1; ++dz) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "sim/halo.hpp"
 #include "util/stopwatch.hpp"
 
@@ -246,6 +247,9 @@ void S3DRank::apply_update(const std::vector<Field*>& transported,
 }
 
 void S3DRank::advance(Comm& comm) {
+  // Step span carries the virtual (simulated) clock; phases nest inside.
+  obs::Span step_span("sim", "step",
+                      {.rank = rank_, .step = step_, .vtime = time_});
   Stopwatch watch;
 
   std::vector<Field*> transported;
@@ -257,7 +261,10 @@ void S3DRank::advance(Comm& comm) {
 
   // Stage 1: refresh ghosts, evaluate RHS, step forward.
   exchange_halos(comm, decomp_, transported, kGhost);
-  compute_rhs(transported, scratch_);
+  {
+    obs::Span rhs_span("sim", "rhs", {.rank = rank_, .step = step_});
+    compute_rhs(transported, scratch_);
+  }
 
   if (params_.integrator == TimeIntegrator::kEuler) {
     apply_update(transported, scratch_, dt);
@@ -279,7 +286,10 @@ void S3DRank::advance(Comm& comm) {
     time_ += dt;
     update_velocity_and_diagnostics();
     time_ -= dt;
-    compute_rhs(transported, scratch2_);
+    {
+      obs::Span rhs_span("sim", "rhs", {.rank = rank_, .step = step_});
+      compute_rhs(transported, scratch2_);
+    }
 
     // Combine: restore y, then advance with the averaged slope.
     for (size_t f = 0; f < kTransported.size(); ++f) {
@@ -297,7 +307,11 @@ void S3DRank::advance(Comm& comm) {
   apply_kernels(step_);
   time_ += dt;
   ++step_;
-  update_velocity_and_diagnostics();
+  {
+    obs::Span diag_span("sim", "chemistry",
+                        {.rank = rank_, .step = step_, .vtime = time_});
+    update_velocity_and_diagnostics();
+  }
 
   last_step_seconds_ = watch.seconds();
 }

@@ -1,7 +1,24 @@
 #include "staging/scheduler.hpp"
 
+#include <cstdio>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+
+namespace {
+// Gauges backing the Fig. 5 timeline arguments: how deep the data-ready
+// queue ran and how many buckets were busy at once.
+hia::obs::Counter& queue_depth() {
+  static hia::obs::Counter& c = hia::obs::counter("staging_queue_depth");
+  return c;
+}
+hia::obs::Counter& busy_buckets() {
+  static hia::obs::Counter& c = hia::obs::counter("staging_busy_buckets");
+  return c;
+}
+}  // namespace
 
 namespace hia {
 
@@ -75,6 +92,7 @@ DataDescriptor StagingService::publish(int src_node,
 
 uint64_t StagingService::submit(InTransitTask task) {
   uint64_t id = 0;
+  long step = task.step;
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(handlers_.count(task.analysis) > 0,
@@ -84,6 +102,8 @@ uint64_t StagingService::submit(InTransitTask task) {
     ++outstanding_;
     task_queue_.push_back(Assigned{std::move(task), clock_.seconds()});
   }
+  queue_depth().add(1);
+  obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
   work_cv_.notify_all();
   return id;
 }
@@ -133,18 +153,25 @@ int StagingService::free_bucket_count() const {
 }
 
 void StagingService::bucket_main(int bucket_index) {
+  obs::set_thread_track(obs::bucket_track(bucket_index));
+  // FCFS matcher body: moves queued tasks onto free buckets' slots.
+  // Requires mutex_ held.
+  auto match = [this] {
+    while (!task_queue_.empty() && !free_buckets_.empty()) {
+      const int b = free_buckets_.front();
+      free_buckets_.pop_front();
+      slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
+      task_queue_.pop_front();
+      queue_depth().add(-1);
+    }
+  };
   for (;;) {
     Assigned assigned;
     {
       std::unique_lock lock(mutex_);
       // Bucket-ready: join the free list, then FCFS-match queued work.
       free_buckets_.push_back(bucket_index);
-      while (!task_queue_.empty() && !free_buckets_.empty()) {
-        const int b = free_buckets_.front();
-        free_buckets_.pop_front();
-        slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
-        task_queue_.pop_front();
-      }
+      match();
       if (slots_[static_cast<size_t>(bucket_index)].has_value()) {
         // Matched above — possibly to a different bucket; wake the others.
         work_cv_.notify_all();
@@ -152,12 +179,7 @@ void StagingService::bucket_main(int bucket_index) {
         work_cv_.wait(lock, [&] {
           // A submit() may have queued work while every bucket slept; any
           // woken bucket performs the match on behalf of the free list.
-          while (!task_queue_.empty() && !free_buckets_.empty()) {
-            const int b = free_buckets_.front();
-            free_buckets_.pop_front();
-            slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
-            task_queue_.pop_front();
-          }
+          match();
           return stopping_ ||
                  slots_[static_cast<size_t>(bucket_index)].has_value();
         });
@@ -185,6 +207,17 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
     handler = it->second;
   }
 
+  // The task span on this bucket's track: assign -> pull -> compute ->
+  // complete (the pull/decode sub-spans come from Dart).
+  char span_name[obs::Event::kNameCapacity];
+  std::snprintf(span_name, sizeof(span_name), "task:%s",
+                assigned.task.analysis.c_str());
+  busy_buckets().add(1);
+  obs::Span task_span("sched", span_name,
+                      {.bucket = bucket_index,
+                       .step = assigned.task.step,
+                       .vtime = assign_time});
+
   TaskContext ctx(*this, dart_,
                   assigned.task, bucket_index,
                   buckets_[static_cast<size_t>(bucket_index)].dart_node);
@@ -192,6 +225,9 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   Stopwatch watch;
   bool failed = false;
   try {
+    obs::Span compute_span("sched", "compute",
+                           {.bucket = bucket_index,
+                            .step = assigned.task.step});
     handler(ctx);
   } catch (const std::exception& e) {
     failed = true;
@@ -221,6 +257,12 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   record.decode_seconds = ctx.decode_seconds_;
   record.compute_seconds = wall;
 
+  // The TaskRecord ledger and the tracer's scheduler spans are derived
+  // from the same clock reads; the lifecycle must be monotone or one of
+  // the two ledgers drifted.
+  HIA_ASSERT(record.assign_time >= record.enqueue_time);
+  HIA_ASSERT(record.complete_time >= record.assign_time);
+
   {
     std::lock_guard lock(mutex_);
     records_.push_back(record);
@@ -230,6 +272,14 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
     HIA_ASSERT(outstanding_ > 0);
     --outstanding_;
   }
+  static obs::Counter& completed = obs::counter("staging_tasks_completed");
+  completed.add(1);
+  busy_buckets().add(-1);
+  obs::instant("sched", "complete",
+               {.bucket = bucket_index,
+                .step = record.step,
+                .bytes = static_cast<long long>(record.data_movement_bytes),
+                .vtime = record.complete_time});
   drain_cv_.notify_all();
 }
 

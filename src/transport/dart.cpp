@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "compress/codec.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hia {
@@ -44,6 +46,8 @@ std::string Dart::node_name(int node) const {
 }
 
 DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
+  HIA_TRACE_SPAN_ARGS("dart", "put",
+                      {.bytes = static_cast<long long>(data.size())});
   std::lock_guard lock(mutex_);
   auto it = nodes_.find(owner_node);
   HIA_REQUIRE(it != nodes_.end() && it->second.registered,
@@ -62,10 +66,21 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data) {
 
 DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
                              const Codec& codec, double* encode_seconds) {
+  static obs::Counter& saved = obs::counter("compress_bytes_saved");
+  const size_t raw = data.size() * sizeof(double);
+  HIA_TRACE_SPAN_ARGS("dart", "put",
+                      {.bytes = static_cast<long long>(raw)});
   Stopwatch watch;
-  std::vector<std::byte> frame = codec.encode(data);
+  std::vector<std::byte> frame;
+  {
+    HIA_TRACE_SPAN("dart", "codec.encode");
+    frame = codec.encode(data);
+  }
   const double seconds = watch.seconds();
   if (encode_seconds != nullptr) *encode_seconds = seconds;
+  if (frame.size() < raw) {
+    saved.add(static_cast<int64_t>(raw - frame.size()));
+  }
 
   std::lock_guard lock(mutex_);
   auto it = nodes_.find(owner_node);
@@ -82,6 +97,9 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
 std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
                                  TransferStats* stats) {
   HIA_REQUIRE(handle.valid(), "get with invalid handle");
+  HIA_TRACE_SPAN("dart", "get");
+  static obs::Counter& inflight = obs::counter("dart_inflight_wire_bytes");
+  static obs::Counter& flows_gauge = obs::counter("net_active_flows");
 
   std::vector<std::byte> data;
   int owner = -1;
@@ -105,10 +123,21 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
   const int flows = network_.active_flows();
   const double seconds = network_.transfer_seconds(data.size(), flows);
   const TransferPath path = network_.select_path(data.size());
-  if (options_.sleep_transfers) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(
-        seconds * options_.time_scale));
+  inflight.add(static_cast<int64_t>(data.size()));
+  flows_gauge.add(1);
+  {
+    // The SMSG-vs-BTE wire phase: wall span when transfers sleep, plus the
+    // modeled Gemini seconds on the virtual clock either way.
+    obs::Span wire("net", path == TransferPath::kSmsg ? "smsg" : "bte",
+                   {.bytes = static_cast<long long>(data.size()),
+                    .vtime = seconds});
+    if (options_.sleep_transfers) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          seconds * options_.time_scale));
+    }
   }
+  flows_gauge.add(-1);
+  inflight.add(-static_cast<int64_t>(data.size()));
 
   if (stats != nullptr) {
     TransferStats s;
@@ -153,7 +182,11 @@ std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
   std::vector<double> out;
   if (local.encoded) {
     Stopwatch watch;
-    out = decode_frame(bytes);
+    {
+      HIA_TRACE_SPAN_ARGS("dart", "codec.decode",
+                          {.bytes = static_cast<long long>(bytes.size())});
+      out = decode_frame(bytes);
+    }
     local.decode_seconds = watch.seconds();
     std::lock_guard lock(mutex_);
     counters_.decode_seconds_total += local.decode_seconds;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -9,8 +10,12 @@ namespace hia::log {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+// The installed sink is shared, not owned, by emitters: vemit copies the
+// shared_ptr under the mutex and invokes the sink outside it, so a sink
+// that logs (or a concurrent set_sink) cannot deadlock, and a replaced
+// sink stays alive until in-flight emits finish with it.
 std::mutex g_sink_mutex;
-std::function<void(const std::string&)> g_sink;  // guarded by g_sink_mutex
+std::shared_ptr<const std::function<void(const std::string&)>> g_sink;
 }  // namespace
 
 void set_level(Level level) { g_level.store(static_cast<int>(level)); }
@@ -18,8 +23,12 @@ void set_level(Level level) { g_level.store(static_cast<int>(level)); }
 Level level() { return static_cast<Level>(g_level.load()); }
 
 void set_sink(std::function<void(const std::string&)> sink) {
+  auto next =
+      sink ? std::make_shared<const std::function<void(const std::string&)>>(
+                 std::move(sink))
+           : nullptr;
   std::lock_guard lock(g_sink_mutex);
-  g_sink = std::move(sink);
+  g_sink = std::move(next);
 }
 
 const char* level_name(Level l) {
@@ -51,9 +60,13 @@ void vemit(Level lvl, const char* component, const char* fmt,
   std::string line = std::string("[") + level_name(lvl) + "][" + component +
                      "] " + body;
 
-  std::lock_guard lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(line);
+  std::shared_ptr<const std::function<void(const std::string&)>> sink;
+  {
+    std::lock_guard lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    (*sink)(line);
   } else {
     std::fprintf(stderr, "%s\n", line.c_str());
   }
