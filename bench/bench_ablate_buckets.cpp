@@ -11,7 +11,11 @@
 #include "staging/scheduler.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_buckets");
   using namespace hia;
 
   constexpr int kTasks = 16;
@@ -61,5 +65,6 @@ int main() {
   std::printf("  [shape %s] single bucket is serial (makespan ~ tasks x "
               "duration)\n\n",
               makespan1 > 0.8 * task_s * kTasks ? "OK  " : "FAIL");
+  obs_cli.finish();
   return 0;
 }

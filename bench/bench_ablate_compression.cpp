@@ -154,7 +154,9 @@ void write_json(const std::vector<Result>& results) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_compression");
   using hia::bench::print_header;
   using hia::bench::shape_check;
 
@@ -216,5 +218,6 @@ int main() {
   shape_check("modeled transfer time falls with wire bytes",
               qfield.modeled_wire_s < qfield.modeled_raw_s);
   std::printf("\n");
+  obs_cli.finish();
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "runtime/network_model.hpp"
 #include "transport/dart.hpp"
 #include "util/table.hpp"
@@ -65,8 +66,13 @@ BENCHMARK(BM_DartGet)->Range(8, 1 << 18);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // parse() consumes the obs flags so google-benchmark's own flag parser
+  // below doesn't reject them.
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_dart_paths");
   report_crossover();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  obs_cli.finish();
   return 0;
 }

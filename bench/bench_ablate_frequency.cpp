@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   using namespace hia::bench;
 
   obs::enable();
-  const ObsCli obs_cli = ObsCli::parse(argc, argv);
+  ObsCli obs_cli = ObsCli::parse(argc, argv, "ablate_frequency");
 
   std::printf("\n==== analysis-frequency sweep (hybrid statistics) ====\n\n");
   Table table({"frequency", "invocations", "amortized in-situ s/step",

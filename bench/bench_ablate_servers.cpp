@@ -9,7 +9,11 @@
 #include "staging/object_store.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_servers");
   using namespace hia;
 
   constexpr int kVariables = 14;
@@ -55,5 +59,6 @@ int main() {
   std::printf("  [shape %s] hashing balances RPCs across servers "
               "(max/mean < 2 with >= 4 servers)\n\n",
               balanced_at_scale ? "OK  " : "FAIL");
+  obs_cli.finish();
   return 0;
 }

@@ -11,7 +11,9 @@
 #include "core/stats_pipeline.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_spectrum");
   using namespace hia;
   using namespace hia::bench;
 
@@ -69,5 +71,6 @@ int main() {
                std::abs(a[0].mean - c.mean) < 1e-9 &&
                std::abs(b[0].variance - c.variance) < 1e-8;
       }());
+  obs_cli.finish();
   return 0;
 }

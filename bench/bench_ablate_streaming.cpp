@@ -10,7 +10,11 @@
 #include "sim/analytic_fields.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_streaming");
   using namespace hia;
 
   GlobalGrid grid{{48, 48, 48}, {1, 1, 1}};
@@ -78,5 +82,6 @@ int main() {
               always_smaller ? "OK  " : "FAIL");
   std::printf("  [shape %s] result tree unchanged by streaming\n\n",
               always_equal ? "OK  " : "FAIL");
+  obs_cli.finish();
   return 0;
 }

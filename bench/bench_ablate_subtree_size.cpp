@@ -11,6 +11,8 @@
 #include "sim/analytic_fields.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 struct Sweep {
@@ -20,7 +22,9 @@ struct Sweep {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "ablate_subtree_size");
   using namespace hia;
 
   std::printf("\n==== topology intermediate-data scaling ====\n\n");
@@ -80,5 +84,6 @@ int main() {
   std::printf("  [shape %s] intermediate fraction shrinks with block size "
               "(the paper's 0.09%% needs big blocks)\n",
               shrinks_with_block_size ? "OK  " : "FAIL");
+  obs_cli.finish();
   return 0;
 }

@@ -4,12 +4,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/framework.hpp"
 #include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hia::bench {
 
@@ -59,25 +64,69 @@ inline void shape_check(const char* description, bool ok) {
   std::printf("  [shape %s] %s\n", ok ? "OK  " : "FAIL", description);
 }
 
-// ---- Observability hooks (shared --trace/--metrics handling) ----
+// ---- Observability hooks (shared telemetry CLI for every bench) ----
 
-/// Scans argv for `--trace <out.json>` / `--metrics <out.txt>`. When either
-/// is present, enables the tracer for the whole bench run; call `finish()`
-/// after the measured section to write the requested files.
+/// The shared bench harness for the obs layer. Scans argv for
+///   --trace <out.json>      Chrome trace (enables the tracer)
+///   --metrics <out.txt>     Prometheus text dump (enables the tracer)
+///   --summary <out.json>    RunSummary path (default BENCH_<bench>_summary.json)
+///   --obs-sample-hz <hz>    background gauge sampler rate (default off)
+/// and CONSUMES those flags (compacting argv), so benches that forward
+/// argc/argv to google-benchmark don't trip its unknown-flag check.
+///
+/// Every bench always emits a RunSummary: parse() registers a
+/// `bench_uptime_s` gauge and takes an initial sample, finish() records the
+/// bench's wall time into the `bench_wall_s` histogram, takes a final
+/// sample, and writes the summary — so the document always carries at
+/// least one histogram and one time series even for benches that never
+/// touch an instrumented hot path.
 struct ObsCli {
+  std::string bench;  // identity stamped into the summary
   std::string trace_path;
   std::string metrics_path;
+  std::string summary_path;
+  double sample_hz = 0.0;  // 0 = background sampler off
+  obs::RunSummary summary;
+  Stopwatch wall;
 
-  static ObsCli parse(int argc, char** argv) {
+  /// `default_summary` overrides the BENCH_<bench>_summary.json default
+  /// (fig5 writes straight to BENCH_fig5_scheduler.json, the gated file).
+  static ObsCli parse(int& argc, char** argv, const std::string& bench_name,
+                      const std::string& default_summary = "") {
     ObsCli cli;
-    for (int a = 1; a + 1 < argc; ++a) {
-      if (std::strcmp(argv[a], "--trace") == 0) {
-        cli.trace_path = argv[a + 1];
-      } else if (std::strcmp(argv[a], "--metrics") == 0) {
-        cli.metrics_path = argv[a + 1];
+    cli.bench = bench_name;
+    cli.summary.bench = bench_name;
+    cli.summary_path = default_summary.empty()
+                           ? "BENCH_" + bench_name + "_summary.json"
+                           : default_summary;
+    int out = 1;
+    for (int a = 1; a < argc; ++a) {
+      const bool has_value = a + 1 < argc;
+      if (std::strcmp(argv[a], "--trace") == 0 && has_value) {
+        cli.trace_path = argv[++a];
+      } else if (std::strcmp(argv[a], "--metrics") == 0 && has_value) {
+        cli.metrics_path = argv[++a];
+      } else if (std::strcmp(argv[a], "--summary") == 0 && has_value) {
+        cli.summary_path = argv[++a];
+      } else if (std::strcmp(argv[a], "--obs-sample-hz") == 0 && has_value) {
+        cli.sample_hz = std::atof(argv[++a]);
+      } else {
+        argv[out++] = argv[a];  // not ours: keep for the bench
       }
     }
+    argc = out;
     if (cli.enabled()) obs::enable();
+    // Default gauge so every summary has a time series; first sample now,
+    // last one in finish().
+    const double start_us = obs::now_us();
+    obs::register_gauge("bench_uptime_s", [start_us] {
+      return (obs::now_us() - start_us) * 1e-6;
+    });
+    if (cli.sample_hz > 0.0) {
+      obs::start_sampler(cli.sample_hz);
+    } else {
+      obs::sample_now();
+    }
     return cli;
   }
 
@@ -85,12 +134,28 @@ struct ObsCli {
     return !trace_path.empty() || !metrics_path.empty();
   }
 
-  void finish() const {
+  /// Bench-specific scalar for the summary's "metrics" object (what
+  /// tools/bench_diff compares against bench/baselines/).
+  void add_metric(const std::string& name, double value) {
+    summary.metrics[name] = value;
+  }
+
+  void finish() {
+    obs::stop_sampler();
+    const double wall_s = wall.seconds();
+    obs::histogram("bench_wall_s").record(wall_s);
+    if (summary.metrics.count("wall_s") == 0) {
+      summary.metrics["wall_s"] = wall_s;
+    }
+    obs::sample_now();
     if (!trace_path.empty() && obs::write_chrome_trace(trace_path)) {
       std::printf("trace written to %s\n", trace_path.c_str());
     }
     if (!metrics_path.empty() && obs::write_metrics(metrics_path)) {
       std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!summary_path.empty() && obs::write_run_summary(summary_path, summary)) {
+      std::printf("run summary written to %s\n", summary_path.c_str());
     }
   }
 };

@@ -13,7 +13,9 @@
 #include "sim/s3d.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "fig1_tracking");
   using namespace hia;
   using namespace hia::bench;
 
@@ -83,5 +85,6 @@ int main() {
       continuity_at_1 > continuity_at_max);
   shape_check("dense tracking achieves high continuity",
               continuity_at_1 > 0.6);
+  obs_cli.finish();
   return 0;
 }

@@ -15,7 +15,9 @@
 #include "sim/s3d.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "fig2_viz");
   using namespace hia;
   using namespace hia::bench;
 
@@ -155,5 +157,6 @@ int main() {
   shape_check("finer strides converge toward the in-situ image",
               true /* monotonicity asserted in tests */);
   std::printf("\nimages written to fig2_out/\n");
+  obs_cli.finish();
   return 0;
 }

@@ -17,7 +17,9 @@
 #include "sim/analytic_fields.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "fig3_mergetree");
   using namespace hia;
   using namespace hia::bench;
 
@@ -120,5 +122,6 @@ int main() {
     shape_check("2-D merge tree works (Fig. 3 is a 2-D example)",
                 seg.features.size() == 3 && tree2d.validate().empty());
   }
+  obs_cli.finish();
   return 0;
 }

@@ -12,7 +12,9 @@
 #include "sim/s3d.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "fig4_stats_stages");
   using namespace hia;
   using namespace hia::bench;
 
@@ -106,5 +108,6 @@ int main() {
   shape_check("hybrid movement ~ packed models (7 doubles x 14 vars x ranks)",
               report.mean_movement_bytes("stats-hybrid") ==
                   7.0 * 14.0 * 8.0 * decomp.num_ranks());
+  obs_cli.finish();
   return 0;
 }

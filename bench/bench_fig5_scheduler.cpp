@@ -22,12 +22,13 @@ int main(int argc, char** argv) {
   using namespace hia;
   using namespace hia::bench;
 
+  ObsCli obs_cli = ObsCli::parse(argc, argv, "fig5_scheduler",
+                                 "BENCH_fig5_scheduler.json");
   bool use_tracer = true;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--no-trace") == 0) use_tracer = false;
   }
   if (use_tracer) obs::enable();
-  const ObsCli obs_cli = ObsCli::parse(argc, argv);
 
   NetworkModel net;
   Dart dart(net);
@@ -96,6 +97,16 @@ int main(int argc, char** argv) {
                 return true;
               }());
 
+  obs_cli.add_metric("makespan_s", makespan);
+  obs_cli.add_metric("sim_submit_s", sim_seconds);
+  obs_cli.add_metric("max_queue_wait_s", max_wait);
+  obs_cli.add_metric("mean_turnaround_s",
+                     records.empty() ? 0.0
+                                     : total_turnaround /
+                                           static_cast<double>(records.size()));
+  obs_cli.add_metric("tasks_completed", static_cast<double>(records.size()));
+  obs_cli.add_metric("buckets_used", static_cast<double>(buckets.size()));
+
   if (use_tracer) {
     // Tracer-derived view of the same run: per-bucket busy time and the
     // queue-depth / busy-bucket high-water marks.
@@ -105,34 +116,20 @@ int main(int argc, char** argv) {
                 stats.buckets.size(), stats.span_s,
                 static_cast<long long>(stats.queue_depth_max),
                 static_cast<long long>(stats.busy_buckets_max));
-
-    std::FILE* f = std::fopen("BENCH_fig5_scheduler.json", "w");
-    if (f != nullptr) {
-      std::fprintf(f, "{\n  \"makespan_s\": %.6f,\n", makespan);
-      std::fprintf(f, "  \"queue_depth_max\": %lld,\n",
-                   static_cast<long long>(stats.queue_depth_max));
-      std::fprintf(f, "  \"busy_buckets_max\": %lld,\n",
-                   static_cast<long long>(stats.busy_buckets_max));
-      std::fprintf(f, "  \"trace_span_s\": %.6f,\n", stats.span_s);
-      std::fprintf(f, "  \"buckets\": [\n");
-      for (size_t i = 0; i < stats.buckets.size(); ++i) {
-        const auto& b = stats.buckets[i];
-        const double util =
-            stats.span_s > 0.0 ? b.busy_s / stats.span_s : 0.0;
-        std::fprintf(f,
-                     "    {\"bucket\": %d, \"busy_s\": %.6f, "
-                     "\"spans\": %zu, \"utilization\": %.4f}%s\n",
-                     b.id, b.busy_s, b.spans, util,
-                     i + 1 < stats.buckets.size() ? "," : "");
-      }
-      std::fprintf(f, "  ]\n}\n");
-      std::fclose(f);
-      std::printf("wrote BENCH_fig5_scheduler.json (%zu buckets)\n",
-                  stats.buckets.size());
-    } else {
-      std::printf("(could not open BENCH_fig5_scheduler.json for writing)\n");
-    }
+    obs_cli.add_metric("trace_span_s", stats.span_s);
+    obs_cli.add_metric("queue_depth_max",
+                       static_cast<double>(stats.queue_depth_max));
+    obs_cli.add_metric("busy_buckets_max",
+                       static_cast<double>(stats.busy_buckets_max));
+    double busy_total = 0.0;
+    for (const auto& b : stats.buckets) busy_total += b.busy_s;
+    const double denom =
+        stats.span_s * static_cast<double>(stats.buckets.size());
+    obs_cli.add_metric("mean_bucket_utilization",
+                       denom > 0.0 ? busy_total / denom : 0.0);
   }
+  // The summary (BENCH_fig5_scheduler.json by default) is the document
+  // tools/bench_diff gates against bench/baselines/.
   obs_cli.finish();
   return 0;
 }

@@ -12,7 +12,9 @@
 #include "core/topology_pipeline.hpp"
 #include "core/viz_pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "fig6");
   using namespace hia;
   using namespace hia::bench;
 
@@ -67,5 +69,6 @@ int main() {
       "hybrid topology in-transit stage exceeds a simulation step yet "
       "runs asynchronously (paper: 119.81 s vs 16.85 s)",
       report.mean_in_transit_seconds("topo-hybrid") > 0.0);
+  obs_cli.finish();
   return 0;
 }

@@ -45,7 +45,9 @@ double measured_sim_step_seconds(const S3DParams& params, long steps) {
 }  // namespace
 }  // namespace hia
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "table1");
   using namespace hia;
   using namespace hia::bench;
 
@@ -93,5 +95,6 @@ int main() {
               "virtual ranks does not halve wall-clock time as it does on\n"
               "Jaguar; the decomposition/time-per-step *structure* is what\n"
               "this table reproduces.\n");
+  obs_cli.finish();
   return 0;
 }

@@ -13,7 +13,9 @@
 #include "core/viz_pipeline.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  hia::bench::ObsCli obs_cli =
+      hia::bench::ObsCli::parse(argc, argv, "table2");
   using namespace hia;
   using namespace hia::bench;
 
@@ -92,5 +94,6 @@ int main() {
 
   std::printf("\nsimulation time per step: %.4f s (paper: %.2f s)\n",
               report.mean_sim_step_seconds(), kPaperSimStepSeconds4896);
+  obs_cli.finish();
   return 0;
 }

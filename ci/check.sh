@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # The full CI gate:
 #   1. tier-1: default build + full ctest suite
-#   2. traced smoke: hia_campaign with --trace/--metrics, JSON gated by
-#      trace_lint (parses the trace and proves every 'B' pairs with an 'E')
-#   3. sanitizers: ASan+UBSan over everything, TSan over the concurrent
-#      paths (see ci/sanitize.sh)
+#   2. traced smoke: hia_campaign with --trace/--metrics/--summary, gated
+#      by trace_lint (trace pairing, Prometheus exposition, RunSummary
+#      schema with >=1 histogram and >=1 gauge series)
+#   3. perf baseline: bench_fig5_scheduler's RunSummary diffed against
+#      bench/baselines/ by tools/bench_diff — nonzero exit on drift past
+#      the baseline's per-metric tolerances
+#   4. sanitizers: ASan+UBSan over everything, TSan over the concurrent
+#      paths (see ci/sanitize.sh; sanitizer runs skip the perf gate —
+#      their timings are not comparable to baseline)
+#
+# Artifacts (RunSummary JSONs, Chrome trace, metrics dump) are archived
+# under ci/artifacts/ for post-mortem reading.
 #
 #   ci/check.sh              # everything
-#   ci/check.sh --fast       # tier-1 + traced smoke only (skip sanitizers)
+#   ci/check.sh --fast       # tier-1 + smokes + perf gate (skip sanitizers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,18 +27,37 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
-echo "==> traced smoke: hia_campaign --trace + trace_lint"
+artifact_dir="ci/artifacts"
+rm -rf "$artifact_dir"
+mkdir -p "$artifact_dir"
+
+echo "==> traced smoke: hia_campaign --trace/--metrics/--summary + trace_lint"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 ./build/examples/hia_campaign --steps 2 --analyses stats,viz,topo \
+  --obs-sample-hz 20 \
   --trace "$smoke_dir/trace.json" --metrics "$smoke_dir/metrics.txt" \
+  --summary "$smoke_dir/campaign_summary.json" \
   > "$smoke_dir/stdout.txt"
 ./build/examples/trace_lint "$smoke_dir/trace.json"
+./build/examples/trace_lint --metrics "$smoke_dir/metrics.txt"
+./build/examples/trace_lint --summary "$smoke_dir/campaign_summary.json"
 grep -q '^hia_staging_tasks_completed' "$smoke_dir/metrics.txt" || {
   echo "metrics dump missing staging counters" >&2
   exit 1
 }
+cp "$smoke_dir/trace.json" "$smoke_dir/metrics.txt" \
+  "$smoke_dir/campaign_summary.json" "$artifact_dir/"
 echo "traced smoke OK"
+
+echo "==> perf baseline: bench_fig5_scheduler vs bench/baselines (bench_diff)"
+(cd "$smoke_dir" && "$OLDPWD/build/bench/bench_fig5_scheduler" \
+  --obs-sample-hz 50 > bench_stdout.txt)
+./build/examples/trace_lint --summary "$smoke_dir/BENCH_fig5_scheduler.json"
+cp "$smoke_dir/BENCH_fig5_scheduler.json" "$artifact_dir/"
+./build/tools/bench_diff "$smoke_dir/BENCH_fig5_scheduler.json" \
+  bench/baselines/BENCH_fig5_scheduler.json
+echo "perf baseline OK (artifacts in $artifact_dir/)"
 
 if [[ "$fast" -eq 0 ]]; then
   echo "==> sanitizers: asan"

@@ -9,6 +9,11 @@
 # Any sanitizer report fails the run: -fno-sanitize-recover=all turns
 # UBSan diagnostics into aborts, halt_on_error makes ASan exit on the
 # first error, and TSan exits non-zero on any race report.
+#
+# bench-baseline note: sanitizer presets deliberately do NOT run the
+# tools/bench_diff perf gate — ASan/TSan inflate wall times 2-20x, so
+# their timings are never comparable to bench/baselines/. The perf gate
+# runs only on the default preset (see ci/check.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -10,6 +10,7 @@
 //   hia_campaign --steps 5 --trace trace.json --metrics metrics.txt
 //   hia_campaign --list
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sys/stat.h>
@@ -26,6 +27,8 @@
 #include "core/topology_pipeline.hpp"
 #include "core/viz_pipeline.hpp"
 #include "obs/export.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -44,6 +47,8 @@ struct Options {
   std::string output_dir;
   std::string trace_path;
   std::string metrics_path;
+  std::string summary_path;
+  double sample_hz = 0.0;
   bool list_only = false;
 };
 
@@ -86,6 +91,12 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --trace FILE        write a Chrome trace-event JSON (load in\n"
       "                      Perfetto / chrome://tracing)\n"
       "  --metrics FILE      write a flat Prometheus-style counter dump\n"
+      "  --summary FILE      write a RunSummary JSON (schema\n"
+      "                      hia-run-summary-v1: metrics, counters,\n"
+      "                      histograms, gauge time series)\n"
+      "  --obs-sample-hz HZ  sample registered gauges at HZ into the\n"
+      "                      summary's time series (default: off; two\n"
+      "                      samples are always taken, start and end)\n"
       "  --list              list available analyses and exit\n");
   std::exit(code);
 }
@@ -127,6 +138,10 @@ Options parse(int argc, char** argv) {
       opt.trace_path = need("--trace");
     } else if (std::strcmp(argv[a], "--metrics") == 0) {
       opt.metrics_path = need("--metrics");
+    } else if (std::strcmp(argv[a], "--summary") == 0) {
+      opt.summary_path = need("--summary");
+    } else if (std::strcmp(argv[a], "--obs-sample-hz") == 0) {
+      opt.sample_hz = std::atof(need("--obs-sample-hz"));
     } else if (std::strcmp(argv[a], "--list") == 0) {
       opt.list_only = true;
     } else if (std::strcmp(argv[a], "--help") == 0) {
@@ -190,6 +205,8 @@ int main(int argc, char** argv) {
   if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
     obs::enable();
   }
+  obs::sample_now();  // t=0 point for every gauge series
+  if (opt.sample_hz > 0.0) obs::start_sampler(opt.sample_hz);
 
   HybridRunner runner(config);
 
@@ -258,6 +275,8 @@ int main(int argc, char** argv) {
   }
 
   const RunReport report = runner.run();
+  obs::stop_sampler();
+  obs::sample_now();  // closing point for every gauge series
 
   std::printf("%s\n", format_table2(report, report_names).c_str());
   std::printf("%s\n", format_fig6(report, report_names).c_str());
@@ -276,6 +295,16 @@ int main(int argc, char** argv) {
   if (!opt.metrics_path.empty()) {
     if (!obs::write_metrics(opt.metrics_path)) return 1;
     std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+  }
+  if (!opt.summary_path.empty()) {
+    obs::RunSummary summary;
+    summary.bench = "hia_campaign";
+    summary.metrics["steps"] = static_cast<double>(report.steps);
+    summary.metrics["in_transit_tasks"] =
+        static_cast<double>(report.in_transit.size());
+    summary.metrics["mean_sim_step_s"] = report.mean_sim_step_seconds();
+    if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
+    std::printf("run summary written to %s\n", opt.summary_path.c_str());
   }
   return 0;
 }

@@ -5,12 +5,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <string_view>
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
 #include "util/log.hpp"
 
 namespace hia::obs {
@@ -208,6 +211,32 @@ std::string metrics_text() {
     line(s.name, s.value);
     line(s.name + "_max", s.max);
   }
+  for (const HistogramSnapshot& h : histograms_snapshot()) {
+    if (h.count == 0) continue;
+    out += "# TYPE hia_" + h.name + " histogram\n";
+    // Cumulative buckets, sparse: one line per boundary where the count
+    // changes, then the mandatory le="+Inf" line equal to _count.
+    uint64_t cum = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cum += h.buckets[b];
+      const double le = histogram_bucket_upper_bound(static_cast<int>(b));
+      if (std::isinf(le)) continue;  // folded into the +Inf line below
+      std::snprintf(buf, sizeof(buf), "%.9g", le);
+      out += "hia_" + h.name + "_bucket{le=\"" + buf + "\"} ";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(cum));
+      out += std::string(buf) + "\n";
+    }
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.count));
+    out += "hia_" + h.name + "_bucket{le=\"+Inf\"} " + buf + "\n";
+    std::snprintf(buf, sizeof(buf), "%.9g", h.sum);
+    out += "hia_" + h.name + "_sum " + buf + "\n";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.count));
+    out += "hia_" + h.name + "_count " + buf + "\n";
+  }
   out += "# TYPE hia_trace_dropped_events counter\n";
   line("trace_dropped_events", static_cast<int64_t>(dropped_events()));
   out += "# TYPE hia_trace_oversized_names counter\n";
@@ -232,222 +261,14 @@ bool write_metrics(const std::string& path) {
 // ------------------------------------------------------------ validation --
 
 namespace {
-
-/// Minimal JSON DOM, just enough to validate exported traces.
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue& out, std::string& error) {
-    skip_ws();
-    if (!parse_value(out)) {
-      error = error_;
-      return false;
-    }
-    skip_ws();
-    if (pos_ != text_.size()) {
-      error = "trailing characters at offset " + std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  bool fail(const std::string& what) {
-    error_ = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool parse_value(JsonValue& out) {
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"':
-        out.type = JsonValue::Type::kString;
-        return parse_string(out.string);
-      case 't':
-      case 'f': return parse_bool(out);
-      case 'n': return parse_null(out);
-      default: return parse_number(out);
-    }
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
-        return fail("expected object key");
-      }
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
-      ++pos_;
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.object[key] = std::move(value);
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.array.push_back(std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    ++pos_;  // opening quote
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return fail("unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-            // Validation only: keep the raw escape, no UTF-8 decoding.
-            out += "\\u" + text_.substr(pos_, 4);
-            pos_ += 4;
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_bool(JsonValue& out) {
-    out.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out.boolean = false;
-      pos_ += 5;
-      return true;
-    }
-    return fail("bad literal");
-  }
-
-  bool parse_null(JsonValue& out) {
-    out.type = JsonValue::Type::kNull;
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    return fail("bad literal");
-  }
-
-  bool parse_number(JsonValue& out) {
-    out.type = JsonValue::Type::kNumber;
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    bool digits = false;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      digits = true;
-      ++pos_;
-    }
-    if (!digits) return fail("expected number");
-    out.number = std::strtod(text_.c_str() + start, nullptr);
-    return true;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-  std::string error_;
-};
-
-const JsonValue* find(const JsonValue& obj, const std::string& key) {
-  if (obj.type != JsonValue::Type::kObject) return nullptr;
-  auto it = obj.object.find(key);
-  return it == obj.object.end() ? nullptr : &it->second;
-}
-
+using JsonValue = json::Value;
+using json::find;
 }  // namespace
 
-TraceValidation validate_chrome_trace_json(const std::string& json) {
+TraceValidation validate_chrome_trace_json(const std::string& text) {
   TraceValidation v;
   JsonValue root;
-  JsonParser parser(json);
-  if (!parser.parse(root, v.error)) return v;
+  if (!json::parse(text, root, v.error)) return v;
 
   const JsonValue* events = find(root, "traceEvents");
   if (events == nullptr || events->type != JsonValue::Type::kArray) {
@@ -512,6 +333,182 @@ TraceValidation validate_chrome_trace_json(const std::string& json) {
       v.error = "unclosed span: " + stack.back().name;
       return v;
     }
+  }
+  v.ok = true;
+  return v;
+}
+
+MetricsValidation validate_metrics_text(const std::string& text) {
+  MetricsValidation v;
+
+  struct HistState {
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_cum = -1.0;  // cumulative counts must be non-decreasing
+    bool saw_inf = false;
+    double inf_count = -1.0;
+    bool saw_sum = false;
+    bool saw_count = false;
+    double count_value = -1.0;
+  };
+  std::map<std::string, char> types;  // series -> 'g'auge/'c'ounter/'h'istogram
+  std::map<std::string, HistState> hists;
+
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& msg) {
+      v.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" comments are emitted / accepted.
+      const std::string prefix = "# TYPE ";
+      if (line.rfind(prefix, 0) != 0) continue;  // other comments: ignore
+      const size_t sp = line.find(' ', prefix.size());
+      if (sp == std::string::npos) {
+        fail("malformed # TYPE line");
+        return v;
+      }
+      const std::string name = line.substr(prefix.size(), sp - prefix.size());
+      const std::string type = line.substr(sp + 1);
+      if (type != "gauge" && type != "counter" && type != "histogram") {
+        fail("unknown metric type " + type);
+        return v;
+      }
+      types[name] = type[0];
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos || name_end == 0) {
+      fail("malformed sample line");
+      return v;
+    }
+    const std::string name = line.substr(0, name_end);
+    std::string labels;
+    size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos || close + 1 >= line.size() ||
+          line[close + 1] != ' ') {
+        fail("malformed label set");
+        return v;
+      }
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_begin = close + 1;
+    }
+    if (line[value_begin] != ' ') {
+      fail("missing value separator");
+      return v;
+    }
+    const std::string value_str = line.substr(value_begin + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') {
+      fail("non-numeric value '" + value_str + "'");
+      return v;
+    }
+    ++v.samples;
+
+    // Resolve the declared series this sample belongs to.
+    auto ends_with = [&](const char* suffix) {
+      const size_t n = std::string_view(suffix).size();
+      return name.size() > n && name.compare(name.size() - n, n, suffix) == 0;
+    };
+    auto base_of = [&](const char* suffix) {
+      return name.substr(0, name.size() - std::string_view(suffix).size());
+    };
+
+    std::string hist_base;
+    const char* hist_part = nullptr;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      if (!ends_with(suffix)) continue;
+      const std::string base = base_of(suffix);
+      auto it = types.find(base);
+      if (it != types.end() && it->second == 'h') {
+        hist_base = base;
+        hist_part = suffix;
+        break;
+      }
+    }
+
+    if (hist_part == nullptr) {
+      // Plain gauge/counter sample; gauges also emit <name>_max.
+      const bool declared =
+          types.count(name) != 0 ||
+          (ends_with("_max") && types.count(base_of("_max")) != 0);
+      if (!declared) {
+        fail("sample " + name + " has no preceding # TYPE");
+        return v;
+      }
+      continue;
+    }
+
+    HistState& h = hists[hist_base];
+    if (std::string_view(hist_part) == "_bucket") {
+      const size_t le_pos = labels.find("le=\"");
+      const size_t le_end = labels.find('"', le_pos + 4);
+      if (le_pos == std::string::npos || le_end == std::string::npos) {
+        fail("histogram bucket without le label");
+        return v;
+      }
+      const std::string le_str = labels.substr(le_pos + 4, le_end - le_pos - 4);
+      double le;
+      if (le_str == "+Inf") {
+        le = std::numeric_limits<double>::infinity();
+      } else {
+        char* le_end_p = nullptr;
+        le = std::strtod(le_str.c_str(), &le_end_p);
+        if (le_end_p == le_str.c_str() || *le_end_p != '\0') {
+          fail("non-numeric le bound '" + le_str + "'");
+          return v;
+        }
+      }
+      if (le <= h.prev_le) {
+        fail("histogram " + hist_base + " buckets not ascending in le");
+        return v;
+      }
+      if (value < h.prev_cum) {
+        fail("histogram " + hist_base + " bucket counts not cumulative");
+        return v;
+      }
+      h.prev_le = le;
+      h.prev_cum = value;
+      if (std::isinf(le)) {
+        h.saw_inf = true;
+        h.inf_count = value;
+      }
+    } else if (std::string_view(hist_part) == "_sum") {
+      h.saw_sum = true;
+    } else {
+      h.saw_count = true;
+      h.count_value = value;
+    }
+  }
+
+  for (const auto& [name, type] : types) {
+    if (type == 'h' && hists.count(name) == 0) {
+      v.error = "histogram " + name + " declared but has no samples";
+      return v;
+    }
+  }
+  for (const auto& [name, h] : hists) {
+    if (!h.saw_inf || !h.saw_sum || !h.saw_count) {
+      v.error = "histogram " + name + " missing _bucket{le=\"+Inf\"}/_sum/_count";
+      return v;
+    }
+    if (h.inf_count != h.count_value) {
+      v.error = "histogram " + name + " +Inf bucket != _count";
+      return v;
+    }
+    ++v.histograms;
   }
   v.ok = true;
   return v;

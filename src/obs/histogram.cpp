@@ -1,0 +1,266 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <limits>
+#include <mutex>
+
+namespace hia::obs {
+
+namespace {
+
+// Octaves spanned by (kMinTrackable, kMaxTrackable]:
+// log2(1e12 / 1e-9) = log2(1e21) ~= 69.77, so 70 octaves cover the range.
+constexpr int kOctaves = 70;
+constexpr int kMidBuckets = kOctaves * kHistogramSubBuckets;
+constexpr int kNumBuckets = 1 + kMidBuckets + 1;  // underflow + mid + overflow
+
+struct HistogramRegistry {
+  std::mutex mutex;
+  std::map<std::string, Histogram*> by_name;
+  std::vector<Histogram*> by_id;
+};
+
+HistogramRegistry& registry() {
+  static HistogramRegistry* r = new HistogramRegistry();  // leaked, see trace.cpp
+  return *r;
+}
+
+// Shard lists mutate rarely (one push per thread per histogram); a single
+// registry-wide mutex keeps the layout simple. Shard *data* is guarded by
+// the per-shard mutex, which its owner thread holds uncontended.
+std::mutex& shards_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+}  // namespace
+
+struct Histogram::Shard {
+  std::mutex mutex;
+  std::vector<uint64_t> counts = std::vector<uint64_t>(kNumBuckets, 0);
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+namespace {
+/// Per-thread shard cache, indexed by Histogram::id_. Entries are owned by
+/// the (leaked) histograms, so dangling pointers are impossible.
+thread_local std::vector<Histogram::Shard*> t_shards;
+}  // namespace
+
+int histogram_num_buckets() { return kNumBuckets; }
+
+double histogram_bucket_upper_bound(int index) {
+  if (index <= 0) return kHistogramMinTrackable;
+  if (index > kMidBuckets) return std::numeric_limits<double>::infinity();
+  return kHistogramMinTrackable *
+         std::exp2(static_cast<double>(index) / kHistogramSubBuckets);
+}
+
+int histogram_bucket_index(double value) {
+  if (std::isnan(value) || value <= kHistogramMinTrackable) return 0;
+  if (value > histogram_bucket_upper_bound(kMidBuckets)) return kNumBuckets - 1;
+  int idx = static_cast<int>(std::ceil(
+      std::log2(value / kHistogramMinTrackable) * kHistogramSubBuckets));
+  idx = std::clamp(idx, 1, kMidBuckets);
+  // log2/exp2 rounding can land one bucket off at exact boundaries; nudge
+  // so the invariant upper_bound(i-1) < value <= upper_bound(i) holds.
+  while (idx < kMidBuckets && value > histogram_bucket_upper_bound(idx)) ++idx;
+  while (idx > 1 && value <= histogram_bucket_upper_bound(idx - 1)) --idx;
+  return idx;
+}
+
+// ---------------------------------------------------------- Histogram ----
+
+Histogram::Histogram(std::string name, size_t id)
+    : name_(std::move(name)), id_(id) {}
+
+Histogram::Shard& Histogram::local_shard() {
+  if (id_ < t_shards.size() && t_shards[id_] != nullptr) {
+    return *t_shards[id_];
+  }
+  auto* shard = new Shard();  // owned by shards_, leaked with the registry
+  {
+    std::lock_guard lock(shards_mutex());
+    shards_.push_back(shard);
+  }
+  if (t_shards.size() <= id_) t_shards.resize(id_ + 1, nullptr);
+  t_shards[id_] = shard;
+  return *shard;
+}
+
+void Histogram::record(double value) {
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mutex);
+  shard.counts[static_cast<size_t>(histogram_bucket_index(value))] += 1;
+  if (shard.count == 0) {
+    shard.min = value;
+    shard.max = value;
+  } else {
+    shard.min = std::min(shard.min, value);
+    shard.max = std::max(shard.max, value);
+  }
+  ++shard.count;
+  shard.sum += value;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.name = name_;
+  out.buckets.assign(kNumBuckets, 0);
+  std::lock_guard lock(shards_mutex());
+  for (Shard* shard : shards_) {
+    std::lock_guard shard_lock(shard->mutex);
+    if (shard->count == 0) continue;
+    if (out.count == 0) {
+      out.min = shard->min;
+      out.max = shard->max;
+    } else {
+      out.min = std::min(out.min, shard->min);
+      out.max = std::max(out.max, shard->max);
+    }
+    out.count += shard->count;
+    out.sum += shard->sum;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out.buckets[static_cast<size_t>(b)] +=
+          shard->counts[static_cast<size_t>(b)];
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- snapshot ----
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+
+  // Rank in (0, count]: the target order statistic.
+  const double target =
+      std::clamp(q * static_cast<double>(count), 1.0,
+                 static_cast<double>(count));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target) {
+      const Bounds bounds = bucket_bounds(static_cast<int>(b));
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(buckets[b]);
+      return bounds.lower + (bounds.upper - bounds.lower) * frac;
+    }
+  }
+  return max;  // unreachable when bucket counts and count agree
+}
+
+HistogramSnapshot::Bounds HistogramSnapshot::quantile_bounds(double q) const {
+  if (count == 0) return {};
+  if (q <= 0.0) return {min, min};
+  if (q >= 1.0) return {max, max};
+  const double target =
+      std::clamp(q * static_cast<double>(count), 1.0,
+                 static_cast<double>(count));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (buckets[b] > 0 && static_cast<double>(cum) >= target) {
+      return bucket_bounds(static_cast<int>(b));
+    }
+  }
+  return {max, max};
+}
+
+HistogramSnapshot::Bounds HistogramSnapshot::bucket_bounds(
+    int bucket) const {
+  // Bucket range tightened by the exact extrema: recorded values in this
+  // bucket lie in (upper(b-1), upper(b)] and in [min, max].
+  double lower =
+      bucket == 0 ? min : histogram_bucket_upper_bound(bucket - 1);
+  double upper = histogram_bucket_upper_bound(bucket);
+  lower = std::max(lower, min);
+  upper = std::min(upper, max);
+  if (lower > upper) lower = upper;
+  return {lower, upper};
+}
+
+HistogramSnapshot merge(const HistogramSnapshot& a,
+                        const HistogramSnapshot& b) {
+  if (a.count == 0) {
+    HistogramSnapshot out = b;
+    if (out.name.empty()) out.name = a.name;
+    if (out.buckets.empty()) out.buckets.assign(kNumBuckets, 0);
+    return out;
+  }
+  if (b.count == 0) {
+    HistogramSnapshot out = a;
+    if (out.buckets.empty()) out.buckets.assign(kNumBuckets, 0);
+    return out;
+  }
+  HistogramSnapshot out;
+  out.name = a.name.empty() ? b.name : a.name;
+  out.count = a.count + b.count;
+  out.sum = a.sum + b.sum;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  out.buckets.assign(kNumBuckets, 0);
+  for (size_t i = 0; i < out.buckets.size(); ++i) {
+    if (i < a.buckets.size()) out.buckets[i] += a.buckets[i];
+    if (i < b.buckets.size()) out.buckets[i] += b.buckets[i];
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- registry ----
+
+Histogram& histogram(const std::string& name) {
+  HistogramRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  auto it = reg.by_name.find(name);
+  if (it != reg.by_name.end()) return *it->second;
+  auto* h = new Histogram(name, reg.by_id.size());  // leaked, stable address
+  reg.by_name.emplace(name, h);
+  reg.by_id.push_back(h);
+  return *h;
+}
+
+std::vector<HistogramSnapshot> histograms_snapshot() {
+  std::vector<Histogram*> all;
+  {
+    HistogramRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& [name, h] : reg.by_name) all.push_back(h);
+  }
+  std::vector<HistogramSnapshot> out;
+  out.reserve(all.size());
+  for (Histogram* h : all) out.push_back(h->snapshot());
+  return out;
+}
+
+void reset_histograms() {
+  std::vector<Histogram*> all;
+  {
+    HistogramRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    all = reg.by_id;
+  }
+  std::lock_guard lock(shards_mutex());
+  for (Histogram* h : all) {
+    for (Histogram::Shard* shard : h->shards_) {
+      std::lock_guard shard_lock(shard->mutex);
+      std::fill(shard->counts.begin(), shard->counts.end(), 0);
+      shard->count = 0;
+      shard->sum = 0.0;
+      shard->min = 0.0;
+      shard->max = 0.0;
+    }
+  }
+}
+
+}  // namespace hia::obs

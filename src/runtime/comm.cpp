@@ -4,9 +4,23 @@
 #include <exception>
 #include <thread>
 
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hia {
+
+namespace {
+// Records each collective's wall latency into one shared distribution —
+// the p99 here is the "sim ranks stall on in-situ exchange" headline.
+struct CollectiveTimer {
+  ~CollectiveTimer() {
+    static obs::Histogram& h = obs::histogram("comm_collective_s");
+    h.record(watch.seconds());
+  }
+  Stopwatch watch;
+};
+}  // namespace
 
 // ---------------------------------------------------------------- World ----
 
@@ -108,6 +122,7 @@ int collective_tag(int epoch, int round) {
 
 void Comm::barrier() {
   HIA_TRACE_SPAN_ARGS("comm", "barrier", {.rank = rank_});
+  CollectiveTimer timer;
   const int epoch = collective_epoch_++;
   const int n = size();
   for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
@@ -126,6 +141,7 @@ std::vector<double> Comm::reduce(
                       {.rank = rank_,
                        .bytes = static_cast<long long>(local.size() *
                                                        sizeof(double))});
+  CollectiveTimer timer;
   const int epoch = collective_epoch_++;
   const int n = size();
   const int vrank = (rank_ - root + n) % n;  // virtual rank, root -> 0
@@ -157,6 +173,7 @@ std::vector<std::byte> Comm::broadcast(int root,
   HIA_TRACE_SPAN_ARGS("comm", "broadcast",
                       {.rank = rank_,
                        .bytes = static_cast<long long>(data.size())});
+  CollectiveTimer timer;
   const int epoch = collective_epoch_++;
   const int n = size();
   const int vrank = (rank_ - root + n) % n;
@@ -229,6 +246,7 @@ std::vector<std::vector<std::byte>> Comm::gather(
   HIA_TRACE_SPAN_ARGS("comm", "gather",
                       {.rank = rank_,
                        .bytes = static_cast<long long>(data.size())});
+  CollectiveTimer timer;
   const int epoch = collective_epoch_++;
   const int tag = collective_tag(epoch, 0);
   if (rank_ != root) {
@@ -250,6 +268,7 @@ std::vector<std::vector<std::byte>> Comm::alltoall(
   HIA_REQUIRE(static_cast<int>(sends.size()) == size(),
               "alltoall: need one payload per destination rank");
   HIA_TRACE_SPAN_ARGS("comm", "alltoall", {.rank = rank_});
+  CollectiveTimer timer;
   const int epoch = collective_epoch_++;
   const int tag = collective_tag(epoch, 0);
 

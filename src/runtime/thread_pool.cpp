@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -10,6 +12,7 @@ namespace hia {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   HIA_REQUIRE(num_threads > 0, "thread pool needs at least one thread");
+  obs::register_counter_gauge("pool_queue_depth");
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -30,7 +33,7 @@ void ThreadPool::enqueue(std::function<void()> work) {
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(!stopping_, "enqueue on stopping pool");
-    queue_.push_back(std::move(work));
+    queue_.push_back(Queued{std::move(work), obs::now_us()});
   }
   depth.add(1);
   cv_.notify_one();
@@ -43,8 +46,9 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   static obs::Counter& depth = obs::counter("pool_queue_depth");
+  static obs::Histogram& queue_delay = obs::histogram("pool_queue_delay_s");
   for (;;) {
-    std::function<void()> work;
+    Queued work;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -54,9 +58,10 @@ void ThreadPool::worker_loop() {
       ++active_;
     }
     depth.add(-1);
+    queue_delay.record((obs::now_us() - work.enqueue_us) * 1e-6);
     {
       HIA_TRACE_SPAN("pool", "task");
-      work();
+      work.work();
     }
     {
       std::lock_guard lock(mutex_);

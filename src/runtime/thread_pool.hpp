@@ -44,12 +44,19 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// Queue entry: the closure plus its enqueue timestamp (µs, tracer
+  /// clock), so the dequeue can record the run-queue delay distribution.
+  struct Queued {
+    std::function<void()> work;
+    double enqueue_us = 0.0;
+  };
+
   void worker_loop();
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Queued> queue_;
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
   bool stopping_ = false;

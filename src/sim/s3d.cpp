@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "sim/halo.hpp"
 #include "util/stopwatch.hpp"
@@ -314,6 +315,8 @@ void S3DRank::advance(Comm& comm) {
   }
 
   last_step_seconds_ = watch.seconds();
+  static obs::Histogram& step_h = obs::histogram("sim_step_s");
+  step_h.record(last_step_seconds_);
 }
 
 }  // namespace hia

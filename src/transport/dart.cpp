@@ -6,13 +6,20 @@
 
 #include "compress/codec.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hia {
 
 Dart::Dart(NetworkModel& network, Options options)
-    : network_(network), options_(options) {}
+    : network_(network), options_(options) {
+  // In-flight wire bytes and concurrent flows are the two transport gauges
+  // the sampler tracks (Table II: contention is what degrades BTE).
+  obs::register_counter_gauge("dart_inflight_wire_bytes");
+  obs::register_counter_gauge("net_active_flows");
+}
 
 int Dart::register_node(const std::string& name) {
   std::lock_guard lock(mutex_);
@@ -48,6 +55,8 @@ std::string Dart::node_name(int node) const {
 DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
   HIA_TRACE_SPAN_ARGS("dart", "put",
                       {.bytes = static_cast<long long>(data.size())});
+  static obs::Histogram& put_bytes = obs::histogram("dart_put_bytes");
+  put_bytes.record(static_cast<double>(data.size()));
   std::lock_guard lock(mutex_);
   auto it = nodes_.find(owner_node);
   HIA_REQUIRE(it != nodes_.end() && it->second.registered,
@@ -78,6 +87,10 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
   }
   const double seconds = watch.seconds();
   if (encode_seconds != nullptr) *encode_seconds = seconds;
+  static obs::Histogram& put_bytes = obs::histogram("dart_put_bytes");
+  static obs::Histogram& encode_h = obs::histogram("dart_codec_encode_s");
+  put_bytes.record(static_cast<double>(raw));
+  encode_h.record(seconds);
   if (frame.size() < raw) {
     saved.add(static_cast<int64_t>(raw - frame.size()));
   }
@@ -123,6 +136,11 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
   const int flows = network_.active_flows();
   const double seconds = network_.transfer_seconds(data.size(), flows);
   const TransferPath path = network_.select_path(data.size());
+  static obs::Histogram& wire_bytes = obs::histogram("dart_get_wire_bytes");
+  static obs::Histogram& smsg_s = obs::histogram("net_smsg_modeled_s");
+  static obs::Histogram& bte_s = obs::histogram("net_bte_modeled_s");
+  wire_bytes.record(static_cast<double>(data.size()));
+  (path == TransferPath::kSmsg ? smsg_s : bte_s).record(seconds);
   inflight.add(static_cast<int64_t>(data.size()));
   flows_gauge.add(1);
   {
@@ -188,6 +206,8 @@ std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
       out = decode_frame(bytes);
     }
     local.decode_seconds = watch.seconds();
+    static obs::Histogram& decode_h = obs::histogram("dart_codec_decode_s");
+    decode_h.record(local.decode_seconds);
     std::lock_guard lock(mutex_);
     counters_.decode_seconds_total += local.decode_seconds;
   } else {

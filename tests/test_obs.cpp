@@ -3,12 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/counters.hpp"
 #include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "staging/scheduler.hpp"
@@ -25,11 +30,15 @@ class ObsTest : public ::testing::Test {
     obs::disable();
     obs::reset();
     obs::reset_counters();
+    obs::reset_histograms();
+    obs::reset_timeseries();
   }
   void TearDown() override {
     obs::disable();
     obs::reset();
     obs::reset_counters();
+    obs::reset_histograms();
+    obs::reset_timeseries();
   }
 };
 
@@ -332,6 +341,287 @@ TEST_F(ObsTest, LogSinkSwapDuringConcurrentEmitIsSafe) {
   emitter.join();
   log::set_level(log::Level::kWarn);
   SUCCEED();  // reaching here without deadlock/crash is the assertion
+}
+
+// ---- Histograms ----
+
+TEST_F(ObsTest, HistogramBucketLayoutInvariant) {
+  // Bucket i covers (upper_bound(i-1), upper_bound(i)] exactly, even for
+  // values sitting on the boundary (the adversarial case for a log layout).
+  const int n = obs::histogram_num_buckets();
+  ASSERT_GT(n, 2);
+  for (int i = 1; i < n - 1; i += 37) {
+    const double ub = obs::histogram_bucket_upper_bound(i);
+    EXPECT_EQ(obs::histogram_bucket_index(ub), i) << "upper bound of " << i;
+    const double above = std::nextafter(ub, 1e300);
+    EXPECT_EQ(obs::histogram_bucket_index(above), i + 1)
+        << "just above upper bound of " << i;
+  }
+  EXPECT_EQ(obs::histogram_bucket_index(obs::kHistogramMinTrackable), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(0.0), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(-5.0), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(2e12), n - 1);
+}
+
+TEST_F(ObsTest, HistogramQuantilesWithinBounds) {
+  obs::Histogram& h = obs::histogram("test_quantiles");
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(i * 1e-3);  // 1ms..1s
+  for (double v : values) h.record(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double exact =
+        values[static_cast<size_t>(q * 999.0)];  // sorted input
+    const auto bounds = snap.quantile_bounds(q);
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, bounds.lower) << "q=" << q;
+    EXPECT_LE(estimate, bounds.upper) << "q=" << q;
+    // Bucket growth is 2^(1/8): the bound interval (and so the estimate)
+    // stays within ~9.05% of the true quantile, doubled for rank slack.
+    EXPECT_NEAR(estimate, exact, exact * 0.2) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, HistogramQuantileBoundsAtBucketBoundaries) {
+  // Adversarial: every recorded value is exactly a bucket upper bound, so
+  // interpolation has zero slack inside the covering bucket.
+  obs::Histogram& h = obs::histogram("test_boundaries");
+  std::vector<double> values;
+  for (int i = 100; i < 140; ++i) {
+    values.push_back(obs::histogram_bucket_upper_bound(i));
+  }
+  for (double v : values) h.record(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (double q : {0.1, 0.5, 0.9}) {
+    const auto bounds = snap.quantile_bounds(q);
+    const double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    EXPECT_LE(bounds.lower, exact) << "q=" << q;
+    EXPECT_GE(bounds.upper * (1.0 + 1e-12), exact) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, HistogramMergeIsAssociativeAndCommutative) {
+  obs::Histogram& ha = obs::histogram("test_merge_a");
+  obs::Histogram& hb = obs::histogram("test_merge_b");
+  obs::Histogram& hc = obs::histogram("test_merge_c");
+  for (int i = 1; i <= 100; ++i) ha.record(i * 1e-6);
+  for (int i = 1; i <= 50; ++i) hb.record(i * 1e-2);
+  for (int i = 1; i <= 25; ++i) hc.record(i * 1.0);
+  const auto a = ha.snapshot(), b = hb.snapshot(), c = hc.snapshot();
+
+  const auto left = obs::merge(obs::merge(a, b), c);
+  const auto right = obs::merge(a, obs::merge(b, c));
+  const auto swapped = obs::merge(obs::merge(c, b), a);
+  EXPECT_EQ(left.count, 175u);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  EXPECT_DOUBLE_EQ(left.min, right.min);
+  EXPECT_DOUBLE_EQ(left.max, right.max);
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_EQ(left.buckets, swapped.buckets);
+
+  // Merging with an empty snapshot is the identity.
+  const auto with_empty = obs::merge(left, obs::HistogramSnapshot{});
+  EXPECT_EQ(with_empty.count, left.count);
+  EXPECT_EQ(with_empty.buckets, left.buckets);
+  EXPECT_DOUBLE_EQ(with_empty.min, left.min);
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordersMergeExactly) {
+  obs::Histogram& h = obs::histogram("test_concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record((t + 1) * 1e-4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-4);
+  EXPECT_DOUBLE_EQ(snap.max, 8e-4);
+}
+
+// ---- Time series ----
+
+TEST_F(ObsTest, TimeseriesDualClockMonotoneUnderConcurrentSampling) {
+  double vclock = 0.0;
+  std::mutex vclock_mutex;
+  obs::set_virtual_clock(
+      [&] {
+        std::lock_guard lock(vclock_mutex);
+        vclock += 0.5;  // strictly advancing virtual time
+        return vclock;
+      },
+      &vclock);
+  obs::register_gauge("test_gauge", [] { return 42.0; });
+
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSamples; ++i) obs::sample_now();
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::clear_virtual_clock(&vclock);
+
+  const auto series = obs::timeseries_snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].samples.size(),
+            static_cast<size_t>(kThreads * kSamples));
+  double prev_t = -1.0, prev_vt = -1.0;
+  for (const auto& s : series[0].samples) {
+    EXPECT_GE(s.t_s, prev_t) << "wall clock went backwards";
+    EXPECT_GT(s.vt_s, prev_vt) << "virtual clock went backwards";
+    EXPECT_DOUBLE_EQ(s.value, 42.0);
+    prev_t = s.t_s;
+    prev_vt = s.vt_s;
+  }
+}
+
+TEST_F(ObsTest, TimeseriesRingOverwritesOldest) {
+  obs::set_series_capacity(4);
+  int tick = 0;
+  obs::register_gauge("test_ring", [&] { return static_cast<double>(++tick); });
+  for (int i = 0; i < 10; ++i) obs::sample_now();
+  const auto series = obs::timeseries_snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].samples.size(), 4u);
+  EXPECT_EQ(series[0].dropped, 6u);
+  // The surviving window is the most recent four ticks, oldest first.
+  EXPECT_DOUBLE_EQ(series[0].samples.front().value, 7.0);
+  EXPECT_DOUBLE_EQ(series[0].samples.back().value, 10.0);
+  obs::set_series_capacity(4096);
+}
+
+TEST_F(ObsTest, TimeseriesBackgroundSampler) {
+  obs::register_counter_gauge("test_counter_gauge");
+  obs::counter("test_counter_gauge").add(7);
+  obs::start_sampler(200.0);
+  EXPECT_TRUE(obs::sampler_running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  obs::stop_sampler();
+  EXPECT_FALSE(obs::sampler_running());
+  const auto series = obs::timeseries_snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_GE(series[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].samples.back().value, 7.0);
+}
+
+// ---- RunSummary + bench_diff ----
+
+TEST_F(ObsTest, RunSummaryJsonValidates) {
+  obs::histogram("test_latency_s").record(0.01);
+  obs::histogram("test_latency_s").record(0.02);
+  obs::counter("test_total").add(3);
+  obs::register_gauge("test_depth", [] { return 2.0; });
+  obs::sample_now();
+
+  obs::RunSummary meta;
+  meta.bench = "unit";
+  meta.metrics["answer"] = 42.0;
+  const std::string json = obs::run_summary_json(meta);
+  const obs::SummaryValidation v = obs::validate_run_summary_json(json);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.bench, "unit");
+  EXPECT_EQ(v.metrics, 1u);
+  EXPECT_GE(v.counters, 1u);
+  EXPECT_GE(v.histograms, 1u);
+  EXPECT_GE(v.series, 1u);
+}
+
+TEST_F(ObsTest, RunSummaryValidationRejectsGarbage) {
+  EXPECT_FALSE(obs::validate_run_summary_json("{}").ok);
+  EXPECT_FALSE(obs::validate_run_summary_json("not json").ok);
+  EXPECT_FALSE(
+      obs::validate_run_summary_json("{\"schema\": \"wrong-tag\"}").ok);
+}
+
+TEST_F(ObsTest, DiffRunSummariesGatesOnTolerance) {
+  obs::RunSummary base;
+  base.bench = "unit";
+  base.metrics["stable"] = 100.0;
+  base.metrics["drifty"] = 10.0;
+  base.tolerances["default"] = 0.35;
+  base.tolerances["drifty"] = 0.05;
+  const std::string baseline = obs::run_summary_json(base);
+
+  obs::RunSummary ok_run;
+  ok_run.bench = "unit";
+  ok_run.metrics["stable"] = 120.0;  // +20% < 35%
+  ok_run.metrics["drifty"] = 10.4;   // +4% < 5%
+  const obs::DiffReport ok_report =
+      obs::diff_run_summaries(obs::run_summary_json(ok_run), baseline);
+  EXPECT_TRUE(ok_report.ok) << ok_report.error;
+  ASSERT_EQ(ok_report.entries.size(), 2u);
+
+  obs::RunSummary bad_run;
+  bad_run.bench = "unit";
+  bad_run.metrics["stable"] = 120.0;
+  bad_run.metrics["drifty"] = 11.0;  // +10% > 5%
+  const obs::DiffReport bad_report =
+      obs::diff_run_summaries(obs::run_summary_json(bad_run), baseline);
+  EXPECT_FALSE(bad_report.ok);
+
+  obs::RunSummary missing_run;
+  missing_run.bench = "unit";
+  missing_run.metrics["stable"] = 100.0;  // "drifty" absent
+  const obs::DiffReport missing_report =
+      obs::diff_run_summaries(obs::run_summary_json(missing_run), baseline);
+  EXPECT_FALSE(missing_report.ok);
+  bool saw_missing = false;
+  for (const auto& e : missing_report.entries) {
+    if (e.metric == "drifty") saw_missing = e.missing;
+  }
+  EXPECT_TRUE(saw_missing);
+}
+
+// ---- Prometheus exposition ----
+
+TEST_F(ObsTest, MetricsTextHistogramTripletValidates) {
+  obs::counter("test_gauge_metric").add(5);
+  obs::Histogram& h = obs::histogram("test_expo_s");
+  for (int i = 1; i <= 64; ++i) h.record(i * 1e-3);
+  const std::string text = obs::metrics_text();
+  const obs::MetricsValidation v = obs::validate_metrics_text(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GE(v.samples, 4u);
+  EXPECT_EQ(v.histograms, 1u);
+  EXPECT_NE(text.find("hia_test_expo_s_bucket{le=\"+Inf\"} 64"),
+            std::string::npos);
+  EXPECT_NE(text.find("hia_test_expo_s_count 64"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsValidationCatchesMalformedHistograms) {
+  EXPECT_FALSE(obs::validate_metrics_text("hia_orphan 3\n").ok);
+  const std::string non_cumulative =
+      "# TYPE hia_h histogram\n"
+      "hia_h_bucket{le=\"0.1\"} 5\n"
+      "hia_h_bucket{le=\"0.2\"} 3\n"   // decreasing: invalid
+      "hia_h_bucket{le=\"+Inf\"} 5\n"
+      "hia_h_sum 0.5\n"
+      "hia_h_count 5\n";
+  EXPECT_FALSE(obs::validate_metrics_text(non_cumulative).ok);
+  const std::string inf_mismatch =
+      "# TYPE hia_h histogram\n"
+      "hia_h_bucket{le=\"0.1\"} 5\n"
+      "hia_h_bucket{le=\"+Inf\"} 5\n"
+      "hia_h_sum 0.5\n"
+      "hia_h_count 6\n";                // +Inf != _count: invalid
+  EXPECT_FALSE(obs::validate_metrics_text(inf_mismatch).ok);
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+// bench_diff: the CI perf-regression gate. Compares a freshly produced
+// RunSummary (schema hia-run-summary-v1) against a blessed baseline from
+// bench/baselines/, metric by metric, using the baseline's per-metric
+// relative tolerances ("tolerances" object; key "default" sets the
+// fallback).
+//
+//   bench_diff <fresh-summary.json> <baseline.json>
+//
+// Exit codes: 0 = every baseline metric within tolerance,
+//             1 = regression (drift past tolerance, or metric missing),
+//             2 = usage / I/O / schema error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/run_summary.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <fresh-summary.json> <baseline.json>\n");
+    return 2;
+  }
+  std::string fresh_json, baseline_json;
+  if (!read_file(argv[1], fresh_json)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  if (!read_file(argv[2], baseline_json)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", argv[2]);
+    return 2;
+  }
+
+  const hia::obs::DiffReport report =
+      hia::obs::diff_run_summaries(fresh_json, baseline_json);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "bench_diff: %s\n", report.error.c_str());
+    return 2;
+  }
+
+  std::printf("%-28s %14s %14s %9s %9s  %s\n", "metric", "baseline", "fresh",
+              "rel diff", "tol", "verdict");
+  for (const auto& e : report.entries) {
+    if (e.missing) {
+      std::printf("%-28s %14.6g %14s %9s %9.3f  MISSING\n", e.metric.c_str(),
+                  e.baseline, "-", "-", e.tolerance);
+      continue;
+    }
+    std::printf("%-28s %14.6g %14.6g %9.3f %9.3f  %s\n", e.metric.c_str(),
+                e.baseline, e.fresh, e.rel_diff, e.tolerance,
+                e.ok ? "ok" : "REGRESSION");
+  }
+  if (!report.ok) {
+    std::printf("\nbench_diff: REGRESSION against %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("\nbench_diff: all %zu metrics within tolerance\n",
+              report.entries.size());
+  return 0;
+}
