@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace hia::bench;
 
   RunConfig cfg = laptop_config(3);
+  obs_cli.apply_faults(cfg);
   HybridRunner runner(cfg);
 
   VizConfig viz;
@@ -36,6 +37,10 @@ int main(int argc, char** argv) {
                                        "stats-hybrid"};
   print_header("Fig. 6 timing breakdown (this machine)");
   std::printf("%s\n", format_fig6(report, names).c_str());
+  if (report.resilience.any()) {
+    print_header("Resilience (fault injection active)");
+    std::printf("%s\n", format_resilience(report).c_str());
+  }
 
   print_header("Fig. 6 reference points (paper, 4896 cores)");
   std::printf("  in-situ visualization: %.2f%% of simulation time\n",

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace hia::bench;
 
   RunConfig cfg = laptop_config(3);
+  obs_cli.apply_faults(cfg);
   HybridRunner runner(cfg);
 
   VizConfig viz;
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
                                        "viz-hybrid", "topo-hybrid",
                                        "stats-hybrid"};
   std::printf("%s\n", format_table2(report, names).c_str());
+  if (report.resilience.any()) {
+    print_header("Resilience (fault injection active)");
+    std::printf("%s\n", format_resilience(report).c_str());
+  }
 
   print_header("Table II (paper, Jaguar XK6 @ 4896 cores)");
   Table paper({"analysis", "in-situ time (s)", "data movement time (s)",

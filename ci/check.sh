@@ -4,10 +4,13 @@
 #   2. traced smoke: hia_campaign with --trace/--metrics/--summary, gated
 #      by trace_lint (trace pairing, Prometheus exposition, RunSummary
 #      schema with >=1 histogram and >=1 gauge series)
-#   3. perf baseline: bench_fig5_scheduler's RunSummary diffed against
+#   3. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
+#      and every --flag the docs mention exists in hia_campaign --help
+#      (or is allowlisted as another tool's flag)
+#   4. perf baseline: bench_fig5_scheduler's RunSummary diffed against
 #      bench/baselines/ by tools/bench_diff — nonzero exit on drift past
 #      the baseline's per-metric tolerances
-#   4. sanitizers: ASan+UBSan over everything, TSan over the concurrent
+#   5. sanitizers: ASan+UBSan over everything, TSan over the concurrent
 #      paths (see ci/sanitize.sh; sanitizer runs skip the perf gate —
 #      their timings are not comparable to baseline)
 #
@@ -49,6 +52,9 @@ grep -q '^hia_staging_tasks_completed' "$smoke_dir/metrics.txt" || {
 cp "$smoke_dir/trace.json" "$smoke_dir/metrics.txt" \
   "$smoke_dir/campaign_summary.json" "$artifact_dir/"
 echo "traced smoke OK"
+
+echo "==> doc hygiene: links + documented flags (check_docs.sh)"
+ci/check_docs.sh ./build/examples/hia_campaign
 
 echo "==> perf baseline: bench_fig5_scheduler vs bench/baselines (bench_diff)"
 (cd "$smoke_dir" && "$OLDPWD/build/bench/bench_fig5_scheduler" \

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Doc hygiene gate, run by ci/check.sh between the traced smoke and the
+# perf baseline:
+#
+#   1. Relative links in the markdown docs must resolve: every
+#      [text](path) whose target is not http(s)/mailto/#anchor is checked
+#      against the filesystem, relative to the file containing it.
+#   2. Every `--flag` a doc mentions must exist — either in the live
+#      `hia_campaign --help` output (so the handbook can never document a
+#      flag the binary dropped) or in the allowlist of flags that belong
+#      to other tools (cmake/ctest/ci scripts, bench-only harness flags).
+#
+#   ci/check_docs.sh [path/to/hia_campaign]
+#
+# The campaign binary defaults to ./build/examples/hia_campaign; pass the
+# path explicitly when checking a non-default build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+campaign="${1:-./build/examples/hia_campaign}"
+docs=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md)
+
+# Flags documented for tools other than hia_campaign. Keep this list
+# short and justified — an unknown flag should fail, not get allowlisted
+# reflexively.
+allow_flags=(
+  --build --preset --test-dir --output-on-failure  # cmake / ctest
+  --fast                                           # ci/check.sh
+  --no-trace                                       # bench ObsCli harness
+)
+
+fail=0
+
+echo "--- markdown relative links"
+for doc in "${docs[@]}"; do
+  dir="$(dirname "$doc")"
+  # Inline links only: [text](target). Reference-style links are not used
+  # in this repo's docs.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"                 # drop any #anchor
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "BROKEN LINK: $doc -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)[:space:]]+\)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+echo "--- documented flags vs hia_campaign --help"
+if [[ ! -x "$campaign" ]]; then
+  echo "campaign binary not found: $campaign (build first)" >&2
+  exit 1
+fi
+help_text="$("$campaign" --help 2>&1 || true)"
+known="$(grep -oE '\-\-[a-z][a-z0-9-]*' <<<"$help_text" | sort -u)"
+for f in "${allow_flags[@]}"; do known+=$'\n'"$f"; done
+
+# A token counts as a documented flag only when preceded by start-of-line
+# or a non-word, non-dash character, so cmake-style `-DFOO` or prose
+# em-dashes never match.
+mentioned="$(grep -ohE '(^|[^-[:alnum:]])--[a-z][a-z0-9-]*' "${docs[@]}" |
+  grep -oE '\-\-[a-z][a-z0-9-]*' | sort -u)"
+while IFS= read -r flag; do
+  if ! grep -qxF -e "$flag" <<<"$known"; then
+    echo "UNDOCUMENTED-IN-BINARY FLAG: docs mention $flag but" \
+      "hia_campaign --help does not list it (and it is not allowlisted" \
+      "in ci/check_docs.sh)" >&2
+    fail=1
+  fi
+done <<<"$mentioned"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "ci/check_docs.sh: FAILED" >&2
+  exit 1
+fi
+echo "ci/check_docs.sh: docs OK (${#docs[@]} files, $(wc -l <<<"$mentioned") flags checked)"

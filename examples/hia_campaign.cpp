@@ -30,6 +30,7 @@
 #include "obs/run_summary.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault.hpp"
 
 namespace {
 
@@ -44,6 +45,8 @@ struct Options {
   int frequency = 1;
   std::string analyses = "stats,viz,topo";
   std::string codec;
+  std::string faults;
+  uint64_t fault_seed = 0;
   std::string output_dir;
   std::string trace_path;
   std::string metrics_path;
@@ -87,6 +90,13 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --analyses a,b,...  comma list or 'all' (default stats,viz,topo)\n"
       "  --codec SPEC        staging codec: raw, rle, delta, or\n"
       "                      quantize:<abs error bound> (default: none)\n"
+      "  --faults SPEC       fault-injection plan, comma-separated, e.g.\n"
+      "                      drop=0.05,task-fail=0.1,kill-bucket=2@3\n"
+      "                      (directives: drop/corrupt/delay/task-fail/\n"
+      "                      stall/kill-bucket/slow-bucket/attempts/\n"
+      "                      backoff/shed/seed; see docs/FAILURE_MODEL.md)\n"
+      "  --fault-seed N      override the fault plan's seed (same seed =>\n"
+      "                      same injected faults, same resilience block)\n"
       "  --output-dir DIR    write PPM/OBJ artifacts there\n"
       "  --trace FILE        write a Chrome trace-event JSON (load in\n"
       "                      Perfetto / chrome://tracing)\n"
@@ -132,6 +142,10 @@ Options parse(int argc, char** argv) {
       opt.analyses = need("--analyses");
     } else if (std::strcmp(argv[a], "--codec") == 0) {
       opt.codec = need("--codec");
+    } else if (std::strcmp(argv[a], "--faults") == 0) {
+      opt.faults = need("--faults");
+    } else if (std::strcmp(argv[a], "--fault-seed") == 0) {
+      opt.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
     } else if (std::strcmp(argv[a], "--output-dir") == 0) {
       opt.output_dir = need("--output-dir");
     } else if (std::strcmp(argv[a], "--trace") == 0) {
@@ -193,11 +207,21 @@ int main(int argc, char** argv) {
   config.staging_buckets = opt.buckets;
   config.steps = opt.steps;
   config.staging_codec = opt.codec;
+  config.faults = opt.faults;
+  config.fault_seed = opt.fault_seed;
   if (!opt.codec.empty()) {
     try {
       (void)make_codec(opt.codec);
     } catch (const Error& e) {
       std::fprintf(stderr, "bad --codec: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!opt.faults.empty()) {
+    try {
+      (void)FaultPlan::parse_spec(opt.faults);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --faults: %s\n", e.what());
       return 2;
     }
   }
@@ -273,6 +297,13 @@ int main(int argc, char** argv) {
                 "published-byte reduction)\n\n",
                 opt.codec.c_str());
   }
+  if (!opt.faults.empty()) {
+    std::printf("fault injection: %s (seed %llu)\n\n", opt.faults.c_str(),
+                static_cast<unsigned long long>(
+                    opt.fault_seed != 0 ? opt.fault_seed
+                                        : FaultPlan::parse_spec(opt.faults)
+                                              .seed));
+  }
 
   const RunReport report = runner.run();
   obs::stop_sampler();
@@ -280,6 +311,9 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", format_table2(report, report_names).c_str());
   std::printf("%s\n", format_fig6(report, report_names).c_str());
+  if (report.resilience.any()) {
+    std::printf("%s\n", format_resilience(report).c_str());
+  }
   std::printf("completed: %zu in-transit tasks over %ld steps; mean "
               "simulation step %.4f s\n",
               report.in_transit.size(), report.steps,
@@ -303,6 +337,23 @@ int main(int argc, char** argv) {
     summary.metrics["in_transit_tasks"] =
         static_cast<double>(report.in_transit.size());
     summary.metrics["mean_sim_step_s"] = report.mean_sim_step_seconds();
+    if (report.resilience.any()) {
+      const ResilienceSummary& res = report.resilience;
+      summary.metrics["tasks_completed"] =
+          static_cast<double>(res.tasks_completed);
+      summary.metrics["tasks_degraded"] =
+          static_cast<double>(res.tasks_degraded);
+      summary.metrics["tasks_shed"] = static_cast<double>(res.tasks_shed);
+      summary.metrics["task_retries"] = static_cast<double>(res.task_retries);
+      summary.metrics["backoff_s"] = res.backoff_seconds;
+      summary.metrics["frame_retransmits"] =
+          static_cast<double>(res.frame_retransmits);
+      summary.metrics["crc_failures"] = static_cast<double>(res.crc_failures);
+      summary.metrics["recovered_bytes"] =
+          static_cast<double>(res.recovered_bytes);
+      summary.metrics["buckets_killed"] =
+          static_cast<double>(res.buckets_killed);
+    }
     if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
     std::printf("run summary written to %s\n", opt.summary_path.c_str());
   }

@@ -5,6 +5,7 @@
 
 #include "obs/trace.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -13,16 +14,32 @@ namespace hia {
 
 HybridRunner::HybridRunner(RunConfig config)
     : config_(config), network_(config.network) {
-  dart_ = std::make_unique<Dart>(network_, config.dart);
+  if (!config_.faults.empty()) {
+    FaultPlanConfig plan = FaultPlan::parse_spec(config_.faults);
+    if (config_.fault_seed != 0) plan.seed = config_.fault_seed;
+    faults_ = std::make_unique<FaultPlan>(plan);
+    config_.dart.faults = faults_.get();
+    // The thread pools inside analysis kernels are created ad hoc, so the
+    // plan reaches them through the process-wide hook.
+    install_worker_faults(faults_.get());
+  }
+  dart_ = std::make_unique<Dart>(network_, config_.dart);
   staging_ = std::make_unique<StagingService>(
-      *dart_, StagingService::Options{config.staging_servers,
-                                      config.staging_buckets});
+      *dart_, StagingService::Options{config_.staging_servers,
+                                      config_.staging_buckets,
+                                      faults_.get()});
   if (!config_.staging_codec.empty()) {
     codec_ = make_codec(config_.staging_codec);
   }
 }
 
-HybridRunner::~HybridRunner() = default;
+HybridRunner::~HybridRunner() {
+  // Staging buckets may still touch the plan until destroyed; tear down in
+  // reverse dependency order before releasing it.
+  staging_.reset();
+  dart_.reset();
+  if (faults_ != nullptr) install_worker_faults(nullptr);
+}
 
 void HybridRunner::add_analysis(std::shared_ptr<HybridAnalysis> analysis,
                                 int frequency) {
@@ -125,6 +142,40 @@ RunReport HybridRunner::run() {
   // Wait for the staging pipeline to finish outstanding analyses.
   staging_->drain();
   report.in_transit = staging_->records();
+
+  // Assemble the resilience ledger: reaction side from the task records and
+  // transport counters, injection side from the plan's own tally.
+  ResilienceSummary& res = report.resilience;
+  for (const TaskRecord& rec : report.in_transit) {
+    switch (rec.outcome) {
+      case TaskOutcome::kCompleted: ++res.tasks_completed; break;
+      case TaskOutcome::kDegraded: ++res.tasks_degraded; break;
+      case TaskOutcome::kShed: ++res.tasks_shed; break;
+    }
+    res.task_retries += static_cast<uint64_t>(rec.attempts - 1);
+    res.backoff_seconds += rec.backoff_seconds;
+  }
+  const DartCounters dart_counters = dart_->counters();
+  res.frame_retransmits = dart_counters.get_retries;
+  res.crc_failures = dart_counters.crc_failures;
+  res.recovered_bytes = dart_counters.recovered_bytes;
+  if (faults_ != nullptr) {
+    const FaultStats stats = faults_->stats();
+    res.frames_dropped = stats.frames_dropped;
+    res.frames_corrupted = stats.frames_corrupted;
+    res.frames_delayed = stats.frames_delayed;
+    res.injected_delay_s = stats.injected_delay_s;
+    res.tasks_failed = stats.tasks_failed;
+    res.worker_stalls = stats.worker_stalls;
+    res.buckets_killed = stats.buckets_killed;
+    HIA_LOG_INFO("framework",
+                 "resilience: %llu retries, %llu degraded, %llu shed, "
+                 "%llu frame retransmits",
+                 static_cast<unsigned long long>(res.task_retries),
+                 static_cast<unsigned long long>(res.tasks_degraded),
+                 static_cast<unsigned long long>(res.tasks_shed),
+                 static_cast<unsigned long long>(res.frame_retransmits));
+  }
 
   HIA_LOG_INFO("framework",
                "run complete: %ld steps, %d ranks, %zu in-transit tasks",

@@ -13,6 +13,7 @@
 //      multiplexing).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@
 
 namespace hia {
 
+class FaultPlan;
+
 struct RunConfig {
   S3DParams sim{};
   int staging_servers = 2;
@@ -38,6 +41,14 @@ struct RunConfig {
   /// a make_codec() spec ("raw", "rle", "delta", "quantize:1e-6").
   /// Empty = publish raw (no frame, no codec overhead).
   std::string staging_codec;
+  /// Fault-injection spec (FaultPlan::parse_spec grammar, e.g.
+  /// "drop=0.05,task-fail=0.1,kill-bucket=2@3"). Empty = faults off: the
+  /// runner passes null plans everywhere and the hot paths only pay
+  /// null-pointer branches.
+  std::string faults;
+  /// Overrides the plan's seed when nonzero (same seed + same config =>
+  /// same fault decisions, same RunSummary resilience block).
+  uint64_t fault_seed = 0;
 };
 
 class HybridRunner {
@@ -69,6 +80,7 @@ class HybridRunner {
 
   RunConfig config_;
   NetworkModel network_;
+  std::unique_ptr<FaultPlan> faults_;  // null = faults off
   std::unique_ptr<Dart> dart_;
   std::unique_ptr<StagingService> staging_;
   std::shared_ptr<const Codec> codec_;  // null = publish raw

@@ -2,6 +2,7 @@
 // paper's Table II and Fig. 6.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -9,6 +10,36 @@
 #include "staging/descriptor.hpp"
 
 namespace hia {
+
+/// End-of-run resilience ledger (all zeros on a fault-free run). The task
+/// counts partition the submitted tasks: completed + degraded + shed ==
+/// everything that was ever submitted — no task is lost silently.
+struct ResilienceSummary {
+  // Reaction side (what the pipeline did about the faults).
+  uint64_t tasks_completed = 0;  // finished on a staging bucket
+  uint64_t tasks_degraded = 0;   // fell back to the in-situ executor
+  uint64_t tasks_shed = 0;       // dropped after K attempts (counted, loud)
+  uint64_t task_retries = 0;     // extra task attempts across the run
+  double backoff_seconds = 0.0;  // total retry backoff injected
+  uint64_t frame_retransmits = 0;  // DART frames re-pulled (drop or CRC)
+  uint64_t crc_failures = 0;       // corrupted frames caught by the CRC
+  uint64_t recovered_bytes = 0;    // payload delivered after a retransmit
+  // Injection side (what the fault plan actually did).
+  uint64_t frames_dropped = 0;
+  uint64_t frames_corrupted = 0;
+  uint64_t frames_delayed = 0;
+  double injected_delay_s = 0.0;  // modeled seconds of injected frame delay
+  uint64_t tasks_failed = 0;      // injected task-attempt timeouts
+  uint64_t worker_stalls = 0;
+  uint64_t buckets_killed = 0;
+
+  /// True when any fault fired or any recovery action ran.
+  [[nodiscard]] bool any() const {
+    return tasks_degraded || tasks_shed || task_retries || frame_retransmits ||
+           crc_failures || frames_dropped || frames_corrupted ||
+           frames_delayed || tasks_failed || worker_stalls || buckets_killed;
+  }
+};
 
 /// Per-(analysis, step) in-situ aggregates across ranks.
 struct InSituMetric {
@@ -30,6 +61,7 @@ struct RunReport {
   std::vector<double> sim_step_seconds;      // max over ranks, per step
   std::vector<InSituMetric> in_situ;         // one per (analysis, step)
   std::vector<TaskRecord> in_transit;        // from the staging service
+  ResilienceSummary resilience;              // all zeros on fault-free runs
 
   size_t solution_bytes_per_step = 0;        // 14 vars x 8 B x grid points
 

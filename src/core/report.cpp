@@ -63,6 +63,34 @@ std::string format_fig6(const RunReport& report,
   return table.render();
 }
 
+std::string format_resilience(const RunReport& report) {
+  const ResilienceSummary& r = report.resilience;
+  const uint64_t total = r.tasks_completed + r.tasks_degraded + r.tasks_shed;
+  Table table({"resilience metric", "value"});
+  auto count_row = [&](const std::string& label, uint64_t v) {
+    table.add_row({label, std::to_string(v)});
+  };
+  count_row("tasks submitted", total);
+  count_row("  completed on buckets", r.tasks_completed);
+  count_row("  degraded to in-situ fallback", r.tasks_degraded);
+  count_row("  shed (dropped, counted)", r.tasks_shed);
+  count_row("task retries", r.task_retries);
+  table.add_row({"retry backoff total (s)", fmt_fixed(r.backoff_seconds, 4)});
+  count_row("injected task timeouts", r.tasks_failed);
+  count_row("buckets killed", r.buckets_killed);
+  count_row("frame retransmits", r.frame_retransmits);
+  count_row("  frames dropped (injected)", r.frames_dropped);
+  count_row("  frames corrupted (injected)", r.frames_corrupted);
+  count_row("  CRC failures caught", r.crc_failures);
+  table.add_row({"recovered payload", fmt_bytes(
+      static_cast<double>(r.recovered_bytes))});
+  count_row("frames delayed (injected)", r.frames_delayed);
+  table.add_row({"injected frame delay (s)", fmt_fixed(r.injected_delay_s,
+                                                       4)});
+  count_row("pool worker stalls", r.worker_stalls);
+  return table.render();
+}
+
 std::string format_table1(const std::vector<Table1Column>& columns) {
   // Render as the paper does: one column per configuration, one row per
   // metric.

@@ -22,6 +22,12 @@ std::string format_table2(const RunReport& report,
 std::string format_fig6(const RunReport& report,
                         const std::vector<std::string>& analyses);
 
+/// Resilience block: task outcomes (completed/degraded/shed), retry and
+/// backoff totals, and the transport-level retransmit/CRC ledger. Callers
+/// normally print it only when report.resilience.any() — on a fault-free
+/// run every row is zero.
+std::string format_resilience(const RunReport& report);
+
 /// One Table I column: core allocation, data size, simulation time, and
 /// modeled I/O read/write time through the OST model.
 struct Table1Column {

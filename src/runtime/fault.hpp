@@ -1,0 +1,206 @@
+// Fault injection for the virtual cluster (SIM-SITU-style failure
+// modeling + ElasticBroker-style graceful degradation).
+//
+// A FaultPlan is a seeded, deterministic description of everything that can
+// go wrong on the hybrid pipeline's staging path:
+//   * frame faults on the DART wire (drop, extra delay, corruption — the
+//     Gemini uGNI transient-error analogues),
+//   * staging-task failures (bucket timeout / staging-node OOM analogue),
+//   * scripted bucket kills ("bucket B dies at step N") and slowdowns,
+//   * thread-pool worker stalls (OS jitter / noisy-neighbor analogue).
+//
+// Determinism: every probabilistic decision is a *pure function* of
+// (seed, site, logical key) — a counter-based draw, not a shared-stream
+// draw — so the same plan asked about the same logical entity (handle id,
+// task id, attempt number) always answers the same way regardless of
+// thread interleaving. See docs/FAILURE_MODEL.md for the exact guarantee.
+//
+// The plan is immutable after construction except for its injection
+// counters (atomics) and scripted-event fired flags; all methods are
+// thread-safe. A null plan pointer everywhere means "faults off" and costs
+// one branch on the hot paths (the zero-overhead-when-off contract gated
+// by tools/bench_diff against bench/baselines/).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hia {
+
+/// Injection sites, used as the domain-separation tag of every draw.
+enum class FaultSite : uint32_t {
+  kFrameDrop = 1,
+  kFrameDelay = 2,
+  kFrameCorrupt = 3,
+  kFrameCorruptByte = 4,  // which byte of the frame gets flipped
+  kTaskFail = 5,
+  kWorkerStall = 6,
+  kBackoff = 7,  // jitter draws of the retry backoff schedule
+};
+
+const char* to_string(FaultSite site);
+
+/// How the staging layer reacts to injected task failures.
+struct RetryPolicy {
+  int max_task_attempts = 4;     // K: attempts before degrade/shed
+  int max_frame_attempts = 8;    // DART retransmits per pull before giving up
+  double backoff_base_s = 1e-3;  // first retry delay
+  double backoff_cap_s = 50e-3;  // decorrelated-jitter ceiling
+  /// Failed-attempt cost: the bucket is considered stuck for this long
+  /// before the timeout fires (0 = timeouts are detected instantly).
+  double task_timeout_s = 0.0;
+  /// After K attempts: true = run the analysis via the in-situ fallback
+  /// executor (work conserved, tagged degraded); false = shed the task
+  /// (explicitly counted, never silent).
+  bool degrade_to_insitu = true;
+};
+
+/// Parsed `--faults` spec. All probabilities are per-decision in [0, 1].
+struct FaultPlanConfig {
+  uint64_t seed = 1;
+
+  // Frame faults on the DART wire (keyed by handle id + attempt).
+  double frame_drop_prob = 0.0;
+  double frame_corrupt_prob = 0.0;
+  double frame_delay_prob = 0.0;
+  double frame_delay_s = 1e-3;  // extra modeled seconds when delayed
+
+  // Staging-task failures (keyed by task id + attempt).
+  double task_fail_prob = 0.0;
+
+  // Thread-pool worker stalls (keyed by global dequeue sequence).
+  double worker_stall_prob = 0.0;
+  double worker_stall_s = 1e-3;  // wall seconds the worker sleeps
+
+  /// Scripted: bucket `bucket` dies once a task with step >= `step` is
+  /// submitted (graceful: it finishes what it is running first).
+  struct BucketKill {
+    int bucket = -1;
+    long step = 0;
+  };
+  std::vector<BucketKill> bucket_kills;
+
+  /// Scripted: bucket `bucket` computes `factor`x slower for the whole run.
+  struct BucketSlow {
+    int bucket = -1;
+    double factor = 1.0;
+  };
+  std::vector<BucketSlow> bucket_slowdowns;
+
+  RetryPolicy retry;
+};
+
+/// Injection-side tally (what the plan did to the run). The reaction-side
+/// tally (retries, backoff, degradations) lives in the staging records.
+struct FaultStats {
+  uint64_t frames_dropped = 0;
+  uint64_t frames_corrupted = 0;
+  uint64_t frames_delayed = 0;
+  double injected_delay_s = 0.0;  // sum of frame delays injected
+  uint64_t tasks_failed = 0;      // injected task-attempt failures
+  uint64_t worker_stalls = 0;
+  uint64_t buckets_killed = 0;
+};
+
+class FaultPlan {
+ public:
+  /// Parses a `--faults` spec: comma-separated directives
+  ///   drop=P              drop each DART frame with probability P
+  ///   corrupt=P           flip one frame byte with probability P (CRC catches)
+  ///   delay=P[:S]         add S modeled seconds with probability P
+  ///   task-fail=P[:T]     staging task attempt times out with probability P,
+  ///                       occupying its bucket for T seconds (default 0)
+  ///   stall=P[:S]         thread-pool worker sleeps S s with probability P
+  ///   kill-bucket=B@N     bucket B dies once step N is submitted
+  ///   slow-bucket=B:F     bucket B computes Fx slower
+  ///   attempts=K          task attempts before degrade/shed (default 4)
+  ///   backoff=BASE:CAP    retry backoff bounds in seconds
+  ///   shed                after K attempts drop the task (counted) instead
+  ///                       of degrading it to the in-situ fallback
+  /// Throws hia::Error on a malformed spec.
+  static FaultPlanConfig parse_spec(const std::string& spec);
+
+  explicit FaultPlan(FaultPlanConfig config);
+
+  /// Uniform [0, 1) draw that is a pure function of (seed, site, key).
+  [[nodiscard]] double roll(FaultSite site, uint64_t key) const;
+
+  // ---- Frame faults (DART wire) ----
+
+  /// True when any frame-level fault can fire (Dart only pays for CRC
+  /// stamping/checking when this is set).
+  [[nodiscard]] bool frame_faults_enabled() const {
+    return config_.frame_drop_prob > 0.0 || config_.frame_corrupt_prob > 0.0 ||
+           config_.frame_delay_prob > 0.0;
+  }
+
+  struct FrameFault {
+    bool drop = false;
+    bool corrupt = false;
+    size_t corrupt_byte = 0;  // index into the frame (modulo its size)
+    double delay_s = 0.0;     // extra modeled seconds
+  };
+  /// Decision for transfer attempt `attempt` of the region `handle_id`;
+  /// updates the injection stats for whatever fires.
+  FrameFault frame_fault(uint64_t handle_id, int attempt) const;
+
+  // ---- Staging-task faults ----
+
+  /// Does attempt `attempt` (1-based) of task `task_id` time out?
+  bool task_fails(uint64_t task_id, int attempt) const;
+
+  /// Decorrelated-jitter backoff before retry `attempt` (1-based count of
+  /// failures so far): sleep(n) = min(cap, uniform(base, 3 * sleep(n-1))),
+  /// deterministic per (task_id, attempt). Always in [base, cap].
+  [[nodiscard]] double backoff_seconds(uint64_t task_id, int attempt) const;
+
+  // ---- Scripted bucket events ----
+
+  /// True once any step >= the scripted kill step for `bucket` has been
+  /// observed by the staging service (which reports steps via observe_step).
+  [[nodiscard]] bool bucket_killed(int bucket, long step) const;
+  /// Counts a kill exactly once per scripted event (service calls this when
+  /// it retires the bucket).
+  void count_bucket_kill() const;
+
+  /// Compute-slowdown factor for `bucket` (1.0 = full speed).
+  [[nodiscard]] double bucket_slow_factor(int bucket) const;
+
+  // ---- Thread-pool worker stalls ----
+
+  /// Seconds the caller should stall before running its next pool task
+  /// (0 = no stall). `seq` is any unique-ish sequence number; stalls are
+  /// i.i.d. so their distribution, not their placement, is what matters.
+  double worker_stall_seconds(uint64_t seq) const;
+
+  [[nodiscard]] const RetryPolicy& retry() const { return config_.retry; }
+  [[nodiscard]] const FaultPlanConfig& config() const { return config_; }
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  FaultPlanConfig config_;
+
+  mutable std::atomic<uint64_t> frames_dropped_{0};
+  mutable std::atomic<uint64_t> frames_corrupted_{0};
+  mutable std::atomic<uint64_t> frames_delayed_{0};
+  mutable std::atomic<uint64_t> injected_delay_ns_{0};
+  mutable std::atomic<uint64_t> tasks_failed_{0};
+  mutable std::atomic<uint64_t> worker_stalls_{0};
+  mutable std::atomic<uint64_t> buckets_killed_{0};
+};
+
+// ---- Thread-pool hook ----
+//
+// The pool lives below the analysis kernels and is created ad hoc by them,
+// so the plan reaches it through a process-wide installation point instead
+// of plumbing (HybridRunner installs on construction, clears on
+// destruction).
+
+/// Installs `plan` as the pool-worker fault source (nullptr = off).
+void install_worker_faults(const FaultPlan* plan);
+/// Currently installed worker fault source (nullptr = off).
+const FaultPlan* worker_faults();
+
+}  // namespace hia

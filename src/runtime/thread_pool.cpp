@@ -1,11 +1,14 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault.hpp"
 #include "util/error.hpp"
 
 namespace hia {
@@ -59,6 +62,20 @@ void ThreadPool::worker_loop() {
     }
     depth.add(-1);
     queue_delay.record((obs::now_us() - work.enqueue_us) * 1e-6);
+    // Fault injection: a stalled worker models OS jitter / a noisy
+    // neighbor pinning the core (off = one acquire load).
+    if (const FaultPlan* plan = worker_faults()) {
+      static std::atomic<uint64_t> stall_seq{0};
+      const double stall_s = plan->worker_stall_seconds(
+          stall_seq.fetch_add(1, std::memory_order_relaxed));
+      if (stall_s > 0.0) {
+        static obs::Counter& stalls = obs::counter("pool_worker_stalls");
+        stalls.add(1);
+        obs::instant("fault", "worker_stall");
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(stall_s));
+      }
+    }
     {
       HIA_TRACE_SPAN("pool", "task");
       work.work();

@@ -30,12 +30,30 @@ struct InTransitTask {
   uint64_t task_id = 0;
 };
 
+/// How a task left the staging pipeline. Every submitted task ends in
+/// exactly one record with exactly one outcome — nothing is lost silently.
+enum class TaskOutcome {
+  kCompleted,  // ran in-transit on a staging bucket
+  kDegraded,   // staging gave up after K attempts; ran on the in-situ
+               // fallback executor instead (work conserved)
+  kShed,       // staging gave up and the plan said shed: dropped, counted
+};
+
+inline const char* to_string(TaskOutcome outcome) {
+  switch (outcome) {
+    case TaskOutcome::kCompleted: return "completed";
+    case TaskOutcome::kDegraded: return "degraded";
+    case TaskOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
 /// Timing record for one executed in-transit task (Fig. 5 / Fig. 6 data).
 struct TaskRecord {
   uint64_t task_id = 0;
   std::string analysis;
   long step = 0;
-  int bucket = -1;
+  int bucket = -1;              // -1 = the in-situ fallback executor
   double enqueue_time = 0.0;    // seconds since service start
   double assign_time = 0.0;
   double complete_time = 0.0;
@@ -44,6 +62,12 @@ struct TaskRecord {
   size_t data_movement_raw_bytes = 0;  // logical bytes before encoding
   double decode_seconds = 0.0;         // bucket-side codec decode time
   double compute_seconds = 0.0;        // handler wall time minus pulls
+
+  // ---- Resilience ledger (all defaults when faults are off) ----
+  TaskOutcome outcome = TaskOutcome::kCompleted;
+  int attempts = 1;                // execution attempts including the final one
+  double backoff_seconds = 0.0;    // total retry backoff the task waited
+  int last_failed_bucket = -1;     // bucket of the most recent failed attempt
 };
 
 }  // namespace hia

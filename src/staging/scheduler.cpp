@@ -1,11 +1,14 @@
 #include "staging/scheduler.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -48,7 +51,7 @@ std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
 // -------------------------------------------------------- StagingService --
 
 StagingService::StagingService(Dart& dart, Options options)
-    : dart_(dart), store_(options.num_servers) {
+    : dart_(dart), store_(options.num_servers), faults_(options.faults) {
   HIA_REQUIRE(options.num_buckets > 0, "need at least one staging bucket");
   // Expose the scheduler gauges to the time-series sampler and install the
   // task clock as the sampler's virtual time source, so queue-depth series
@@ -58,6 +61,7 @@ StagingService::StagingService(Dart& dart, Options options)
   obs::set_virtual_clock([this] { return clock_.seconds(); }, this);
   slots_.resize(static_cast<size_t>(options.num_buckets));
   buckets_.resize(static_cast<size_t>(options.num_buckets));
+  live_buckets_ = options.num_buckets;
   for (int b = 0; b < options.num_buckets; ++b) {
     buckets_[static_cast<size_t>(b)].dart_node =
         dart_.register_node("bucket-" + std::to_string(b));
@@ -99,9 +103,51 @@ DataDescriptor StagingService::publish(int src_node,
   return desc;
 }
 
+std::vector<StagingService::Assigned> StagingService::apply_scripted_kills(
+    long step) {
+  // Requires mutex_ held. Retires every bucket whose scripted kill step has
+  // arrived: it leaves the free list and the matcher's reach; if it is
+  // mid-task it finishes that task first (graceful drain, like taking a
+  // staging node out of rotation).
+  std::vector<Assigned> orphaned;
+  if (faults_ == nullptr || faults_->config().bucket_kills.empty()) {
+    return orphaned;
+  }
+  for (int b = 0; b < static_cast<int>(buckets_.size()); ++b) {
+    Bucket& bucket = buckets_[static_cast<size_t>(b)];
+    if (bucket.dead || !faults_->bucket_killed(b, step)) continue;
+    bucket.dead = true;
+    --live_buckets_;
+    faults_->count_bucket_kill();
+    static obs::Counter& killed = obs::counter("staging_buckets_killed");
+    killed.add(1);
+    obs::instant("fault", "bucket_killed",
+                 {.bucket = b, .step = step, .vtime = clock_.seconds()});
+    HIA_LOG_WARN("staging", "bucket %d killed by fault plan at step %ld", b,
+                 step);
+    for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
+      if (*it == b) {
+        free_buckets_.erase(it);
+        break;
+      }
+    }
+  }
+  if (live_buckets_ == 0) {
+    // Staging capacity is gone: hand every queued task to the caller, who
+    // degrades or sheds each one outside the lock.
+    while (!task_queue_.empty()) {
+      orphaned.push_back(std::move(task_queue_.front()));
+      task_queue_.pop_front();
+      queue_depth().add(-1);
+    }
+  }
+  return orphaned;
+}
+
 uint64_t StagingService::submit(InTransitTask task) {
   uint64_t id = 0;
   long step = task.step;
+  std::vector<Assigned> orphaned;
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(handlers_.count(task.analysis) > 0,
@@ -110,10 +156,12 @@ uint64_t StagingService::submit(InTransitTask task) {
     task.task_id = id;
     ++outstanding_;
     task_queue_.push_back(Assigned{std::move(task), clock_.seconds()});
+    queue_depth().add(1);
+    orphaned = apply_scripted_kills(step);
   }
-  queue_depth().add(1);
   obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
   work_cv_.notify_all();
+  for (Assigned& a : orphaned) degrade_or_shed(std::move(a));
   return id;
 }
 
@@ -161,42 +209,88 @@ int StagingService::free_bucket_count() const {
   return static_cast<int>(free_buckets_.size());
 }
 
+int StagingService::live_bucket_count() const {
+  std::lock_guard lock(mutex_);
+  return live_buckets_;
+}
+
 void StagingService::bucket_main(int bucket_index) {
   obs::set_thread_track(obs::bucket_track(bucket_index));
-  // FCFS matcher body: moves queued tasks onto free buckets' slots.
-  // Requires mutex_ held.
+  const size_t b = static_cast<size_t>(bucket_index);
+  // FCFS matcher body: moves queued, backoff-released tasks onto free
+  // buckets' slots. A retried task avoids the bucket it last failed on
+  // whenever another live bucket exists. Requires mutex_ held.
   auto match = [this] {
-    while (!task_queue_.empty() && !free_buckets_.empty()) {
-      const int b = free_buckets_.front();
-      free_buckets_.pop_front();
-      slots_[static_cast<size_t>(b)] = std::move(task_queue_.front());
-      task_queue_.pop_front();
-      queue_depth().add(-1);
+    const double now = clock_.seconds();
+    bool matched = true;
+    while (matched && !task_queue_.empty() && !free_buckets_.empty()) {
+      matched = false;
+      for (auto fb = free_buckets_.begin(); fb != free_buckets_.end(); ++fb) {
+        const int free_b = *fb;
+        for (auto it = task_queue_.begin(); it != task_queue_.end(); ++it) {
+          if (it->not_before > now) continue;  // still backing off
+          if (it->last_bucket == free_b && live_buckets_ > 1) continue;
+          slots_[static_cast<size_t>(free_b)] = std::move(*it);
+          task_queue_.erase(it);
+          free_buckets_.erase(fb);
+          queue_depth().add(-1);
+          matched = true;
+          break;
+        }
+        if (matched) break;  // iterators invalidated; rescan
+      }
     }
+  };
+  // Earliest backoff release still in the future (-1 = none pending).
+  // Requires mutex_ held.
+  auto next_release = [this] {
+    const double now = clock_.seconds();
+    double next = -1.0;
+    for (const Assigned& a : task_queue_) {
+      if (a.not_before > now && (next < 0.0 || a.not_before < next)) {
+        next = a.not_before;
+      }
+    }
+    return next;
   };
   for (;;) {
     Assigned assigned;
     {
       std::unique_lock lock(mutex_);
-      // Bucket-ready: join the free list, then FCFS-match queued work.
-      free_buckets_.push_back(bucket_index);
-      match();
-      if (slots_[static_cast<size_t>(bucket_index)].has_value()) {
-        // Matched above — possibly to a different bucket; wake the others.
-        work_cv_.notify_all();
-      } else {
-        work_cv_.wait(lock, [&] {
-          // A submit() may have queued work while every bucket slept; any
-          // woken bucket performs the match on behalf of the free list.
+      if (!buckets_[b].dead) {
+        // Bucket-ready: join the free list, then FCFS-match queued work.
+        free_buckets_.push_back(bucket_index);
+        match();
+        while (!stopping_ && !slots_[b].has_value() && !buckets_[b].dead) {
+          const double release = next_release();
+          if (release < 0.0) {
+            work_cv_.wait(lock);
+          } else {
+            // A retried task is waiting out its backoff: sleep until the
+            // release (or an earlier submit/retry/stop notification).
+            const double delta = release - clock_.seconds();
+            if (delta > 0.0) {
+              work_cv_.wait_for(lock, std::chrono::duration<double>(delta));
+            }
+          }
           match();
-          return stopping_ ||
-                 slots_[static_cast<size_t>(bucket_index)].has_value();
-        });
+        }
         work_cv_.notify_all();
       }
-      if (slots_[static_cast<size_t>(bucket_index)].has_value()) {
-        assigned = std::move(*slots_[static_cast<size_t>(bucket_index)]);
-        slots_[static_cast<size_t>(bucket_index)].reset();
+      if (slots_[b].has_value()) {
+        assigned = std::move(*slots_[b]);
+        slots_[b].reset();
+      } else if (buckets_[b].dead) {
+        // Retired by a scripted kill: leave the free list and exit. Queued
+        // work was already drained by the killer if capacity hit zero.
+        for (auto it = free_buckets_.begin(); it != free_buckets_.end();
+             ++it) {
+          if (*it == bucket_index) {
+            free_buckets_.erase(it);
+            break;
+          }
+        }
+        return;
       } else {
         HIA_ASSERT(stopping_);
         return;
@@ -207,29 +301,148 @@ void StagingService::bucket_main(int bucket_index) {
 }
 
 void StagingService::execute(int bucket_index, Assigned assigned) {
-  const double assign_time = clock_.seconds();
+  // Fault check first: does this attempt time out? (Deterministic per
+  // (task, attempt); the timeout occupies the bucket like the real thing.)
+  if (faults_ != nullptr &&
+      faults_->task_fails(assigned.task.task_id, assigned.attempt)) {
+    const RetryPolicy& retry = faults_->retry();
+    obs::instant("fault", "task_timeout",
+                 {.bucket = bucket_index,
+                  .step = assigned.task.step,
+                  .vtime = clock_.seconds()});
+    if (retry.task_timeout_s > 0.0) {
+      busy_buckets().add(1);
+      obs::Span stuck("fault", "task_stuck",
+                      {.bucket = bucket_index, .step = assigned.task.step});
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(retry.task_timeout_s));
+      busy_buckets().add(-1);
+    }
+    if (assigned.attempt < retry.max_task_attempts) {
+      retry_task(bucket_index, std::move(assigned));
+    } else {
+      assigned.last_bucket = bucket_index;
+      degrade_or_shed(std::move(assigned));
+    }
+    return;
+  }
+  run_task(bucket_index, std::move(assigned), clock_.seconds(),
+           TaskOutcome::kCompleted);
+}
+
+void StagingService::retry_task(int failed_bucket, Assigned assigned) {
+  const double backoff =
+      faults_->backoff_seconds(assigned.task.task_id, assigned.attempt);
+  static obs::Counter& retries = obs::counter("staging_task_retries");
+  static obs::Histogram& backoff_h = obs::histogram("staging_backoff_s");
+  retries.add(1);
+  backoff_h.record(backoff);
+  obs::instant("fault", "task_retry",
+               {.bucket = failed_bucket,
+                .step = assigned.task.step,
+                .vtime = clock_.seconds()});
+  bool no_capacity = false;
+  {
+    std::lock_guard lock(mutex_);
+    assigned.last_bucket = failed_bucket;
+    assigned.attempt += 1;
+    assigned.backoff_total += backoff;
+    assigned.not_before = clock_.seconds() + backoff;
+    if (live_buckets_ == 0) {
+      no_capacity = true;
+    } else {
+      task_queue_.push_back(std::move(assigned));
+      queue_depth().add(1);
+    }
+  }
+  work_cv_.notify_all();
+  if (no_capacity) degrade_or_shed(std::move(assigned));
+}
+
+void StagingService::degrade_or_shed(Assigned assigned) {
+  const bool degrade =
+      faults_ == nullptr || faults_->retry().degrade_to_insitu;
+  if (degrade) {
+    // ElasticBroker-style degradation: the analysis still runs, but on the
+    // in-situ fallback executor — work is conserved, latency is charged to
+    // the primary side. In the virtual cluster the calling thread plays
+    // that executor (bucket index -1).
+    run_task(-1, std::move(assigned), clock_.seconds(),
+             TaskOutcome::kDegraded);
+  } else {
+    shed_task(std::move(assigned));
+  }
+}
+
+void StagingService::shed_task(Assigned assigned) {
+  // Load shedding, made loud: the task is dropped, but it still produces a
+  // record and bumps an explicit counter — nothing disappears silently.
+  static obs::Counter& dropped = obs::counter("staging_tasks_dropped");
+  dropped.add(1);
+  obs::instant("fault", "task_shed",
+               {.step = assigned.task.step, .vtime = clock_.seconds()});
+  HIA_LOG_WARN("staging", "task %llu (%s, step %ld) shed after %d attempts",
+               static_cast<unsigned long long>(assigned.task.task_id),
+               assigned.task.analysis.c_str(), assigned.task.step,
+               assigned.attempt);
+  for (const DataDescriptor& d : assigned.task.inputs) {
+    dart_.release(d.handle);
+  }
+  TaskRecord record;
+  record.task_id = assigned.task.task_id;
+  record.analysis = assigned.task.analysis;
+  record.step = assigned.task.step;
+  record.bucket = -1;
+  record.enqueue_time = assigned.enqueue_time;
+  record.assign_time = clock_.seconds();
+  record.complete_time = record.assign_time;
+  record.outcome = TaskOutcome::kShed;
+  record.attempts = assigned.attempt;
+  record.backoff_seconds = assigned.backoff_total;
+  record.last_failed_bucket = assigned.last_bucket;
+  {
+    std::lock_guard lock(mutex_);
+    records_.push_back(record);
+    HIA_ASSERT(outstanding_ > 0);
+    --outstanding_;
+  }
+  drain_cv_.notify_all();
+}
+
+void StagingService::run_task(int bucket_index, Assigned assigned,
+                              double assign_time, TaskOutcome outcome) {
   Handler handler;
+  int dart_node = -1;
   {
     std::lock_guard lock(mutex_);
     auto it = handlers_.find(assigned.task.analysis);
     HIA_ASSERT(it != handlers_.end());
     handler = it->second;
+    if (bucket_index >= 0) {
+      dart_node = buckets_[static_cast<size_t>(bucket_index)].dart_node;
+    } else {
+      // The in-situ fallback executor registers with Dart on first use so
+      // fault-free runs keep the baseline node census.
+      if (fallback_node_ < 0) {
+        fallback_node_ = dart_.register_node("staging-fallback");
+      }
+      dart_node = fallback_node_;
+    }
   }
 
   // The task span on this bucket's track: assign -> pull -> compute ->
   // complete (the pull/decode sub-spans come from Dart).
   char span_name[obs::Event::kNameCapacity];
-  std::snprintf(span_name, sizeof(span_name), "task:%s",
+  std::snprintf(span_name, sizeof(span_name), "task:%s%s",
+                outcome == TaskOutcome::kDegraded ? "degraded:" : "",
                 assigned.task.analysis.c_str());
-  busy_buckets().add(1);
+  if (bucket_index >= 0) busy_buckets().add(1);
   obs::Span task_span("sched", span_name,
                       {.bucket = bucket_index,
                        .step = assigned.task.step,
                        .vtime = assign_time});
 
-  TaskContext ctx(*this, dart_,
-                  assigned.task, bucket_index,
-                  buckets_[static_cast<size_t>(bucket_index)].dart_node);
+  TaskContext ctx(*this, dart_, assigned.task, bucket_index, dart_node);
 
   Stopwatch watch;
   bool failed = false;
@@ -240,12 +453,32 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
     handler(ctx);
   } catch (const std::exception& e) {
     failed = true;
-    HIA_LOG_ERROR("staging", "task %llu (%s, step %ld) failed: %s",
+    HIA_LOG_ERROR("staging", "task %llu (%s, step %ld) attempt %d failed: %s",
                   static_cast<unsigned long long>(assigned.task.task_id),
                   assigned.task.analysis.c_str(), assigned.task.step,
-                  e.what());
+                  assigned.attempt, e.what());
   }
-  const double wall = watch.seconds();
+  double wall = watch.seconds();
+
+  if (failed && faults_ != nullptr && bucket_index >= 0 &&
+      assigned.attempt < faults_->retry().max_task_attempts) {
+    // A thrown handler (e.g. a pull whose frames never survived the wire)
+    // is a failed attempt: back off and retry like an injected timeout.
+    busy_buckets().add(-1);
+    retry_task(bucket_index, std::move(assigned));
+    return;
+  }
+
+  if (faults_ != nullptr && bucket_index >= 0) {
+    // Scripted slowdown: this bucket's core is oversubscribed; stretch the
+    // compute phase by the configured factor.
+    const double factor = faults_->bucket_slow_factor(bucket_index);
+    if (factor > 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(wall * (factor - 1.0)));
+      wall *= factor;
+    }
+  }
 
   // The bucket consumed its inputs; free the published regions.
   for (const DataDescriptor& d : assigned.task.inputs) {
@@ -265,6 +498,10 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   record.data_movement_raw_bytes = ctx.movement_raw_bytes_;
   record.decode_seconds = ctx.decode_seconds_;
   record.compute_seconds = wall;
+  record.outcome = outcome;
+  record.attempts = assigned.attempt;
+  record.backoff_seconds = assigned.backoff_total;
+  record.last_failed_bucket = assigned.last_bucket;
 
   // The TaskRecord ledger and the tracer's scheduler spans are derived
   // from the same clock reads; the lifecycle must be monotone or one of
@@ -281,8 +518,13 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
     HIA_ASSERT(outstanding_ > 0);
     --outstanding_;
   }
-  static obs::Counter& completed = obs::counter("staging_tasks_completed");
-  completed.add(1);
+  if (outcome == TaskOutcome::kDegraded) {
+    static obs::Counter& degraded = obs::counter("staging_tasks_degraded");
+    degraded.add(1);
+  } else {
+    static obs::Counter& completed = obs::counter("staging_tasks_completed");
+    completed.add(1);
+  }
   // The three Fig. 5 latency distributions, on the task (virtual) clock.
   static obs::Histogram& wait_h = obs::histogram("staging_queue_wait_s");
   static obs::Histogram& compute_h = obs::histogram("staging_compute_s");
@@ -290,7 +532,7 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   wait_h.record(record.assign_time - record.enqueue_time);
   compute_h.record(record.compute_seconds);
   turnaround_h.record(record.complete_time - record.enqueue_time);
-  busy_buckets().add(-1);
+  if (bucket_index >= 0) busy_buckets().add(-1);
   obs::instant("sched", "complete",
                {.bucket = bucket_index,
                 .step = record.step,

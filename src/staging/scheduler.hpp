@@ -12,6 +12,15 @@
 // analysis land on different buckets, pipelining the analyses and
 // decoupling analysis latency from the simulation rate (temporal
 // multiplexing).
+//
+// Resilience (active only when Options::faults is set): a task attempt that
+// times out backs off with decorrelated jitter and is requeued, preferring
+// a different bucket; after K attempts the task either degrades to the
+// in-situ fallback executor or is shed with an explicit counter. Scripted
+// bucket kills retire buckets gracefully (they finish their current task);
+// when no live bucket remains, new work degrades immediately. Every
+// submitted task ends in exactly one TaskRecord — see docs/FAILURE_MODEL.md
+// for the full state machine.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +40,7 @@
 
 namespace hia {
 
+class FaultPlan;
 class StagingService;
 
 /// Execution context handed to an in-transit handler running on a bucket.
@@ -81,6 +91,10 @@ class StagingService {
   struct Options {
     int num_servers = 2;   // DataSpaces metadata servers
     int num_buckets = 4;   // in-transit cores
+    /// Fault-injection plan (task failures, bucket kills/slowdowns) and its
+    /// RetryPolicy. Null = faults off; the scheduler hot path then only
+    /// pays null-pointer branches.
+    const FaultPlan* faults = nullptr;
   };
 
   using Handler = std::function<void(TaskContext&)>;
@@ -129,6 +143,8 @@ class StagingService {
   [[nodiscard]] int num_buckets() const {
     return static_cast<int>(buckets_.size());
   }
+  /// Buckets not retired by a scripted kill.
+  [[nodiscard]] int live_bucket_count() const;
   /// Seconds since service start (the clock used in TaskRecord fields).
   [[nodiscard]] double now() const { return clock_.seconds(); }
 
@@ -138,19 +154,43 @@ class StagingService {
   struct Bucket {
     std::thread thread;
     int dart_node = -1;
+    bool dead = false;  // retired by a scripted kill (guarded by mutex_)
   };
 
   struct Assigned {
     InTransitTask task;
     double enqueue_time = 0.0;
+    // ---- Retry state (defaults when faults are off) ----
+    int attempt = 1;             // 1-based execution attempt
+    double backoff_total = 0.0;  // backoff accumulated across retries
+    int last_bucket = -1;        // bucket of the last failed attempt
+    double not_before = 0.0;     // earliest assign time (backoff release)
   };
 
   void bucket_main(int bucket_index);
   void execute(int bucket_index, Assigned assigned);
+  /// Runs the handler and writes the final record. `bucket_index` == -1
+  /// means the in-situ fallback executor (degraded work).
+  void run_task(int bucket_index, Assigned assigned, double assign_time,
+                TaskOutcome outcome);
+  /// Backs the task off and requeues it (prefers a different bucket); falls
+  /// back to degrade/shed when no live bucket remains.
+  void retry_task(int failed_bucket, Assigned assigned);
+  /// Terminal failure: degrade to the fallback executor or shed, per the
+  /// plan's RetryPolicy.
+  void degrade_or_shed(Assigned assigned);
+  void shed_task(Assigned assigned);
+  /// Scripted kills due at `step` retire their buckets; when the last live
+  /// bucket goes, queued work is drained through degrade_or_shed. Returns
+  /// the drained tasks (run them without holding mutex_). Requires mutex_.
+  std::vector<Assigned> apply_scripted_kills(long step);
 
   Dart& dart_;
   ObjectStore store_;
   Stopwatch clock_;
+  const FaultPlan* faults_ = nullptr;
+  int fallback_node_ = -1;  // Dart registration of the fallback executor
+  int live_buckets_ = 0;    // guarded by mutex_
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // wakes buckets

@@ -9,9 +9,19 @@
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault.hpp"
+#include "util/crc32.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hia {
+
+namespace {
+/// CRC stamping happens only under an active frame-fault plan, so the
+/// fault-free wire path stays byte-identical to the baseline.
+bool frame_faults_on(const Dart::Options& options) {
+  return options.faults != nullptr && options.faults->frame_faults_enabled();
+}
+}  // namespace
 
 Dart::Dart(NetworkModel& network, Options options)
     : network_(network), options_(options) {
@@ -63,7 +73,12 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
               "put from unregistered node");
   const uint64_t id = next_handle_++;
   const size_t bytes = data.size();
-  regions_.emplace(id, Region{owner_node, std::move(data), bytes, false});
+  Region region{owner_node, std::move(data), bytes, false};
+  if (frame_faults_on(options_)) {
+    region.crc = crc32(region.data.data(), region.data.size());
+    region.crc_stamped = true;
+  }
+  regions_.emplace(id, std::move(region));
   return DartHandle{id, bytes, owner_node};
 }
 
@@ -102,8 +117,13 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
   counters_.encode_seconds_total += seconds;
   const uint64_t id = next_handle_++;
   const size_t wire = frame.size();
-  regions_.emplace(id, Region{owner_node, std::move(frame),
-                              data.size() * sizeof(double), true});
+  Region region{owner_node, std::move(frame), data.size() * sizeof(double),
+                true};
+  if (frame_faults_on(options_)) {
+    region.crc = crc32(region.data.data(), region.data.size());
+    region.crc_stamped = true;
+  }
+  regions_.emplace(id, std::move(region));
   return DartHandle{id, wire, owner_node};
 }
 
@@ -113,58 +133,130 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
   HIA_TRACE_SPAN("dart", "get");
   static obs::Counter& inflight = obs::counter("dart_inflight_wire_bytes");
   static obs::Counter& flows_gauge = obs::counter("net_active_flows");
+  static obs::Histogram& wire_bytes = obs::histogram("dart_get_wire_bytes");
+  static obs::Histogram& smsg_s = obs::histogram("net_smsg_modeled_s");
+  static obs::Histogram& bte_s = obs::histogram("net_bte_modeled_s");
+
+  const FaultPlan* faults =
+      frame_faults_on(options_) ? options_.faults : nullptr;
+  const int max_attempts =
+      faults != nullptr ? faults->retry().max_frame_attempts : 1;
 
   std::vector<std::byte> data;
   int owner = -1;
   size_t raw_bytes = 0;
   bool encoded = false;
-  {
-    std::lock_guard lock(mutex_);
-    auto nit = nodes_.find(dest_node);
-    HIA_REQUIRE(nit != nodes_.end() && nit->second.registered,
-                "get from unregistered node");
-    auto rit = regions_.find(handle.id);
-    HIA_REQUIRE(rit != regions_.end(), "get of unknown/released region");
-    data = rit->second.data;  // RDMA read: copy out, region stays published
-    owner = rit->second.owner_node;
-    raw_bytes = rit->second.raw_bytes;
-    encoded = rit->second.encoded;
-  }
+  TransferPath path = TransferPath::kSmsg;
+  int flows = 1;
+  double total_seconds = 0.0;
+  double injected_delay_s = 0.0;
+  int attempt = 0;
 
-  // Model the wire cost outside the lock so concurrent gets overlap.
-  NetworkModel::FlowGuard flow(network_);
-  const int flows = network_.active_flows();
-  const double seconds = network_.transfer_seconds(data.size(), flows);
-  const TransferPath path = network_.select_path(data.size());
-  static obs::Histogram& wire_bytes = obs::histogram("dart_get_wire_bytes");
-  static obs::Histogram& smsg_s = obs::histogram("net_smsg_modeled_s");
-  static obs::Histogram& bte_s = obs::histogram("net_bte_modeled_s");
-  wire_bytes.record(static_cast<double>(data.size()));
-  (path == TransferPath::kSmsg ? smsg_s : bte_s).record(seconds);
-  inflight.add(static_cast<int64_t>(data.size()));
-  flows_gauge.add(1);
-  {
-    // The SMSG-vs-BTE wire phase: wall span when transfers sleep, plus the
-    // modeled Gemini seconds on the virtual clock either way.
-    obs::Span wire("net", path == TransferPath::kSmsg ? "smsg" : "bte",
-                   {.bytes = static_cast<long long>(data.size()),
-                    .vtime = seconds});
-    if (options_.sleep_transfers) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          seconds * options_.time_scale));
+  for (;;) {
+    ++attempt;
+    {
+      std::lock_guard lock(mutex_);
+      auto nit = nodes_.find(dest_node);
+      HIA_REQUIRE(nit != nodes_.end() && nit->second.registered,
+                  "get from unregistered node");
+      auto rit = regions_.find(handle.id);
+      HIA_REQUIRE(rit != regions_.end(), "get of unknown/released region");
+      data = rit->second.data;  // RDMA read: copy out, region stays published
+      owner = rit->second.owner_node;
+      raw_bytes = rit->second.raw_bytes;
+      encoded = rit->second.encoded;
     }
+
+    // The fault layer's verdict for this transfer attempt (deterministic
+    // per (handle, attempt); see FaultPlan).
+    FaultPlan::FrameFault fault;
+    if (faults != nullptr) fault = faults->frame_fault(handle.id, attempt);
+
+    // Model the wire cost outside the lock so concurrent gets overlap.
+    // Every attempt — including ones that end up dropped or corrupted —
+    // charges full wire time: the frame did cross the network.
+    NetworkModel::FlowGuard flow(network_);
+    flows = network_.active_flows();
+    const double seconds =
+        network_.transfer_seconds(data.size(), flows) + fault.delay_s;
+    path = network_.select_path(data.size());
+    wire_bytes.record(static_cast<double>(data.size()));
+    (path == TransferPath::kSmsg ? smsg_s : bte_s).record(seconds);
+    inflight.add(static_cast<int64_t>(data.size()));
+    flows_gauge.add(1);
+    {
+      // The SMSG-vs-BTE wire phase: wall span when transfers sleep, plus the
+      // modeled Gemini seconds on the virtual clock either way.
+      obs::Span wire("net", path == TransferPath::kSmsg ? "smsg" : "bte",
+                     {.bytes = static_cast<long long>(data.size()),
+                      .vtime = seconds});
+      if (options_.sleep_transfers) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            seconds * options_.time_scale));
+      }
+    }
+    flows_gauge.add(-1);
+    inflight.add(-static_cast<int64_t>(data.size()));
+    total_seconds += seconds;
+    injected_delay_s += fault.delay_s;
+
+    if (faults != nullptr) {
+      bool damaged = false;
+      if (fault.drop) {
+        obs::instant("fault", "frame_drop",
+                     {.bytes = static_cast<long long>(data.size())});
+        damaged = true;
+      } else {
+        if (fault.corrupt && !data.empty()) {
+          data[fault.corrupt_byte % data.size()] ^= std::byte{0x40};
+        }
+        // Transport-level integrity check: re-derive the frame CRC and
+        // compare with the checksum stamped at put().
+        uint32_t expected = 0;
+        bool stamped = false;
+        {
+          std::lock_guard lock(mutex_);
+          auto rit = regions_.find(handle.id);
+          HIA_REQUIRE(rit != regions_.end(), "region released mid-get");
+          expected = rit->second.crc;
+          stamped = rit->second.crc_stamped;
+        }
+        if (stamped && crc32(data.data(), data.size()) != expected) {
+          static obs::Counter& crc_failures = obs::counter("dart_crc_failures");
+          crc_failures.add(1);
+          obs::instant("fault", "frame_crc_fail",
+                       {.bytes = static_cast<long long>(data.size())});
+          std::lock_guard lock(mutex_);
+          ++counters_.crc_failures;
+          damaged = true;
+        }
+      }
+      if (damaged) {
+        static obs::Counter& retries_c = obs::counter("dart_get_retries");
+        HIA_REQUIRE(attempt < max_attempts,
+                    "dart: frame lost/corrupted on every one of " +
+                        std::to_string(max_attempts) +
+                        " attempts (handle " + std::to_string(handle.id) +
+                        ")");
+        retries_c.add(1);
+        std::lock_guard lock(mutex_);
+        ++counters_.get_retries;
+        continue;
+      }
+    }
+    break;  // clean frame delivered
   }
-  flows_gauge.add(-1);
-  inflight.add(-static_cast<int64_t>(data.size()));
 
   if (stats != nullptr) {
     TransferStats s;
     s.path = path;
     s.bytes = data.size();
     s.raw_bytes = raw_bytes;
-    s.modeled_seconds = seconds;
+    s.modeled_seconds = total_seconds;
     s.concurrent_flows = flows;
     s.encoded = encoded;
+    s.retries = attempt - 1;
+    s.injected_delay_s = injected_delay_s;
     *stats = s;
   }
 
@@ -177,7 +269,12 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
     }
     counters_.bytes_moved += data.size();
     counters_.raw_bytes_moved += raw_bytes;
-    counters_.modeled_seconds_total += seconds;
+    counters_.modeled_seconds_total += total_seconds;  // incl. wasted attempts
+    if (attempt > 1) {
+      static obs::Counter& recovered = obs::counter("dart_recovered_bytes");
+      recovered.add(static_cast<int64_t>(data.size()));
+      counters_.recovered_bytes += data.size();
+    }
 
     // Completion events at both ends (uGNI semantics). The destination's
     // event is implicit in the synchronous return; the owner learns its

@@ -30,6 +30,7 @@
 namespace hia {
 
 class Codec;
+class FaultPlan;
 
 /// Handle to a published (RDMA-registered) buffer.
 struct DartHandle {
@@ -48,10 +49,12 @@ struct TransferStats {
   TransferPath path = TransferPath::kSmsg;
   size_t bytes = 0;            // wire bytes (encoded size when compressed)
   size_t raw_bytes = 0;        // logical bytes before encoding
-  double modeled_seconds = 0.0;
+  double modeled_seconds = 0.0;  // all attempts, including injected delay
   double decode_seconds = 0.0;  // bucket-side decode time (get_doubles)
   int concurrent_flows = 1;
   bool encoded = false;  // region was published through a codec
+  int retries = 0;       // retransmits (dropped or CRC-failed frames)
+  double injected_delay_s = 0.0;  // fault-injected share of modeled_seconds
 };
 
 /// Small control-plane notification delivered to a node's event queue.
@@ -76,6 +79,10 @@ struct DartCounters {
   double modeled_seconds_total = 0.0;
   double encode_seconds_total = 0.0;
   double decode_seconds_total = 0.0;
+  // ---- Resilience (nonzero only under fault injection) ----
+  size_t get_retries = 0;      // retransmitted frames (drop or CRC failure)
+  size_t crc_failures = 0;     // corrupted frames caught by the CRC check
+  size_t recovered_bytes = 0;  // payload delivered after >= 1 retransmit
 };
 
 /// The transport instance shared by all nodes of the virtual cluster.
@@ -87,6 +94,9 @@ class Dart {
     /// asynchronous pipelining shows up in wall-clock measurements.
     bool sleep_transfers = false;
     double time_scale = 1.0;
+    /// Fault-injection plan (drop/delay/corrupt frames). Null = faults off;
+    /// the wire path then skips CRC stamping/checking entirely.
+    const FaultPlan* faults = nullptr;
   };
 
   explicit Dart(NetworkModel& network) : Dart(network, Options{}) {}
@@ -122,6 +132,11 @@ class Dart {
   /// Charges the modeled network cost and raises kGetCompleted at the
   /// owner. The region stays published until release(). Returns the wire
   /// bytes verbatim (still encoded for codec-published regions).
+  ///
+  /// Under fault injection, dropped or CRC-corrupted frames are
+  /// retransmitted transparently (each attempt charges wire time); after
+  /// Options::faults->retry().max_frame_attempts the pull throws
+  /// hia::Error, which the staging layer turns into a task retry.
   std::vector<std::byte> get(int dest_node, const DartHandle& handle,
                              TransferStats* stats = nullptr);
 
@@ -160,6 +175,8 @@ class Dart {
     std::vector<std::byte> data;  // wire bytes (encoded frame if `encoded`)
     size_t raw_bytes = 0;         // logical payload size before encoding
     bool encoded = false;
+    uint32_t crc = 0;         // frame checksum (stamped only when
+    bool crc_stamped = false;  // frame faults are enabled)
   };
 
   struct NodeState {

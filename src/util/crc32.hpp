@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte spans.
+//
+// Used as the frame integrity check on the DART wire path: put() stamps a
+// checksum on the published region and get() re-verifies it after the fault
+// layer has had a chance to corrupt the copy in flight, reproducing the
+// transport-level CRC that lets uGNI detect and retransmit damaged frames.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hia {
+
+namespace detail {
+inline const std::array<uint32_t, 256>& crc32_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `size` bytes starting at `data` (empty input → 0x00000000 is
+/// never returned; the standard final XOR applies).
+inline uint32_t crc32(const void* data, size_t size) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace hia
