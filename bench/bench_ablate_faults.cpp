@@ -70,6 +70,7 @@ SweepPoint run_sweep_point(const std::string& fault_spec, double fail_prob) {
       case TaskOutcome::kCompleted: ++point.completed; break;
       case TaskOutcome::kDegraded: ++point.degraded; break;
       case TaskOutcome::kShed: ++point.shed; break;
+      case TaskOutcome::kDeferred: break;  // not produced by raw submit()
     }
     point.retries += static_cast<uint64_t>(r.attempts - 1);
     point.backoff_s += r.backoff_seconds;

@@ -9,6 +9,10 @@
 #      `hia_campaign --help` output (so the handbook can never document a
 #      flag the binary dropped) or in the allowlist of flags that belong
 #      to other tools (cmake/ctest/ci scripts, bench-only harness flags).
+#   3. A short list of load-bearing flags (resilience + overload control)
+#      must be present in BOTH --help and the docs: the binary growing a
+#      flag the handbook never mentions is as much a doc bug as the
+#      reverse.
 #
 #   ci/check_docs.sh [path/to/hia_campaign]
 #
@@ -27,6 +31,7 @@ allow_flags=(
   --build --preset --test-dir --output-on-failure  # cmake / ctest
   --fast                                           # ci/check.sh
   --no-trace                                       # bench ObsCli harness
+  --help                                           # meta: docs talk about --help itself
 )
 
 fail=0
@@ -71,6 +76,21 @@ while IFS= read -r flag; do
     fail=1
   fi
 done <<<"$mentioned"
+
+echo "--- required flags present in --help and docs"
+# Load-bearing operator knobs: the failure/overload handbook is useless if
+# either side silently drops one of these.
+required_flags=(--faults --fault-seed --overload --steer)
+for flag in "${required_flags[@]}"; do
+  if ! grep -qxF -e "$flag" <<<"$known"; then
+    echo "MISSING REQUIRED FLAG: hia_campaign --help no longer lists $flag" >&2
+    fail=1
+  fi
+  if ! grep -qxF -e "$flag" <<<"$mentioned"; then
+    echo "UNDOCUMENTED REQUIRED FLAG: no doc mentions $flag" >&2
+    fail=1
+  fi
+done
 
 if [[ "$fail" -ne 0 ]]; then
   echo "ci/check_docs.sh: FAILED" >&2

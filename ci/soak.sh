@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Randomized fault + overload soak, run by ci/check.sh after the perf
+# baseline. Each iteration drives hia_campaign through the adaptive
+# steering path with bucket kills, phantom-byte injection, and credit
+# starvation under a tight queue budget, then checks the two invariants
+# the overload subsystem promises:
+#
+#   1. the run exits 0 (admission overdrafts keep producers live, the
+#      steering table keeps every task terminal), and
+#   2. the RunSummary validates (trace_lint --summary), so the ledger
+#      conserved every task: completed + degraded + deferred + shed ==
+#      submitted is asserted inside the binary and surfaced here.
+#
+# Every iteration's seed is printed up front and echoed on failure with
+# the exact replay command — same seed + same config => same fault
+# decisions (--fault-seed), so a red soak is a deterministic repro, not
+# a shrug.
+#
+#   ci/soak.sh                 # SOAK_RUNS iterations (default 5)
+#   SOAK_RUNS=20 ci/soak.sh    # longer soak
+#   SOAK_SEED=1234 ci/soak.sh  # fixed base seed (replay a whole soak)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+campaign="${CAMPAIGN:-./build/examples/hia_campaign}"
+lint="${TRACE_LINT:-./build/examples/trace_lint}"
+runs="${SOAK_RUNS:-5}"
+base_seed="${SOAK_SEED:-$RANDOM}"
+
+if [[ ! -x "$campaign" ]]; then
+  echo "ci/soak.sh: campaign binary not found: $campaign (build first)" >&2
+  exit 1
+fi
+
+soak_dir="$(mktemp -d)"
+trap 'rm -rf "$soak_dir"' EXIT
+
+echo "soak: $runs runs, base seed $base_seed"
+for ((i = 0; i < runs; i++)); do
+  seed=$((base_seed + i))
+  # Vary the kill/injection step with the seed so different iterations
+  # stress different phases of the run.
+  kill_step=$((seed % 3 + 1))
+  inject_step=$((seed % 4 + 1))
+  args=(
+    --grid 24x16x12 --ranks 1x1x1 --steps 6 --buckets 3
+    --analyses stats,hist
+    --steer adaptive
+    --overload "queue-bytes=131072,credits=8,admit-wait=0.002,defer-max=2"
+    --faults "kill-bucket=1@${kill_step},kill-bucket=2@${kill_step},overload=262144@${inject_step},credit-starve=4@${inject_step},seed=${seed}"
+    --fault-seed "$seed"
+    --obs-sample-hz 20
+    --summary "$soak_dir/soak_${i}.json"
+  )
+  if ! "$campaign" "${args[@]}" > "$soak_dir/soak_${i}.txt" 2>&1 ||
+     ! "$lint" --summary "$soak_dir/soak_${i}.json" >> "$soak_dir/soak_${i}.txt" 2>&1; then
+    echo "soak FAILED at iteration $i (seed $seed); output:" >&2
+    cat "$soak_dir/soak_${i}.txt" >&2
+    echo >&2
+    echo "replay with:" >&2
+    echo "  $campaign ${args[*]}" >&2
+    exit 1
+  fi
+done
+echo "ci/soak.sh: $runs soak runs OK (seeds $base_seed..$((base_seed + runs - 1)))"

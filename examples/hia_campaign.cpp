@@ -47,6 +47,8 @@ struct Options {
   std::string codec;
   std::string faults;
   uint64_t fault_seed = 0;
+  std::string overload;
+  std::string steer;
   std::string output_dir;
   std::string trace_path;
   std::string metrics_path;
@@ -97,6 +99,13 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "                      backoff/shed/seed; see docs/FAILURE_MODEL.md)\n"
       "  --fault-seed N      override the fault plan's seed (same seed =>\n"
       "                      same injected faults, same resilience block)\n"
+      "  --overload SPEC     overload-control budgets, comma-separated, e.g.\n"
+      "                      queue-bytes=4m,queue-depth=32,credits=16\n"
+      "                      (directives: queue-bytes/queue-depth/\n"
+      "                      store-bytes/low/high/credits/admit-wait/\n"
+      "                      defer-max; see docs/FAILURE_MODEL.md)\n"
+      "  --steer POLICY      in-transit steering policy: in-transit\n"
+      "                      (default), adaptive, in-situ, or shed\n"
       "  --output-dir DIR    write PPM/OBJ artifacts there\n"
       "  --trace FILE        write a Chrome trace-event JSON (load in\n"
       "                      Perfetto / chrome://tracing)\n"
@@ -146,6 +155,10 @@ Options parse(int argc, char** argv) {
       opt.faults = need("--faults");
     } else if (std::strcmp(argv[a], "--fault-seed") == 0) {
       opt.fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+    } else if (std::strcmp(argv[a], "--overload") == 0) {
+      opt.overload = need("--overload");
+    } else if (std::strcmp(argv[a], "--steer") == 0) {
+      opt.steer = need("--steer");
     } else if (std::strcmp(argv[a], "--output-dir") == 0) {
       opt.output_dir = need("--output-dir");
     } else if (std::strcmp(argv[a], "--trace") == 0) {
@@ -209,6 +222,8 @@ int main(int argc, char** argv) {
   config.staging_codec = opt.codec;
   config.faults = opt.faults;
   config.fault_seed = opt.fault_seed;
+  config.overload = opt.overload;
+  config.steer = opt.steer;
   if (!opt.codec.empty()) {
     try {
       (void)make_codec(opt.codec);
@@ -222,6 +237,27 @@ int main(int argc, char** argv) {
       (void)FaultPlan::parse_spec(opt.faults);
     } catch (const Error& e) {
       std::fprintf(stderr, "bad --faults: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!opt.overload.empty()) {
+    try {
+      const OverloadConfig ocfg = OverloadConfig::parse_spec(opt.overload);
+      if (!ocfg.enabled()) {
+        std::fprintf(stderr,
+                     "bad --overload: spec sets no budget and no credits\n");
+        return 2;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --overload: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!opt.steer.empty()) {
+    try {
+      (void)parse_steer_policy(opt.steer);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --steer: %s\n", e.what());
       return 2;
     }
   }
@@ -304,6 +340,11 @@ int main(int argc, char** argv) {
                                         : FaultPlan::parse_spec(opt.faults)
                                               .seed));
   }
+  if (!opt.overload.empty() || !opt.steer.empty()) {
+    std::printf("overload control: %s, steering: %s\n\n",
+                opt.overload.empty() ? "off" : opt.overload.c_str(),
+                opt.steer.empty() ? "in-transit" : opt.steer.c_str());
+  }
 
   const RunReport report = runner.run();
   obs::stop_sampler();
@@ -314,7 +355,7 @@ int main(int argc, char** argv) {
   if (report.resilience.any()) {
     std::printf("%s\n", format_resilience(report).c_str());
   }
-  std::printf("completed: %zu in-transit tasks over %ld steps; mean "
+  std::printf("processed: %zu in-transit task records over %ld steps; mean "
               "simulation step %.4f s\n",
               report.in_transit.size(), report.steps,
               report.mean_sim_step_seconds());
@@ -344,6 +385,8 @@ int main(int argc, char** argv) {
       summary.metrics["tasks_degraded"] =
           static_cast<double>(res.tasks_degraded);
       summary.metrics["tasks_shed"] = static_cast<double>(res.tasks_shed);
+      summary.metrics["tasks_deferred"] =
+          static_cast<double>(res.tasks_deferred);
       summary.metrics["task_retries"] = static_cast<double>(res.task_retries);
       summary.metrics["backoff_s"] = res.backoff_seconds;
       summary.metrics["frame_retransmits"] =
@@ -353,6 +396,18 @@ int main(int argc, char** argv) {
           static_cast<double>(res.recovered_bytes);
       summary.metrics["buckets_killed"] =
           static_cast<double>(res.buckets_killed);
+      summary.metrics["steer_in_situ"] =
+          static_cast<double>(res.steer_in_situ);
+      summary.metrics["steer_deferred"] =
+          static_cast<double>(res.steer_deferred);
+      summary.metrics["steer_shed"] = static_cast<double>(res.steer_shed);
+      summary.metrics["overload_diversions"] =
+          static_cast<double>(res.overload_diversions);
+      summary.metrics["admission_overdrafts"] =
+          static_cast<double>(res.admission_overdrafts);
+      summary.metrics["admission_wait_s"] = res.admission_wait_s;
+      summary.metrics["peak_queue_bytes"] =
+          static_cast<double>(res.peak_queue_bytes);
     }
     if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
     std::printf("run summary written to %s\n", opt.summary_path.c_str());

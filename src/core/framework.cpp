@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/fault.hpp"
@@ -23,11 +24,20 @@ HybridRunner::HybridRunner(RunConfig config)
     // plan reaches them through the process-wide hook.
     install_worker_faults(faults_.get());
   }
+  if (!config_.overload.empty()) {
+    OverloadConfig ocfg = OverloadConfig::parse_spec(config_.overload);
+    HIA_REQUIRE(ocfg.enabled(),
+                "--overload spec sets no budget and no credits: " +
+                    config_.overload);
+    overload_ = std::make_unique<OverloadControl>(ocfg);
+    config_.dart.overload = overload_.get();
+  }
+  steer_ = parse_steer_policy(config_.steer);
   dart_ = std::make_unique<Dart>(network_, config_.dart);
   staging_ = std::make_unique<StagingService>(
       *dart_, StagingService::Options{config_.staging_servers,
                                       config_.staging_buckets,
-                                      faults_.get()});
+                                      faults_.get(), overload_.get()});
   if (!config_.staging_codec.empty()) {
     codec_ = make_codec(config_.staging_codec);
   }
@@ -74,6 +84,60 @@ RunReport HybridRunner::run() {
 
   std::mutex report_mutex;  // only rank 0 writes, but keep it safe
 
+  // ---- Steering state (touched only by the rank-0 thread inside the
+  // world, then read by this thread after the join) ----
+  struct Parked {
+    std::string analysis;
+    long step = 0;  // original step: the staged inputs live under this key
+    std::vector<std::string> staged;
+    int defers = 0;  // step boundaries already crossed
+  };
+  std::vector<Parked> parked;
+  uint64_t steer_in_transit = 0, steer_in_situ = 0, steer_deferred = 0,
+           steer_shed = 0;
+  const bool steering_active =
+      steer_ != SteerPolicy::kInTransit || overload_ != nullptr;
+  const int max_defers =
+      overload_ != nullptr ? overload_->config().max_defers : 1;
+
+  // Routes one in-transit submission through the steering table. Deferring
+  // writes a terminal kDeferred record and parks the payload (the staged
+  // inputs stay in the store) for re-decision at the next step boundary.
+  auto steer_submit = [&](const std::string& analysis, long step,
+                          const std::vector<std::string>& staged,
+                          int defers) {
+    static obs::Counter& c_transit = obs::counter("steer_in_transit");
+    static obs::Counter& c_insitu = obs::counter("steer_in_situ");
+    static obs::Counter& c_defer = obs::counter("steer_deferred");
+    static obs::Counter& c_shed = obs::counter("steer_shed");
+    const PressureSignal pressure = staging_->pressure();
+    switch (steer_decide(steer_, pressure, defers, max_defers)) {
+      case SteerDecision::kInTransit:
+        ++steer_in_transit;
+        c_transit.add(1);
+        staging_->submit_for(analysis, step, staged);
+        break;
+      case SteerDecision::kInSitu:
+        ++steer_in_situ;
+        c_insitu.add(1);
+        obs::instant("overload", "steer_in_situ", {.step = step});
+        staging_->submit_for(analysis, step, staged, SubmitRoute::kFallback);
+        break;
+      case SteerDecision::kShed:
+        ++steer_shed;
+        c_shed.add(1);
+        obs::instant("overload", "steer_shed", {.step = step});
+        staging_->submit_for(analysis, step, staged, SubmitRoute::kShed);
+        break;
+      case SteerDecision::kDefer:
+        ++steer_deferred;
+        c_defer.add(1);
+        staging_->record_deferred(analysis, step);
+        parked.push_back(Parked{analysis, step, staged, defers + 1});
+        break;
+    }
+  };
+
   World world(nranks);
   world.run([&](Comm& comm) {
     const int r = comm.rank();
@@ -91,6 +155,16 @@ RunReport HybridRunner::run() {
       if (r == 0) {
         std::lock_guard lock(report_mutex);
         report.sim_step_seconds.push_back(sim_max);
+      }
+
+      // Step boundary: deferred tasks from earlier steps get a fresh
+      // steering verdict against the current pressure (rank 0 only).
+      if (r == 0 && !parked.empty()) {
+        std::vector<Parked> due;
+        due.swap(parked);
+        for (const Parked& p : due) {
+          steer_submit(p.analysis, p.step, p.staged, p.defers);
+        }
       }
 
       // 2. In-situ stages, in registration order on every rank.
@@ -123,7 +197,13 @@ RunReport HybridRunner::run() {
         const auto staged = sched.analysis->staged_variables();
         if (r == 0) {
           if (!staged.empty()) {
-            staging_->submit_for(sched.analysis->name(), sim.step(), staged);
+            if (steering_active) {
+              steer_submit(sched.analysis->name(), sim.step(), staged, 0);
+            } else {
+              // Steering off: byte-identical to the PR-4 submit path.
+              staging_->submit_for(sched.analysis->name(), sim.step(),
+                                   staged);
+            }
           }
           std::lock_guard lock(report_mutex);
           report.in_situ.push_back(InSituMetric{
@@ -139,6 +219,18 @@ RunReport HybridRunner::run() {
     dart_->unregister_node(dart_node);
   });
 
+  // The campaign is over: anything still parked is past every deadline and
+  // must execute now. Forcing defers to max_defers makes kDefer impossible
+  // in the steering table, so this loop cannot re-park.
+  if (!parked.empty()) {
+    std::vector<Parked> due;
+    due.swap(parked);
+    for (const Parked& p : due) {
+      steer_submit(p.analysis, p.step, p.staged, max_defers);
+    }
+    HIA_ASSERT(parked.empty());
+  }
+
   // Wait for the staging pipeline to finish outstanding analyses.
   staging_->drain();
   report.in_transit = staging_->records();
@@ -151,6 +243,7 @@ RunReport HybridRunner::run() {
       case TaskOutcome::kCompleted: ++res.tasks_completed; break;
       case TaskOutcome::kDegraded: ++res.tasks_degraded; break;
       case TaskOutcome::kShed: ++res.tasks_shed; break;
+      case TaskOutcome::kDeferred: ++res.tasks_deferred; break;
     }
     res.task_retries += static_cast<uint64_t>(rec.attempts - 1);
     res.backoff_seconds += rec.backoff_seconds;
@@ -159,6 +252,19 @@ RunReport HybridRunner::run() {
   res.frame_retransmits = dart_counters.get_retries;
   res.crc_failures = dart_counters.crc_failures;
   res.recovered_bytes = dart_counters.recovered_bytes;
+  if (steering_active) {
+    res.steer_in_transit = steer_in_transit;
+    res.steer_in_situ = steer_in_situ;
+    res.steer_deferred = steer_deferred;
+    res.steer_shed = steer_shed;
+  }
+  if (overload_ != nullptr) {
+    const OverloadControl::Stats ostats = overload_->stats();
+    res.admission_overdrafts = ostats.admission_overdrafts;
+    res.admission_wait_s = ostats.admission_wait_s;
+    res.peak_queue_bytes = ostats.peak_queue_bytes;
+    res.overload_diversions = staging_->overload_diversions();
+  }
   if (faults_ != nullptr) {
     const FaultStats stats = faults_->stats();
     res.frames_dropped = stats.frames_dropped;
@@ -168,6 +274,8 @@ RunReport HybridRunner::run() {
     res.tasks_failed = stats.tasks_failed;
     res.worker_stalls = stats.worker_stalls;
     res.buckets_killed = stats.buckets_killed;
+    res.overload_bytes_injected = stats.overload_bytes_injected;
+    res.credits_starved = stats.credits_starved;
     HIA_LOG_INFO("framework",
                  "resilience: %llu retries, %llu degraded, %llu shed, "
                  "%llu frame retransmits",

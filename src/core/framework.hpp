@@ -49,6 +49,13 @@ struct RunConfig {
   /// Overrides the plan's seed when nonzero (same seed + same config =>
   /// same fault decisions, same RunSummary resilience block).
   uint64_t fault_seed = 0;
+  /// Overload-control spec (OverloadConfig::parse_spec grammar, e.g.
+  /// "queue-bytes=4m,credits=16,low=0.5,high=0.9"). Empty = overload
+  /// control off: null pointers everywhere, one branch per hot path.
+  std::string overload;
+  /// Steering policy for in-transit submissions ("in-transit", "adaptive",
+  /// "in-situ", "shed"; empty = in-transit, the PR-4 behavior).
+  std::string steer;
 };
 
 class HybridRunner {
@@ -71,6 +78,10 @@ class HybridRunner {
   [[nodiscard]] Dart& dart() { return *dart_; }
   [[nodiscard]] SteeringBoard& steering() { return steering_; }
   [[nodiscard]] const RunConfig& config() const { return config_; }
+  /// The overload ledger (null when overload control is off).
+  [[nodiscard]] const OverloadControl* overload() const {
+    return overload_.get();
+  }
 
  private:
   struct Scheduled {
@@ -81,6 +92,10 @@ class HybridRunner {
   RunConfig config_;
   NetworkModel network_;
   std::unique_ptr<FaultPlan> faults_;  // null = faults off
+  // Declared before dart_/staging_ (and so destroyed after them): both hold
+  // unowned pointers into the overload ledger.
+  std::unique_ptr<OverloadControl> overload_;  // null = overload off
+  SteerPolicy steer_ = SteerPolicy::kInTransit;
   std::unique_ptr<Dart> dart_;
   std::unique_ptr<StagingService> staging_;
   std::shared_ptr<const Codec> codec_;  // null = publish raw

@@ -12,13 +12,15 @@
 namespace hia {
 
 /// End-of-run resilience ledger (all zeros on a fault-free run). The task
-/// counts partition the submitted tasks: completed + degraded + shed ==
-/// everything that was ever submitted — no task is lost silently.
+/// counts partition the submitted tasks: completed + degraded + deferred +
+/// shed == everything that was ever submitted — no task is lost silently
+/// (a deferred record is terminal; its payload re-enters as a new task).
 struct ResilienceSummary {
   // Reaction side (what the pipeline did about the faults).
   uint64_t tasks_completed = 0;  // finished on a staging bucket
   uint64_t tasks_degraded = 0;   // fell back to the in-situ executor
   uint64_t tasks_shed = 0;       // dropped after K attempts (counted, loud)
+  uint64_t tasks_deferred = 0;   // parked one step by the steering policy
   uint64_t task_retries = 0;     // extra task attempts across the run
   double backoff_seconds = 0.0;  // total retry backoff injected
   uint64_t frame_retransmits = 0;  // DART frames re-pulled (drop or CRC)
@@ -33,11 +35,26 @@ struct ResilienceSummary {
   uint64_t worker_stalls = 0;
   uint64_t buckets_killed = 0;
 
+  // ---- Overload control (nonzero only when --overload / --steer is on) ----
+  uint64_t steer_in_transit = 0;      // steering verdicts, per submit point
+  uint64_t steer_in_situ = 0;
+  uint64_t steer_deferred = 0;
+  uint64_t steer_shed = 0;
+  uint64_t overload_diversions = 0;   // hard queue-budget diversions
+  uint64_t admission_overdrafts = 0;  // waits that hit admit_max_wait_s
+  double admission_wait_s = 0.0;      // producer seconds blocked at the gate
+  size_t peak_queue_bytes = 0;        // high-water queued bytes (+ phantom)
+  uint64_t overload_bytes_injected = 0;  // scripted phantom bytes
+  uint64_t credits_starved = 0;          // scripted confiscated credits
+
   /// True when any fault fired or any recovery action ran.
   [[nodiscard]] bool any() const {
-    return tasks_degraded || tasks_shed || task_retries || frame_retransmits ||
-           crc_failures || frames_dropped || frames_corrupted ||
-           frames_delayed || tasks_failed || worker_stalls || buckets_killed;
+    return tasks_degraded || tasks_shed || tasks_deferred || task_retries ||
+           frame_retransmits || crc_failures || frames_dropped ||
+           frames_corrupted || frames_delayed || tasks_failed ||
+           worker_stalls || buckets_killed || steer_in_situ ||
+           steer_deferred || steer_shed || overload_diversions ||
+           admission_overdrafts || overload_bytes_injected || credits_starved;
   }
 };
 

@@ -65,7 +65,8 @@ std::string format_fig6(const RunReport& report,
 
 std::string format_resilience(const RunReport& report) {
   const ResilienceSummary& r = report.resilience;
-  const uint64_t total = r.tasks_completed + r.tasks_degraded + r.tasks_shed;
+  const uint64_t total = r.tasks_completed + r.tasks_degraded +
+                         r.tasks_deferred + r.tasks_shed;
   Table table({"resilience metric", "value"});
   auto count_row = [&](const std::string& label, uint64_t v) {
     table.add_row({label, std::to_string(v)});
@@ -73,6 +74,7 @@ std::string format_resilience(const RunReport& report) {
   count_row("tasks submitted", total);
   count_row("  completed on buckets", r.tasks_completed);
   count_row("  degraded to in-situ fallback", r.tasks_degraded);
+  count_row("  deferred one step (resubmitted)", r.tasks_deferred);
   count_row("  shed (dropped, counted)", r.tasks_shed);
   count_row("task retries", r.task_retries);
   table.add_row({"retry backoff total (s)", fmt_fixed(r.backoff_seconds, 4)});
@@ -88,6 +90,23 @@ std::string format_resilience(const RunReport& report) {
   table.add_row({"injected frame delay (s)", fmt_fixed(r.injected_delay_s,
                                                        4)});
   count_row("pool worker stalls", r.worker_stalls);
+  if (r.steer_in_transit || r.steer_in_situ || r.steer_deferred ||
+      r.steer_shed || r.overload_diversions || r.admission_overdrafts ||
+      r.overload_bytes_injected || r.credits_starved) {
+    count_row("steer: in-transit", r.steer_in_transit);
+    count_row("steer: in-situ fallback", r.steer_in_situ);
+    count_row("steer: deferred", r.steer_deferred);
+    count_row("steer: shed", r.steer_shed);
+    count_row("queue-budget diversions", r.overload_diversions);
+    count_row("admission overdrafts", r.admission_overdrafts);
+    table.add_row({"admission wait total (s)",
+                   fmt_fixed(r.admission_wait_s, 4)});
+    table.add_row({"peak queue bytes",
+                   fmt_bytes(static_cast<double>(r.peak_queue_bytes))});
+    table.add_row({"injected phantom bytes",
+                   fmt_bytes(static_cast<double>(r.overload_bytes_injected))});
+    count_row("credits starved (injected)", r.credits_starved);
+  }
   return table.render();
 }
 

@@ -18,6 +18,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kTaskFail: return "task-fail";
     case FaultSite::kWorkerStall: return "worker-stall";
     case FaultSite::kBackoff: return "backoff";
+    case FaultSite::kOverload: return "overload";
+    case FaultSite::kCreditStarve: return "credit-starve";
   }
   return "?";
 }
@@ -111,6 +113,29 @@ FaultPlanConfig FaultPlan::parse_spec(const std::string& spec) {
       HIA_REQUIRE(slow.bucket >= 0 && slow.factor >= 1.0,
                   "--faults slow-bucket: need bucket >= 0 and factor >= 1");
       cfg.bucket_slowdowns.push_back(slow);
+    } else if (name == "overload") {
+      const size_t at = value.find('@');
+      HIA_REQUIRE(at != std::string::npos,
+                  "--faults overload needs B@N (bytes@step)");
+      FaultPlanConfig::OverloadInject inject;
+      inject.bytes =
+          static_cast<size_t>(parse_double(name, value.substr(0, at)));
+      inject.step =
+          static_cast<long>(parse_double(name, value.substr(at + 1)));
+      HIA_REQUIRE(inject.bytes > 0, "--faults overload: need bytes > 0");
+      cfg.overload_injects.push_back(inject);
+    } else if (name == "credit-starve") {
+      const size_t at = value.find('@');
+      HIA_REQUIRE(at != std::string::npos,
+                  "--faults credit-starve needs C@N (credits@step)");
+      FaultPlanConfig::CreditStarve starve;
+      starve.credits =
+          static_cast<int>(parse_double(name, value.substr(0, at)));
+      starve.step =
+          static_cast<long>(parse_double(name, value.substr(at + 1)));
+      HIA_REQUIRE(starve.credits > 0,
+                  "--faults credit-starve: need credits > 0");
+      cfg.credit_starves.push_back(starve);
     } else if (name == "attempts") {
       cfg.retry.max_task_attempts = static_cast<int>(parse_double(name, value));
       HIA_REQUIRE(cfg.retry.max_task_attempts >= 1,
@@ -202,6 +227,15 @@ void FaultPlan::count_bucket_kill() const {
   buckets_killed_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FaultPlan::count_overload_inject(size_t bytes) const {
+  overload_bytes_injected_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void FaultPlan::count_credit_starve(int credits) const {
+  credits_starved_.fetch_add(static_cast<uint64_t>(credits),
+                             std::memory_order_relaxed);
+}
+
 double FaultPlan::bucket_slow_factor(int bucket) const {
   double factor = 1.0;
   for (const auto& slow : config_.bucket_slowdowns) {
@@ -230,6 +264,9 @@ FaultStats FaultPlan::stats() const {
   s.tasks_failed = tasks_failed_.load(std::memory_order_relaxed);
   s.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);
   s.buckets_killed = buckets_killed_.load(std::memory_order_relaxed);
+  s.overload_bytes_injected =
+      overload_bytes_injected_.load(std::memory_order_relaxed);
+  s.credits_starved = credits_starved_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -37,7 +37,9 @@ enum class FaultSite : uint32_t {
   kFrameCorruptByte = 4,  // which byte of the frame gets flipped
   kTaskFail = 5,
   kWorkerStall = 6,
-  kBackoff = 7,  // jitter draws of the retry backoff schedule
+  kBackoff = 7,       // jitter draws of the retry backoff schedule
+  kOverload = 8,      // scripted phantom-byte injection (rogue producer)
+  kCreditStarve = 9,  // scripted admission-credit confiscation
 };
 
 const char* to_string(FaultSite site);
@@ -89,6 +91,25 @@ struct FaultPlanConfig {
   };
   std::vector<BucketSlow> bucket_slowdowns;
 
+  /// Scripted: inject `bytes` phantom bytes into the staging queue
+  /// accounting once a task with step >= `step` is submitted (a rogue
+  /// producer / accounting-leak analogue: pressure rises with no real work
+  /// to drain it). Requires overload control to be active.
+  struct OverloadInject {
+    size_t bytes = 0;
+    long step = 0;
+  };
+  std::vector<OverloadInject> overload_injects;
+
+  /// Scripted: confiscate `credits` admission credits once a task with
+  /// step >= `step` is submitted (a crashed producer that never released
+  /// its regions — the credit-leak analogue). Requires overload control.
+  struct CreditStarve {
+    int credits = 0;
+    long step = 0;
+  };
+  std::vector<CreditStarve> credit_starves;
+
   RetryPolicy retry;
 };
 
@@ -102,6 +123,8 @@ struct FaultStats {
   uint64_t tasks_failed = 0;      // injected task-attempt failures
   uint64_t worker_stalls = 0;
   uint64_t buckets_killed = 0;
+  uint64_t overload_bytes_injected = 0;  // scripted phantom queue bytes
+  uint64_t credits_starved = 0;          // scripted confiscated credits
 };
 
 class FaultPlan {
@@ -115,6 +138,9 @@ class FaultPlan {
   ///   stall=P[:S]         thread-pool worker sleeps S s with probability P
   ///   kill-bucket=B@N     bucket B dies once step N is submitted
   ///   slow-bucket=B:F     bucket B computes Fx slower
+  ///   overload=B@N        inject B phantom queue bytes once step N is
+  ///                       submitted (needs overload control active)
+  ///   credit-starve=C@N   confiscate C admission credits at step N
   ///   attempts=K          task attempts before degrade/shed (default 4)
   ///   backoff=BASE:CAP    retry backoff bounds in seconds
   ///   shed                after K attempts drop the task (counted) instead
@@ -168,6 +194,11 @@ class FaultPlan {
   /// Compute-slowdown factor for `bucket` (1.0 = full speed).
   [[nodiscard]] double bucket_slow_factor(int bucket) const;
 
+  /// Tallies a scripted overload injection / credit starve (the staging
+  /// service calls these when it fires the event, once per scripted entry).
+  void count_overload_inject(size_t bytes) const;
+  void count_credit_starve(int credits) const;
+
   // ---- Thread-pool worker stalls ----
 
   /// Seconds the caller should stall before running its next pool task
@@ -189,6 +220,8 @@ class FaultPlan {
   mutable std::atomic<uint64_t> tasks_failed_{0};
   mutable std::atomic<uint64_t> worker_stalls_{0};
   mutable std::atomic<uint64_t> buckets_killed_{0};
+  mutable std::atomic<uint64_t> overload_bytes_injected_{0};
+  mutable std::atomic<uint64_t> credits_starved_{0};
 };
 
 // ---- Thread-pool hook ----

@@ -1,0 +1,398 @@
+#include "runtime/overload.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hia {
+
+const char* to_string(PressureState state) {
+  switch (state) {
+    case PressureState::kNominal: return "nominal";
+    case PressureState::kElevated: return "elevated";
+    case PressureState::kSaturated: return "saturated";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------- wire encoding --
+
+namespace {
+constexpr size_t kSignalFields = 6;
+constexpr size_t kSignalBytes = kSignalFields * sizeof(int64_t);
+}  // namespace
+
+std::vector<std::byte> encode_pressure(const PressureSignal& signal) {
+  const int64_t fields[kSignalFields] = {
+      static_cast<int64_t>(signal.state),
+      static_cast<int64_t>(signal.queue_bytes),
+      static_cast<int64_t>(signal.queue_depth),
+      static_cast<int64_t>(signal.store_bytes),
+      static_cast<int64_t>(signal.credits_free),
+      static_cast<int64_t>(signal.live_buckets),
+  };
+  std::vector<std::byte> out(kSignalBytes);
+  std::memcpy(out.data(), fields, kSignalBytes);
+  return out;
+}
+
+PressureSignal decode_pressure(const std::vector<std::byte>& payload) {
+  HIA_REQUIRE(payload.size() == kSignalBytes,
+              "pressure payload has wrong size");
+  int64_t fields[kSignalFields];
+  std::memcpy(fields, payload.data(), kSignalBytes);
+  PressureSignal s;
+  s.state = static_cast<PressureState>(fields[0]);
+  s.queue_bytes = static_cast<size_t>(fields[1]);
+  s.queue_depth = static_cast<size_t>(fields[2]);
+  s.store_bytes = static_cast<size_t>(fields[3]);
+  s.credits_free = static_cast<int>(fields[4]);
+  s.live_buckets = static_cast<int>(fields[5]);
+  return s;
+}
+
+// ----------------------------------------------------------- spec parsing --
+
+namespace {
+
+size_t parse_bytes(const std::string& token, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  double scale = 1.0;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1024.0; ++end; break;
+      case 'm': case 'M': scale = 1024.0 * 1024.0; ++end; break;
+      case 'g': case 'G': scale = 1024.0 * 1024.0 * 1024.0; ++end; break;
+      default: break;
+    }
+  }
+  HIA_REQUIRE(end != nullptr && *end == '\0' && !text.empty() && v >= 0.0,
+              "--overload " + token + ": bad size '" + text + "'");
+  return static_cast<size_t>(v * scale);
+}
+
+double parse_seconds(const std::string& token, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  HIA_REQUIRE(end != nullptr && *end == '\0' && !text.empty() && v >= 0.0,
+              "--overload " + token + ": bad value '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+OverloadConfig OverloadConfig::parse_spec(const std::string& spec) {
+  OverloadConfig cfg;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    const size_t comma = spec.find(',', begin);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string token = spec.substr(begin, end - begin);
+    begin = (comma == std::string::npos) ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    const size_t eq = token.find('=');
+    const std::string name = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : token.substr(eq + 1);
+
+    if (name == "queue-bytes") {
+      cfg.queue_bytes_budget = parse_bytes(name, value);
+    } else if (name == "queue-depth") {
+      cfg.queue_depth_budget = parse_bytes(name, value);
+    } else if (name == "store-bytes") {
+      cfg.store_bytes_budget = parse_bytes(name, value);
+    } else if (name == "low") {
+      cfg.low_watermark = parse_seconds(name, value);
+    } else if (name == "high") {
+      cfg.high_watermark = parse_seconds(name, value);
+    } else if (name == "credits") {
+      cfg.credits = static_cast<int>(parse_bytes(name, value));
+    } else if (name == "admit-wait") {
+      cfg.admit_max_wait_s = parse_seconds(name, value);
+    } else if (name == "defer-max") {
+      cfg.max_defers = static_cast<int>(parse_seconds(name, value));
+    } else {
+      HIA_REQUIRE(false, "--overload: unknown directive '" + name + "'");
+    }
+  }
+  HIA_REQUIRE(cfg.low_watermark > 0.0 && cfg.low_watermark < cfg.high_watermark
+                  && cfg.high_watermark <= 1.0,
+              "--overload: need 0 < low < high <= 1");
+  HIA_REQUIRE(cfg.max_defers >= 0, "--overload defer-max: need >= 0");
+  return cfg;
+}
+
+// --------------------------------------------------------- OverloadControl --
+
+namespace {
+hia::obs::Counter& credits_gauge() {
+  static hia::obs::Counter& c = hia::obs::counter("dart_credits_outstanding");
+  return c;
+}
+hia::obs::Counter& pressure_gauge() {
+  static hia::obs::Counter& c = hia::obs::counter("staging_pressure_state");
+  return c;
+}
+}  // namespace
+
+OverloadControl::OverloadControl(OverloadConfig config)
+    : config_(config) {
+  // Expose the admission gauges to the time-series sampler (same pattern
+  // as the scheduler's queue-depth gauge).
+  obs::register_counter_gauge("dart_credits_outstanding");
+  obs::register_counter_gauge("staging_pressure_state");
+}
+
+int OverloadControl::effective_credits_locked() const {
+  // A starved credit is gone for the run, but at least one always remains:
+  // admission may crawl, it must never stop.
+  return std::max(1, config_.credits - credits_starved_);
+}
+
+void OverloadControl::update_state_locked() {
+  double util = 0.0;
+  const size_t queue_total = queue_bytes_ + phantom_bytes_;
+  if (config_.queue_bytes_budget > 0) {
+    util = std::max(util, static_cast<double>(queue_total) /
+                              static_cast<double>(config_.queue_bytes_budget));
+  }
+  if (config_.queue_depth_budget > 0) {
+    util = std::max(util, static_cast<double>(queue_depth_) /
+                              static_cast<double>(config_.queue_depth_budget));
+  }
+  if (config_.store_bytes_budget > 0) {
+    util = std::max(util, static_cast<double>(store_bytes_) /
+                              static_cast<double>(config_.store_bytes_budget));
+  }
+  if (config_.credits > 0) {
+    util = std::max(util, static_cast<double>(credits_in_use_) /
+                              static_cast<double>(effective_credits_locked()));
+  }
+
+  // The hysteresis machine: Saturated holds through the [low, high) band
+  // and only releases below the low watermark, so steering does not flap
+  // while the queue hovers at the boundary.
+  PressureState next = state_;
+  switch (state_) {
+    case PressureState::kNominal:
+      if (util >= config_.high_watermark) next = PressureState::kSaturated;
+      else if (util >= config_.low_watermark) next = PressureState::kElevated;
+      break;
+    case PressureState::kElevated:
+      if (util >= config_.high_watermark) next = PressureState::kSaturated;
+      else if (util < config_.low_watermark) next = PressureState::kNominal;
+      break;
+    case PressureState::kSaturated:
+      if (util < config_.low_watermark) next = PressureState::kNominal;
+      break;
+  }
+  if (next != state_) {
+    state_ = next;
+    pressure_gauge().set(static_cast<int64_t>(next));
+    const char* name = next == PressureState::kSaturated ? "pressure:saturated"
+                       : next == PressureState::kElevated
+                           ? "pressure:elevated"
+                           : "pressure:nominal";
+    obs::instant("overload", name,
+                 {.bytes = static_cast<long long>(queue_total)});
+  }
+  peak_queue_bytes_ = std::max(peak_queue_bytes_, queue_total);
+}
+
+PressureSignal OverloadControl::signal_locked() const {
+  PressureSignal s;
+  s.state = state_;
+  s.queue_bytes = queue_bytes_ + phantom_bytes_;
+  s.queue_depth = queue_depth_;
+  s.store_bytes = store_bytes_;
+  s.credits_free = config_.credits > 0
+                       ? std::max(0, effective_credits_locked() -
+                                         credits_in_use_)
+                       : -1;
+  return s;
+}
+
+PressureSignal OverloadControl::admit(size_t bytes) {
+  (void)bytes;  // budgeting is per-region count; bytes inform the snapshot
+  std::unique_lock lock(mutex_);
+  if (config_.credits > 0) {
+    Stopwatch waited;
+    const bool got = credit_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.admit_max_wait_s),
+        [this] { return credits_in_use_ < effective_credits_locked(); });
+    const double wait_s = waited.seconds();
+    if (!got) {
+      // Overdraft: the deadline passed with every credit out. Admit anyway
+      // (liveness beats the bound) but count it loudly — overdrafts mean
+      // the credit pool is undersized for the producer rate.
+      ++overdrafts_;
+      static obs::Counter& overdraft_c =
+          obs::counter("dart_admission_overdrafts");
+      overdraft_c.add(1);
+      obs::instant("overload", "admission_overdraft",
+                   {.bytes = static_cast<long long>(bytes)});
+    }
+    ++credits_in_use_;
+    ++admissions_;
+    wait_s_total_ += wait_s;
+    credits_gauge().add(1);
+    static obs::Histogram& wait_h = obs::histogram("dart_admission_wait_s");
+    wait_h.record(wait_s);
+    update_state_locked();
+  }
+  return signal_locked();
+}
+
+void OverloadControl::release_credit() {
+  {
+    std::lock_guard lock(mutex_);
+    if (config_.credits <= 0) return;
+    if (credits_in_use_ > 0) --credits_in_use_;
+    credits_gauge().add(-1);
+    update_state_locked();
+  }
+  credit_cv_.notify_one();
+}
+
+void OverloadControl::on_store_put(size_t bytes) {
+  std::lock_guard lock(mutex_);
+  store_bytes_ += bytes;
+  update_state_locked();
+}
+
+void OverloadControl::on_store_take(size_t bytes) {
+  std::lock_guard lock(mutex_);
+  store_bytes_ -= std::min(store_bytes_, bytes);
+  update_state_locked();
+}
+
+void OverloadControl::on_queue_add(size_t bytes) {
+  std::lock_guard lock(mutex_);
+  queue_bytes_ += bytes;
+  ++queue_depth_;
+  update_state_locked();
+}
+
+void OverloadControl::on_queue_remove(size_t bytes) {
+  std::lock_guard lock(mutex_);
+  queue_bytes_ -= std::min(queue_bytes_, bytes);
+  if (queue_depth_ > 0) --queue_depth_;
+  update_state_locked();
+}
+
+bool OverloadControl::queue_would_overflow(size_t add_bytes) const {
+  std::lock_guard lock(mutex_);
+  if (config_.queue_bytes_budget > 0 &&
+      queue_bytes_ + phantom_bytes_ + add_bytes > config_.queue_bytes_budget) {
+    return true;
+  }
+  if (config_.queue_depth_budget > 0 &&
+      queue_depth_ + 1 > config_.queue_depth_budget) {
+    return true;
+  }
+  return false;
+}
+
+void OverloadControl::inject_phantom_bytes(size_t bytes) {
+  std::lock_guard lock(mutex_);
+  phantom_bytes_ += bytes;
+  update_state_locked();
+}
+
+void OverloadControl::starve_credits(int credits) {
+  {
+    std::lock_guard lock(mutex_);
+    credits_starved_ += std::max(0, credits);
+    update_state_locked();
+  }
+  // Waiters re-evaluate against the shrunken pool (their deadline still
+  // guarantees progress).
+  credit_cv_.notify_all();
+}
+
+PressureSignal OverloadControl::pressure() const {
+  std::lock_guard lock(mutex_);
+  return signal_locked();
+}
+
+PressureState OverloadControl::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+OverloadControl::Stats OverloadControl::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s;
+  s.admissions = admissions_;
+  s.admission_overdrafts = overdrafts_;
+  s.admission_wait_s = wait_s_total_;
+  s.peak_queue_bytes = peak_queue_bytes_;
+  s.phantom_bytes = phantom_bytes_;
+  s.credits_outstanding = credits_in_use_;
+  s.credits_starved = credits_starved_;
+  return s;
+}
+
+// ----------------------------------------------------------------- steering --
+
+SteerPolicy parse_steer_policy(const std::string& name) {
+  if (name.empty() || name == "in-transit") return SteerPolicy::kInTransit;
+  if (name == "adaptive") return SteerPolicy::kAdaptive;
+  if (name == "in-situ") return SteerPolicy::kInSitu;
+  if (name == "shed") return SteerPolicy::kShed;
+  HIA_REQUIRE(false, "--steer: unknown policy '" + name +
+                         "' (in-transit, adaptive, in-situ, shed)");
+  return SteerPolicy::kInTransit;  // unreachable
+}
+
+const char* to_string(SteerPolicy policy) {
+  switch (policy) {
+    case SteerPolicy::kInTransit: return "in-transit";
+    case SteerPolicy::kAdaptive: return "adaptive";
+    case SteerPolicy::kInSitu: return "in-situ";
+    case SteerPolicy::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(SteerDecision decision) {
+  switch (decision) {
+    case SteerDecision::kInTransit: return "in-transit";
+    case SteerDecision::kInSitu: return "in-situ";
+    case SteerDecision::kDefer: return "defer";
+    case SteerDecision::kShed: return "shed";
+  }
+  return "?";
+}
+
+SteerDecision steer_decide(SteerPolicy policy, const PressureSignal& pressure,
+                           int defers_used, int max_defers) {
+  switch (policy) {
+    case SteerPolicy::kInTransit: return SteerDecision::kInTransit;
+    case SteerPolicy::kInSitu: return SteerDecision::kInSitu;
+    case SteerPolicy::kAdaptive:
+    case SteerPolicy::kShed: break;
+  }
+  if (pressure.state != PressureState::kSaturated) {
+    return SteerDecision::kInTransit;
+  }
+  // Saturated. Defer only if the backlog can actually drain (a live bucket
+  // exists) and the task's deadline allows one more step.
+  if (pressure.live_buckets != 0 && defers_used < max_defers) {
+    return SteerDecision::kDefer;
+  }
+  return policy == SteerPolicy::kShed ? SteerDecision::kShed
+                                      : SteerDecision::kInSitu;
+}
+
+}  // namespace hia

@@ -37,6 +37,9 @@ enum class TaskOutcome {
   kDegraded,   // staging gave up after K attempts; ran on the in-situ
                // fallback executor instead (work conserved)
   kShed,       // staging gave up and the plan said shed: dropped, counted
+  kDeferred,   // parked one step by the steering policy; the payload was
+               // resubmitted as a *new* task, so this record is terminal
+               // and conservation still partitions submissions exactly
 };
 
 inline const char* to_string(TaskOutcome outcome) {
@@ -44,6 +47,7 @@ inline const char* to_string(TaskOutcome outcome) {
     case TaskOutcome::kCompleted: return "completed";
     case TaskOutcome::kDegraded: return "degraded";
     case TaskOutcome::kShed: return "shed";
+    case TaskOutcome::kDeferred: return "deferred";
   }
   return "?";
 }
@@ -53,6 +57,10 @@ struct TaskRecord {
   uint64_t task_id = 0;
   std::string analysis;
   long step = 0;
+  // All three timestamps are *virtual task-clock* seconds since service
+  // start (StagingService::now()), never wall-epoch time — queue-wait math
+  // (assign - enqueue) would silently explode if the domains ever mixed;
+  // the scheduler guards this invariant with an assert on every record.
   int bucket = -1;              // -1 = the in-situ fallback executor
   double enqueue_time = 0.0;    // seconds since service start
   double assign_time = 0.0;

@@ -3,12 +3,24 @@
 #include <functional>
 #include <memory>
 
+#include "obs/counters.hpp"
+#include "obs/timeseries.hpp"
+#include "runtime/overload.hpp"
 #include "util/error.hpp"
 
 namespace hia {
 
-ObjectStore::ObjectStore(int num_servers) {
+namespace {
+obs::Counter& store_bytes_gauge() {
+  static obs::Counter& c = obs::counter("staging_store_bytes");
+  return c;
+}
+}  // namespace
+
+ObjectStore::ObjectStore(int num_servers, OverloadControl* overload)
+    : overload_(overload) {
   HIA_REQUIRE(num_servers > 0, "need at least one DataSpaces server");
+  obs::register_counter_gauge("staging_store_bytes");
   servers_.reserve(static_cast<size_t>(num_servers));
   for (int i = 0; i < num_servers; ++i) {
     servers_.push_back(std::make_unique<Server>());
@@ -26,8 +38,13 @@ size_t ObjectStore::shard(const std::string& variable, long step) const {
 void ObjectStore::put(const DataDescriptor& desc) {
   Server& s = *servers_[shard(desc.variable, desc.step)];
   s.rpcs.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(s.mutex);
-  s.objects[key(desc.variable, desc.step)].push_back(desc);
+  {
+    std::lock_guard lock(s.mutex);
+    s.objects[key(desc.variable, desc.step)].push_back(desc);
+  }
+  bytes_.fetch_add(desc.handle.bytes, std::memory_order_relaxed);
+  store_bytes_gauge().add(static_cast<int64_t>(desc.handle.bytes));
+  if (overload_) overload_->on_store_put(desc.handle.bytes);
 }
 
 std::vector<DataDescriptor> ObjectStore::query(const std::string& variable,
@@ -59,11 +76,19 @@ std::vector<DataDescriptor> ObjectStore::take(const std::string& variable,
                                               long step) {
   Server& s = *servers_[shard(variable, step)];
   s.rpcs.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(s.mutex);
-  auto it = s.objects.find(key(variable, step));
-  if (it == s.objects.end()) return {};
-  std::vector<DataDescriptor> out = std::move(it->second);
-  s.objects.erase(it);
+  std::vector<DataDescriptor> out;
+  {
+    std::lock_guard lock(s.mutex);
+    auto it = s.objects.find(key(variable, step));
+    if (it == s.objects.end()) return {};
+    out = std::move(it->second);
+    s.objects.erase(it);
+  }
+  size_t removed = 0;
+  for (const DataDescriptor& d : out) removed += d.handle.bytes;
+  bytes_.fetch_sub(removed, std::memory_order_relaxed);
+  store_bytes_gauge().add(-static_cast<int64_t>(removed));
+  if (overload_ && removed > 0) overload_->on_store_take(removed);
   return out;
 }
 

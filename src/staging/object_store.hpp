@@ -20,9 +20,13 @@
 
 namespace hia {
 
+class OverloadControl;
+
 class ObjectStore {
  public:
-  explicit ObjectStore(int num_servers);
+  /// `overload` (optional, unowned, must outlive the store) receives
+  /// store-byte accounting so resident bytes feed the pressure signal.
+  explicit ObjectStore(int num_servers, OverloadControl* overload = nullptr);
 
   /// Inserts a descriptor (one RPC to the owning server).
   void put(const DataDescriptor& desc);
@@ -52,6 +56,11 @@ class ObjectStore {
   /// Total descriptors currently stored.
   [[nodiscard]] size_t size() const;
 
+  /// Total raw payload bytes behind the stored descriptors.
+  [[nodiscard]] size_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Server {
     mutable std::mutex mutex;
@@ -64,6 +73,8 @@ class ObjectStore {
   static std::string key(const std::string& variable, long step);
 
   std::vector<std::unique_ptr<Server>> servers_;
+  std::atomic<size_t> bytes_{0};
+  OverloadControl* overload_ = nullptr;
 };
 
 }  // namespace hia

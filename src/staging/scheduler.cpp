@@ -23,6 +23,10 @@ hia::obs::Counter& busy_buckets() {
   static hia::obs::Counter& c = hia::obs::counter("staging_busy_buckets");
   return c;
 }
+hia::obs::Counter& queue_bytes_gauge() {
+  static hia::obs::Counter& c = hia::obs::counter("staging_queue_bytes");
+  return c;
+}
 }  // namespace
 
 namespace hia {
@@ -51,14 +55,29 @@ std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
 // -------------------------------------------------------- StagingService --
 
 StagingService::StagingService(Dart& dart, Options options)
-    : dart_(dart), store_(options.num_servers), faults_(options.faults) {
+    : dart_(dart),
+      store_(options.num_servers, options.overload),
+      faults_(options.faults),
+      overload_(options.overload) {
   HIA_REQUIRE(options.num_buckets > 0, "need at least one staging bucket");
   // Expose the scheduler gauges to the time-series sampler and install the
   // task clock as the sampler's virtual time source, so queue-depth series
   // line up with the Fig. 5 timeline's vtime axis.
   obs::register_counter_gauge("staging_queue_depth");
   obs::register_counter_gauge("staging_busy_buckets");
+  obs::register_counter_gauge("staging_queue_bytes");
   obs::set_virtual_clock([this] { return clock_.seconds(); }, this);
+  if (faults_ != nullptr && overload_ == nullptr &&
+      (!faults_->config().overload_injects.empty() ||
+       !faults_->config().credit_starves.empty())) {
+    HIA_LOG_WARN("staging",
+                 "fault plan scripts overload events but overload control is "
+                 "off; they will not fire");
+  }
+  if (faults_ != nullptr) {
+    overload_fired_.resize(faults_->config().overload_injects.size(), false);
+    starve_fired_.resize(faults_->config().credit_starves.size(), false);
+  }
   slots_.resize(static_cast<size_t>(options.num_buckets));
   buckets_.resize(static_cast<size_t>(options.num_buckets));
   live_buckets_ = options.num_buckets;
@@ -139,34 +158,120 @@ std::vector<StagingService::Assigned> StagingService::apply_scripted_kills(
       orphaned.push_back(std::move(task_queue_.front()));
       task_queue_.pop_front();
       queue_depth().add(-1);
+      queue_account_remove(orphaned.back());
     }
   }
   return orphaned;
 }
 
+size_t StagingService::task_wire_bytes(const InTransitTask& task) {
+  size_t bytes = 0;
+  for (const DataDescriptor& d : task.inputs) bytes += d.handle.bytes;
+  return bytes;
+}
+
+void StagingService::queue_account_add(Assigned& assigned) {
+  // Requires mutex_ held. `bytes` is computed once at first enqueue and
+  // sticks to the task across retries.
+  if (assigned.bytes == 0) assigned.bytes = task_wire_bytes(assigned.task);
+  queue_bytes_ += assigned.bytes;
+  queue_bytes_gauge().add(static_cast<int64_t>(assigned.bytes));
+  if (overload_ != nullptr) overload_->on_queue_add(assigned.bytes);
+}
+
+void StagingService::queue_account_remove(const Assigned& assigned) {
+  // Requires mutex_ held.
+  HIA_ASSERT(queue_bytes_ >= assigned.bytes);
+  queue_bytes_ -= assigned.bytes;
+  queue_bytes_gauge().add(-static_cast<int64_t>(assigned.bytes));
+  if (overload_ != nullptr) overload_->on_queue_remove(assigned.bytes);
+}
+
+void StagingService::apply_scripted_overload(long step) {
+  // Requires mutex_ held. Fires each scripted overload/credit-starve event
+  // exactly once, the first time a task with step >= its step is submitted.
+  if (faults_ == nullptr || overload_ == nullptr) return;
+  const FaultPlanConfig& cfg = faults_->config();
+  for (size_t i = 0; i < cfg.overload_injects.size(); ++i) {
+    const auto& inject = cfg.overload_injects[i];
+    if (overload_fired_[i] || step < inject.step) continue;
+    overload_fired_[i] = true;
+    overload_->inject_phantom_bytes(inject.bytes);
+    faults_->count_overload_inject(inject.bytes);
+    obs::instant("fault", "overload_inject",
+                 {.step = step,
+                  .bytes = static_cast<long long>(inject.bytes),
+                  .vtime = clock_.seconds()});
+    HIA_LOG_WARN("staging",
+                 "fault plan injected %zu phantom queue bytes at step %ld",
+                 inject.bytes, step);
+  }
+  for (size_t i = 0; i < cfg.credit_starves.size(); ++i) {
+    const auto& starve = cfg.credit_starves[i];
+    if (starve_fired_[i] || step < starve.step) continue;
+    starve_fired_[i] = true;
+    overload_->starve_credits(starve.credits);
+    faults_->count_credit_starve(starve.credits);
+    obs::instant("fault", "credit_starve",
+                 {.step = step, .vtime = clock_.seconds()});
+    HIA_LOG_WARN("staging",
+                 "fault plan confiscated %d admission credits at step %ld",
+                 starve.credits, step);
+  }
+}
+
 uint64_t StagingService::submit(InTransitTask task) {
   uint64_t id = 0;
   long step = task.step;
+  const size_t bytes = task_wire_bytes(task);
   std::vector<Assigned> orphaned;
+  std::optional<Assigned> diverted;
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(handlers_.count(task.analysis) > 0,
                 "submit for unregistered analysis: " + task.analysis);
+    apply_scripted_overload(step);
     id = next_task_id_++;
     task.task_id = id;
     ++outstanding_;
-    task_queue_.push_back(Assigned{std::move(task), clock_.seconds()});
-    queue_depth().add(1);
-    orphaned = apply_scripted_kills(step);
+    Assigned assigned;
+    assigned.task = std::move(task);
+    assigned.enqueue_time = clock_.seconds();
+    assigned.bytes = bytes;
+    if (overload_ != nullptr && overload_->queue_would_overflow(bytes)) {
+      // The hard wall: queued bytes/depth never exceed budget. The task is
+      // diverted straight to degrade/shed instead of entering the queue.
+      ++overload_diversions_;
+      diverted = std::move(assigned);
+    } else {
+      queue_account_add(assigned);
+      task_queue_.push_back(std::move(assigned));
+      queue_depth().add(1);
+      orphaned = apply_scripted_kills(step);
+    }
   }
   obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
   work_cv_.notify_all();
+  if (diverted.has_value()) {
+    static obs::Counter& diversions = obs::counter("staging_overload_diversions");
+    diversions.add(1);
+    obs::instant("overload", "queue_diverted",
+                 {.step = step,
+                  .bytes = static_cast<long long>(bytes),
+                  .vtime = clock_.seconds()});
+    HIA_LOG_WARN("staging",
+                 "task %llu (%s, step %ld) diverted: queue budget exhausted",
+                 static_cast<unsigned long long>(id),
+                 diverted->task.analysis.c_str(), step);
+    degrade_or_shed(std::move(*diverted));
+  }
   for (Assigned& a : orphaned) degrade_or_shed(std::move(a));
   return id;
 }
 
 uint64_t StagingService::submit_for(const std::string& analysis, long step,
-                                    const std::vector<std::string>& variables) {
+                                    const std::vector<std::string>& variables,
+                                    SubmitRoute route) {
   InTransitTask task;
   task.analysis = analysis;
   task.step = step;
@@ -174,7 +279,64 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
     auto descs = store_.take(var, step);
     task.inputs.insert(task.inputs.end(), descs.begin(), descs.end());
   }
-  return submit(std::move(task));
+  if (route == SubmitRoute::kQueue) return submit(std::move(task));
+
+  // Steered off the queue: the task never competes for a bucket. It is
+  // still a submission for conservation purposes (outstanding_, records).
+  uint64_t id = 0;
+  Assigned assigned;
+  {
+    std::lock_guard lock(mutex_);
+    HIA_REQUIRE(handlers_.count(task.analysis) > 0,
+                "submit for unregistered analysis: " + task.analysis);
+    id = next_task_id_++;
+    task.task_id = id;
+    ++outstanding_;
+    assigned.task = std::move(task);
+    assigned.enqueue_time = clock_.seconds();
+    assigned.bytes = task_wire_bytes(assigned.task);
+  }
+  if (route == SubmitRoute::kFallback) {
+    run_task(-1, std::move(assigned), clock_.seconds(),
+             TaskOutcome::kDegraded);
+  } else {
+    shed_task(std::move(assigned));
+  }
+  return id;
+}
+
+uint64_t StagingService::record_deferred(const std::string& analysis,
+                                         long step) {
+  TaskRecord record;
+  record.analysis = analysis;
+  record.step = step;
+  record.bucket = -1;
+  record.enqueue_time = clock_.seconds();
+  record.assign_time = record.enqueue_time;
+  record.complete_time = record.enqueue_time;
+  record.outcome = TaskOutcome::kDeferred;
+  {
+    std::lock_guard lock(mutex_);
+    record.task_id = next_task_id_++;
+    records_.push_back(record);
+  }
+  static obs::Counter& deferred = obs::counter("staging_tasks_deferred");
+  deferred.add(1);
+  obs::instant("overload", "task_deferred",
+               {.step = step, .vtime = clock_.seconds()});
+  return record.task_id;
+}
+
+PressureSignal StagingService::pressure() const {
+  PressureSignal signal;
+  if (overload_ != nullptr) signal = overload_->pressure();
+  signal.live_buckets = live_bucket_count();
+  return signal;
+}
+
+uint64_t StagingService::overload_diversions() const {
+  std::lock_guard lock(mutex_);
+  return overload_diversions_;
 }
 
 void StagingService::drain() {
@@ -234,6 +396,7 @@ void StagingService::bucket_main(int bucket_index) {
           task_queue_.erase(it);
           free_buckets_.erase(fb);
           queue_depth().add(-1);
+          queue_account_remove(*slots_[static_cast<size_t>(free_b)]);
           matched = true;
           break;
         }
@@ -350,7 +513,14 @@ void StagingService::retry_task(int failed_bucket, Assigned assigned) {
     assigned.not_before = clock_.seconds() + backoff;
     if (live_buckets_ == 0) {
       no_capacity = true;
+    } else if (overload_ != nullptr &&
+               overload_->queue_would_overflow(assigned.bytes)) {
+      // The queue filled up while this task was executing; requeueing it
+      // would breach the hard budget, so the retry budget is forfeit and
+      // the task degrades/sheds like a diverted submission.
+      no_capacity = true;
     } else {
+      queue_account_add(assigned);
       task_queue_.push_back(std::move(assigned));
       queue_depth().add(1);
     }
@@ -400,6 +570,11 @@ void StagingService::shed_task(Assigned assigned) {
   record.attempts = assigned.attempt;
   record.backoff_seconds = assigned.backoff_total;
   record.last_failed_bucket = assigned.last_bucket;
+  // Clock-domain guard: enqueue_time must be virtual task-clock seconds
+  // (in [0, now]); a wall-epoch timestamp (~1.7e9) leaking in here would
+  // poison every queue-wait statistic downstream.
+  HIA_ASSERT(record.enqueue_time >= 0.0 &&
+             record.enqueue_time <= clock_.seconds());
   {
     std::lock_guard lock(mutex_);
     records_.push_back(record);
@@ -505,7 +680,12 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
 
   // The TaskRecord ledger and the tracer's scheduler spans are derived
   // from the same clock reads; the lifecycle must be monotone or one of
-  // the two ledgers drifted.
+  // the two ledgers drifted. The first assert is the clock-domain guard:
+  // all three stamps are virtual task-clock seconds (in [0, now]); a
+  // wall-epoch timestamp (~1.7e9) leaking into enqueue_time would poison
+  // every queue-wait histogram downstream.
+  HIA_ASSERT(record.enqueue_time >= 0.0 &&
+             record.enqueue_time <= clock_.seconds());
   HIA_ASSERT(record.assign_time >= record.enqueue_time);
   HIA_ASSERT(record.complete_time >= record.assign_time);
 

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/overload.hpp"
 #include "staging/descriptor.hpp"
 #include "staging/object_store.hpp"
 #include "transport/dart.hpp"
@@ -42,6 +43,13 @@ namespace hia {
 
 class FaultPlan;
 class StagingService;
+
+/// How submit_for routes a task (what the steering policy decided).
+enum class SubmitRoute {
+  kQueue,     // normal in-transit path through the bucket queue
+  kFallback,  // run immediately on the in-situ fallback executor (degraded)
+  kShed,      // drop loudly: inputs released, terminal kShed record written
+};
 
 /// Execution context handed to an in-transit handler running on a bucket.
 class TaskContext {
@@ -95,6 +103,11 @@ class StagingService {
     /// RetryPolicy. Null = faults off; the scheduler hot path then only
     /// pays null-pointer branches.
     const FaultPlan* faults = nullptr;
+    /// Overload control (unowned, must outlive the service). When set the
+    /// queue keeps byte/depth accounting in the control's ledger and
+    /// submit() enforces the hard queue budget by diverting overflow work
+    /// to degrade_or_shed. Null = overload off (one branch per submit).
+    OverloadControl* overload = nullptr;
   };
 
   using Handler = std::function<void(TaskContext&)>;
@@ -123,9 +136,27 @@ class StagingService {
 
   /// Convenience: build a task from every block of `variables` at `step`
   /// currently in the store (descriptors are *taken*: removed from the
-  /// store and owned by the task), then submit it.
+  /// store and owned by the task), then submit it. `route` is the steering
+  /// policy's verdict: the default queues in-transit (PR-4 behavior);
+  /// kFallback runs the task immediately on the in-situ fallback executor
+  /// (recorded kDegraded); kShed drops it loudly (inputs released,
+  /// recorded kShed).
   uint64_t submit_for(const std::string& analysis, long step,
-                      const std::vector<std::string>& variables);
+                      const std::vector<std::string>& variables,
+                      SubmitRoute route = SubmitRoute::kQueue);
+
+  /// Steering chose defer: writes a terminal kDeferred record for this
+  /// (analysis, step) decision. The staged inputs stay in the store; the
+  /// runner resubmits them as a *new* task at the next step boundary, so
+  /// `completed + degraded + deferred + shed == submitted` still holds.
+  uint64_t record_deferred(const std::string& analysis, long step);
+
+  /// Pressure snapshot for steering: the overload ledger's signal with
+  /// live_buckets filled in (all-defaults signal when overload is off).
+  [[nodiscard]] PressureSignal pressure() const;
+
+  /// Tasks diverted at submit() by the hard queue budget.
+  [[nodiscard]] uint64_t overload_diversions() const;
 
   /// Blocks until every submitted task has completed.
   void drain();
@@ -159,7 +190,10 @@ class StagingService {
 
   struct Assigned {
     InTransitTask task;
+    /// Virtual task-clock seconds (clock_.seconds()), NEVER wall-epoch
+    /// time: queue-wait math is (assign - enqueue) in one clock domain.
     double enqueue_time = 0.0;
+    size_t bytes = 0;  // task-input wire bytes (queue-budget accounting)
     // ---- Retry state (defaults when faults are off) ----
     int attempt = 1;             // 1-based execution attempt
     double backoff_total = 0.0;  // backoff accumulated across retries
@@ -184,11 +218,20 @@ class StagingService {
   /// bucket goes, queued work is drained through degrade_or_shed. Returns
   /// the drained tasks (run them without holding mutex_). Requires mutex_.
   std::vector<Assigned> apply_scripted_kills(long step);
+  /// Scripted overload/credit-starve events due at `step` fire into the
+  /// overload control (once each). Requires mutex_.
+  void apply_scripted_overload(long step);
+  /// Queue-accounting helpers; require mutex_.
+  void queue_account_add(Assigned& assigned);
+  void queue_account_remove(const Assigned& assigned);
+  /// Sum of a task's input wire bytes (what the queue budget charges).
+  static size_t task_wire_bytes(const InTransitTask& task);
 
   Dart& dart_;
   ObjectStore store_;
   Stopwatch clock_;
   const FaultPlan* faults_ = nullptr;
+  OverloadControl* overload_ = nullptr;
   int fallback_node_ = -1;  // Dart registration of the fallback executor
   int live_buckets_ = 0;    // guarded by mutex_
 
@@ -204,6 +247,10 @@ class StagingService {
   std::map<uint64_t, std::vector<std::byte>> results_;
   uint64_t next_task_id_ = 1;
   size_t outstanding_ = 0;
+  size_t queue_bytes_ = 0;            // queued task-input bytes (mutex_)
+  uint64_t overload_diversions_ = 0;  // hard-budget diversions (mutex_)
+  std::vector<bool> overload_fired_;  // scripted overload events (mutex_)
+  std::vector<bool> starve_fired_;    // scripted credit-starves (mutex_)
   bool stopping_ = false;
 
   std::vector<Bucket> buckets_;

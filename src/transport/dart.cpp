@@ -10,6 +10,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/overload.hpp"
 #include "util/crc32.hpp"
 #include "util/stopwatch.hpp"
 
@@ -67,18 +68,39 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
                       {.bytes = static_cast<long long>(data.size())});
   static obs::Histogram& put_bytes = obs::histogram("dart_put_bytes");
   put_bytes.record(static_cast<double>(data.size()));
-  std::lock_guard lock(mutex_);
-  auto it = nodes_.find(owner_node);
-  HIA_REQUIRE(it != nodes_.end() && it->second.registered,
-              "put from unregistered node");
-  const uint64_t id = next_handle_++;
-  const size_t bytes = data.size();
-  Region region{owner_node, std::move(data), bytes, false};
-  if (frame_faults_on(options_)) {
-    region.crc = crc32(region.data.data(), region.data.size());
-    region.crc_stamped = true;
+  // Admission happens before the transport lock: the gate may block (up to
+  // admit_max_wait_s) and must never do so while holding mutex_.
+  PressureSignal pressure;
+  const bool admitted = options_.overload != nullptr;
+  if (admitted) pressure = options_.overload->admit(data.size());
+  uint64_t id = 0;
+  size_t bytes = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = nodes_.find(owner_node);
+    HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+                "put from unregistered node");
+    id = next_handle_++;
+    bytes = data.size();
+    Region region{owner_node, std::move(data), bytes, false};
+    region.admitted = admitted;
+    if (frame_faults_on(options_)) {
+      region.crc = crc32(region.data.data(), region.data.size());
+      region.crc_stamped = true;
+    }
+    regions_.emplace(id, std::move(region));
+    if (admitted) {
+      // The put ack (uGNI local completion analogue) carries the pressure
+      // snapshot back to the producer, closing the flow-control loop.
+      DartEvent ev;
+      ev.type = DartEvent::Type::kPutCompleted;
+      ev.src_node = owner_node;
+      ev.handle_id = id;
+      ev.payload = encode_pressure(pressure);
+      push_event(owner_node, std::move(ev));
+    }
   }
-  regions_.emplace(id, std::move(region));
+  if (admitted) event_cv_.notify_all();
   return DartHandle{id, bytes, owner_node};
 }
 
@@ -110,20 +132,39 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
     saved.add(static_cast<int64_t>(raw - frame.size()));
   }
 
-  std::lock_guard lock(mutex_);
-  auto it = nodes_.find(owner_node);
-  HIA_REQUIRE(it != nodes_.end() && it->second.registered,
-              "put from unregistered node");
-  counters_.encode_seconds_total += seconds;
-  const uint64_t id = next_handle_++;
-  const size_t wire = frame.size();
-  Region region{owner_node, std::move(frame), data.size() * sizeof(double),
-                true};
-  if (frame_faults_on(options_)) {
-    region.crc = crc32(region.data.data(), region.data.size());
-    region.crc_stamped = true;
+  // Admission charges the *wire* bytes (the encoded frame is what the
+  // staging area must hold); see put() for the lock-ordering rationale.
+  PressureSignal pressure;
+  const bool admitted = options_.overload != nullptr;
+  if (admitted) pressure = options_.overload->admit(frame.size());
+  uint64_t id = 0;
+  size_t wire = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = nodes_.find(owner_node);
+    HIA_REQUIRE(it != nodes_.end() && it->second.registered,
+                "put from unregistered node");
+    counters_.encode_seconds_total += seconds;
+    id = next_handle_++;
+    wire = frame.size();
+    Region region{owner_node, std::move(frame), data.size() * sizeof(double),
+                  true};
+    region.admitted = admitted;
+    if (frame_faults_on(options_)) {
+      region.crc = crc32(region.data.data(), region.data.size());
+      region.crc_stamped = true;
+    }
+    regions_.emplace(id, std::move(region));
+    if (admitted) {
+      DartEvent ev;
+      ev.type = DartEvent::Type::kPutCompleted;
+      ev.src_node = owner_node;
+      ev.handle_id = id;
+      ev.payload = encode_pressure(pressure);
+      push_event(owner_node, std::move(ev));
+    }
   }
-  regions_.emplace(id, std::move(region));
+  if (admitted) event_cv_.notify_all();
   return DartHandle{id, wire, owner_node};
 }
 
@@ -318,10 +359,18 @@ std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
 }
 
 void Dart::release(const DartHandle& handle) {
-  std::lock_guard lock(mutex_);
-  auto it = regions_.find(handle.id);
-  HIA_REQUIRE(it != regions_.end(), "release of unknown region");
-  regions_.erase(it);
+  bool admitted = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = regions_.find(handle.id);
+    HIA_REQUIRE(it != regions_.end(), "release of unknown region");
+    admitted = it->second.admitted;
+    regions_.erase(it);
+  }
+  // Credit return outside the transport lock (innermost-mutex ordering).
+  if (admitted && options_.overload != nullptr) {
+    options_.overload->release_credit();
+  }
 }
 
 size_t Dart::num_published() const {

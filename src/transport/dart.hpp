@@ -31,6 +31,7 @@ namespace hia {
 
 class Codec;
 class FaultPlan;
+class OverloadControl;
 
 /// Handle to a published (RDMA-registered) buffer.
 struct DartHandle {
@@ -97,6 +98,12 @@ class Dart {
     /// Fault-injection plan (drop/delay/corrupt frames). Null = faults off;
     /// the wire path then skips CRC stamping/checking entirely.
     const FaultPlan* faults = nullptr;
+    /// Overload control (unowned, must outlive the Dart instance). When
+    /// set, every put acquires an admission credit (returned on release)
+    /// and a kPutCompleted ack carrying the encoded PressureSignal is
+    /// raised at the publishing node, so producers observe staging
+    /// pressure at the publish call. Null = admission off (one branch).
+    OverloadControl* overload = nullptr;
   };
 
   explicit Dart(NetworkModel& network) : Dart(network, Options{}) {}
@@ -177,6 +184,7 @@ class Dart {
     bool encoded = false;
     uint32_t crc = 0;         // frame checksum (stamped only when
     bool crc_stamped = false;  // frame faults are enabled)
+    bool admitted = false;     // holds an admission credit until release()
   };
 
   struct NodeState {
