@@ -7,14 +7,17 @@
 #   3. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
 #      and every --flag the docs mention exists in hia_campaign --help
 #      (or is allowlisted as another tool's flag)
-#   4. perf baselines: bench_fig5_scheduler's and bench_ablate_overload's
-#      RunSummaries diffed against bench/baselines/ by tools/bench_diff —
-#      nonzero exit on drift past the baseline's per-metric tolerances
-#      (the overload bench also proves zero-overhead-when-off: its
-#      makespan_off_s point runs with every overload pointer null)
-#   5. overload soak: ci/soak.sh drives randomized bucket kills, phantom
-#      bytes, and credit starvation through the adaptive steering path;
-#      failures print the seed and an exact replay command
+#   4. perf baselines: bench_fig5_scheduler's, bench_ablate_overload's,
+#      and bench_ablate_tenants's RunSummaries diffed against
+#      bench/baselines/ by tools/bench_diff — nonzero exit on drift past
+#      the baseline's per-metric tolerances (the overload bench also
+#      proves zero-overhead-when-off: its makespan_off_s point runs with
+#      every overload pointer null; the tenants bench gates fair-share
+#      conservation and hog isolation)
+#   5. soak: ci/soak.sh drives randomized bucket kills, phantom bytes,
+#      credit starvation, and a multi-tenant hog through the adaptive
+#      steering and fair-share paths; failures print the seed and an
+#      exact replay command
 #   6. sanitizers: ASan+UBSan over everything, TSan over the concurrent
 #      paths (see ci/sanitize.sh; sanitizer runs skip the perf gate —
 #      their timings are not comparable to baseline)
@@ -79,7 +82,16 @@ cp "$smoke_dir/BENCH_ablate_overload.json" "$artifact_dir/"
   bench/baselines/BENCH_ablate_overload.json
 echo "overload baseline OK"
 
-echo "==> overload soak: randomized faults + backpressure (ci/soak.sh)"
+echo "==> tenants baseline: bench_ablate_tenants vs bench/baselines"
+(cd "$smoke_dir" && "$OLDPWD/build/bench/bench_ablate_tenants" \
+  --obs-sample-hz 50 > tenants_stdout.txt)
+./build/examples/trace_lint --summary "$smoke_dir/BENCH_ablate_tenants.json"
+cp "$smoke_dir/BENCH_ablate_tenants.json" "$artifact_dir/"
+./build/tools/bench_diff "$smoke_dir/BENCH_ablate_tenants.json" \
+  bench/baselines/BENCH_ablate_tenants.json
+echo "tenants baseline OK"
+
+echo "==> soak: randomized faults, backpressure, multi-tenant (ci/soak.sh)"
 ci/soak.sh
 
 if [[ "$fast" -eq 0 ]]; then

@@ -31,15 +31,17 @@ case "$mode" in
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" --target \
       test_obs test_util test_comm test_dart test_staging test_network \
-      test_fault test_overload
+      test_fault test_overload test_service
     export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
     # Scope to the tests that exercise the tracer's and the runtime's
     # concurrent paths; TSan slows everything ~10x, so the full pipeline
     # tests stay on the ASan leg. test_fault rides here for the
     # concurrent-injection and faulted-scheduler races; test_overload for
-    # the admission-gate and pressure-accounting races.
+    # the admission-gate and pressure-accounting races; test_service for
+    # the fair-share matcher, concurrent campaign threads, and the
+    # elastic pool's add/retire-under-load races.
     ctest --preset tsan -j "$(nproc)" \
-      -R 'test_(obs|util|comm|dart|staging|network|fault|overload)'
+      -R 'test_(obs|util|comm|dart|staging|network|fault|overload|service)'
     ;;
   *)
     echo "usage: ci/sanitize.sh [asan|tsan]" >&2

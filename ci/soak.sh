@@ -11,6 +11,12 @@
 #      conserved every task: completed + degraded + deferred + shed ==
 #      submitted is asserted inside the binary and surfaced here.
 #
+# A second leg soaks the multi-tenant service (--tenants/--weights): a
+# seed-chosen tenant fires a tenant-hog phantom-byte burst against a
+# tight shared queue budget while an elastic pool (--pool-max) breathes;
+# the same two invariants must hold, plus the per-tenant conservation
+# check the binary exits nonzero on.
+#
 # Every iteration's seed is printed up front and echoed on failure with
 # the exact replay command — same seed + same config => same fault
 # decisions (--fault-seed), so a red soak is a deterministic repro, not
@@ -62,4 +68,34 @@ for ((i = 0; i < runs; i++)); do
     exit 1
   fi
 done
-echo "ci/soak.sh: $runs soak runs OK (seeds $base_seed..$((base_seed + runs - 1)))"
+
+echo "soak: $runs multi-tenant runs, base seed $base_seed"
+for ((i = 0; i < runs; i++)); do
+  seed=$((base_seed + i))
+  # A different tenant hogs at a different step each iteration; the hog's
+  # phantom bytes equal the whole shared queue budget, so fair share and
+  # the per-tenant ledgers are exercised under real displacement.
+  hog_tenant=$((seed % 3 + 1))
+  hog_step=$((seed % 4 + 1))
+  args=(
+    --grid 24x16x12 --ranks 1x1x1 --steps 6 --buckets 3
+    --analyses stats,hist
+    --tenants 3 --weights 4,1,1
+    --pool-max 4
+    --overload "queue-bytes=131072,credits=8,admit-wait=0.002"
+    --faults "tenant-hog=${hog_tenant}:131072@${hog_step},seed=${seed}"
+    --fault-seed "$seed"
+    --obs-sample-hz 20
+    --summary "$soak_dir/tenants_${i}.json"
+  )
+  if ! "$campaign" "${args[@]}" > "$soak_dir/tenants_${i}.txt" 2>&1 ||
+     ! "$lint" --summary "$soak_dir/tenants_${i}.json" >> "$soak_dir/tenants_${i}.txt" 2>&1; then
+    echo "multi-tenant soak FAILED at iteration $i (seed $seed); output:" >&2
+    cat "$soak_dir/tenants_${i}.txt" >&2
+    echo >&2
+    echo "replay with:" >&2
+    echo "  $campaign ${args[*]}" >&2
+    exit 1
+  fi
+done
+echo "ci/soak.sh: $((runs * 2)) soak runs OK (seeds $base_seed..$((base_seed + runs - 1)), single + multi-tenant)"

@@ -9,6 +9,8 @@
 //                --analyses all --frequency 2 --output-dir campaign_out
 //   hia_campaign --steps 5 --trace trace.json --metrics metrics.txt
 //   hia_campaign --list
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +33,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fault.hpp"
+#include "service/campaign_service.hpp"
 
 namespace {
 
@@ -49,6 +52,10 @@ struct Options {
   uint64_t fault_seed = 0;
   std::string overload;
   std::string steer;
+  int tenants = 1;
+  std::string weights;
+  int pool_min = 0;
+  int pool_max = 0;
   std::string output_dir;
   std::string trace_path;
   std::string metrics_path;
@@ -106,6 +113,17 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "                      defer-max; see docs/FAILURE_MODEL.md)\n"
       "  --steer POLICY      in-transit steering policy: in-transit\n"
       "                      (default), adaptive, in-situ, or shed\n"
+      "  --tenants N         run N concurrent campaigns through the\n"
+      "                      multi-tenant service: one shared staging area,\n"
+      "                      weighted fair-share scheduling, per-tenant\n"
+      "                      isolation ledgers (default 1: classic path)\n"
+      "  --weights a,b,...   per-tenant fair-share weights (needs --tenants;\n"
+      "                      length N; default: all 1.0)\n"
+      "  --pool-max N        elastic bucket pool: grow up to N buckets under\n"
+      "                      sustained saturation, retire idle ones when\n"
+      "                      pressure clears (default: fixed pool; needs\n"
+      "                      --overload for the pressure signal)\n"
+      "  --pool-min N        elastic pool floor (default 1)\n"
       "  --output-dir DIR    write PPM/OBJ artifacts there\n"
       "  --trace FILE        write a Chrome trace-event JSON (load in\n"
       "                      Perfetto / chrome://tracing)\n"
@@ -159,6 +177,14 @@ Options parse(int argc, char** argv) {
       opt.overload = need("--overload");
     } else if (std::strcmp(argv[a], "--steer") == 0) {
       opt.steer = need("--steer");
+    } else if (std::strcmp(argv[a], "--tenants") == 0) {
+      opt.tenants = std::atoi(need("--tenants"));
+    } else if (std::strcmp(argv[a], "--weights") == 0) {
+      opt.weights = need("--weights");
+    } else if (std::strcmp(argv[a], "--pool-max") == 0) {
+      opt.pool_max = std::atoi(need("--pool-max"));
+    } else if (std::strcmp(argv[a], "--pool-min") == 0) {
+      opt.pool_min = std::atoi(need("--pool-min"));
     } else if (std::strcmp(argv[a], "--output-dir") == 0) {
       opt.output_dir = need("--output-dir");
     } else if (std::strcmp(argv[a], "--trace") == 0) {
@@ -192,6 +218,158 @@ std::vector<std::string> split(const std::string& csv) {
     begin = comma + 1;
   }
   return out;
+}
+
+/// Builds one analysis instance by CLI name (null for an unknown name).
+/// Each tenant gets fresh instances — analyses carry per-run state.
+std::shared_ptr<HybridAnalysis> make_analysis(const std::string& name,
+                                              const Options& opt) {
+  if (name == "stats") return std::make_shared<HybridStatistics>();
+  if (name == "stats-insitu") return std::make_shared<InSituStatistics>();
+  if (name == "viz" || name == "viz-insitu") {
+    VizConfig viz;
+    viz.image_size = 128;
+    viz.downsample_stride = 4;
+    viz.output_dir = opt.output_dir;
+    if (name == "viz") return std::make_shared<HybridVisualization>(viz);
+    return std::make_shared<InSituVisualization>(viz);
+  }
+  if (name == "topo") return std::make_shared<HybridTopology>(TopologyConfig{});
+  if (name == "corr") {
+    return std::make_shared<HybridCorrelation>(Variable::kTemperature,
+                                               Variable::kYH2O);
+  }
+  if (name == "hist") return std::make_shared<HybridHistogram>(HistogramConfig{});
+  if (name == "features") {
+    FeatureStatsConfig fcfg;
+    fcfg.threshold = 1.5;
+    return std::make_shared<HybridFeatureStatistics>(fcfg);
+  }
+  if (name == "cont") {
+    return std::make_shared<HybridContingency>(ContingencyConfig{});
+  }
+  if (name == "tseries") {
+    return std::make_shared<TimeSeriesAutocorrelation>(TimeSeriesConfig{});
+  }
+  if (name == "iso") {
+    IsosurfaceConfig icfg;
+    icfg.iso = 1.5;
+    icfg.output_dir = opt.output_dir;
+    return std::make_shared<HybridIsosurface>(icfg);
+  }
+  return nullptr;
+}
+
+/// The multi-tenant path: N concurrent campaigns through CampaignService.
+int run_tenants(const Options& opt, const RunConfig& base_config,
+                const std::vector<std::string>& wanted) {
+  std::vector<double> weights(static_cast<size_t>(opt.tenants), 1.0);
+  if (!opt.weights.empty()) {
+    const auto parts = split(opt.weights);
+    if (static_cast<int>(parts.size()) != opt.tenants) {
+      std::fprintf(stderr, "--weights needs %d comma-separated values\n",
+                   opt.tenants);
+      return 2;
+    }
+    for (size_t i = 0; i < parts.size(); ++i) {
+      weights[i] = std::atof(parts[i].c_str());
+      if (weights[i] <= 0.0) {
+        std::fprintf(stderr, "--weights: weight %zu must be > 0\n", i + 1);
+        return 2;
+      }
+    }
+  }
+
+  CampaignService::Options sopts;
+  sopts.staging_servers = opt.servers;
+  sopts.staging_buckets = opt.buckets;
+  sopts.faults = opt.faults;
+  sopts.fault_seed = opt.fault_seed;
+  sopts.overload = opt.overload;
+  sopts.pool_min = opt.pool_min;
+  sopts.pool_max = opt.pool_max;
+  CampaignService service(sopts);
+
+  RunConfig config = base_config;
+  // The service owns fault injection and the overload ledger.
+  config.faults.clear();
+  config.overload.clear();
+  for (int t = 0; t < opt.tenants; ++t) {
+    CampaignService::TenantSpec spec;
+    spec.name = "tenant-" + std::to_string(t + 1);
+    spec.weight = weights[static_cast<size_t>(t)];
+    spec.config = config;
+    spec.setup = [&opt, &wanted](HybridRunner& runner) {
+      for (const std::string& name : wanted) {
+        runner.add_analysis(make_analysis(name, opt), opt.frequency);
+      }
+    };
+    service.add_tenant(std::move(spec));
+  }
+
+  std::printf("multi-tenant service: %d campaigns x %ld steps, weights %s, "
+              "%d buckets%s\n\n",
+              opt.tenants, opt.steps,
+              opt.weights.empty() ? "1.0 each" : opt.weights.c_str(),
+              opt.buckets,
+              opt.pool_max > 0 ? " (elastic)" : "");
+
+  const CampaignService::ServiceReport report = service.run();
+  obs::stop_sampler();
+  obs::sample_now();
+
+  std::printf("%s\n", format_tenant_table(report.rows).c_str());
+  if (opt.pool_max > 0) {
+    std::printf("elastic pool: %llu grows, %llu shrinks, %d buckets at "
+                "drain\n",
+                static_cast<unsigned long long>(report.pool.grows),
+                static_cast<unsigned long long>(report.pool.shrinks),
+                report.final_buckets);
+  }
+  uint64_t total_tasks = 0;
+  double share_err_max = 0.0;
+  bool conserved = true;
+  for (const TenantRunRow& row : report.rows) {
+    total_tasks += row.submitted;
+    share_err_max = std::max(share_err_max,
+                             std::abs(row.share_observed - row.share_target));
+    conserved = conserved &&
+                row.completed + row.degraded + row.deferred + row.shed ==
+                    row.submitted;
+  }
+  std::printf("processed %llu tasks across %d tenants; max |share error| "
+              "%.3f; per-tenant conservation %s\n",
+              static_cast<unsigned long long>(total_tasks), opt.tenants,
+              share_err_max, conserved ? "OK" : "VIOLATED");
+
+  if (!opt.trace_path.empty()) {
+    if (!obs::write_chrome_trace(opt.trace_path)) return 1;
+    std::printf("trace written to %s\n", opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    if (!obs::write_metrics(opt.metrics_path)) return 1;
+    std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+  }
+  if (!opt.summary_path.empty()) {
+    obs::RunSummary summary;
+    summary.bench = "hia_campaign";
+    summary.metrics["tenants"] = static_cast<double>(opt.tenants);
+    summary.metrics["total_tasks"] = static_cast<double>(total_tasks);
+    summary.metrics["share_err_max"] = share_err_max;
+    summary.metrics["conservation_ok"] = conserved ? 1.0 : 0.0;
+    summary.metrics["pool_grows"] = static_cast<double>(report.pool.grows);
+    summary.metrics["pool_shrinks"] = static_cast<double>(report.pool.shrinks);
+    for (const TenantRunRow& row : report.rows) {
+      const std::string prefix = "t" + std::to_string(row.tenant) + "_";
+      summary.metrics[prefix + "completed"] =
+          static_cast<double>(row.completed);
+      summary.metrics[prefix + "share"] = row.share_observed;
+      summary.metrics[prefix + "p99_s"] = row.p99_turnaround_s;
+    }
+    if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
+    std::printf("run summary written to %s\n", opt.summary_path.c_str());
+  }
+  return conserved ? 0 : 1;
 }
 
 }  // namespace
@@ -261,6 +439,26 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (opt.tenants < 1) {
+    std::fprintf(stderr, "--tenants must be >= 1\n");
+    return 2;
+  }
+  if (!opt.weights.empty() && opt.tenants <= 1) {
+    std::fprintf(stderr, "--weights needs --tenants N with N > 1\n");
+    return 2;
+  }
+
+  auto wanted = split(opt.analyses == "all"
+                          ? "stats,stats-insitu,viz,viz-insitu,topo,corr,"
+                            "hist,features,cont,iso,tseries"
+                          : opt.analyses);
+  for (const std::string& name : wanted) {
+    if (kAnalysisHelp.find(name) == kAnalysisHelp.end()) {
+      std::fprintf(stderr, "unknown analysis: %s (try --list)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
 
   if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
     obs::enable();
@@ -268,55 +466,13 @@ int main(int argc, char** argv) {
   obs::sample_now();  // t=0 point for every gauge series
   if (opt.sample_hz > 0.0) obs::start_sampler(opt.sample_hz);
 
+  if (opt.tenants > 1) return run_tenants(opt, config, wanted);
+
   HybridRunner runner(config);
 
-  auto wanted = split(opt.analyses == "all"
-                          ? "stats,stats-insitu,viz,viz-insitu,topo,corr,"
-                            "hist,features,cont,iso,tseries"
-                          : opt.analyses);
   std::vector<std::string> report_names;
   for (const std::string& name : wanted) {
-    std::shared_ptr<HybridAnalysis> analysis;
-    if (name == "stats") {
-      analysis = std::make_shared<HybridStatistics>();
-    } else if (name == "stats-insitu") {
-      analysis = std::make_shared<InSituStatistics>();
-    } else if (name == "viz" || name == "viz-insitu") {
-      VizConfig viz;
-      viz.image_size = 128;
-      viz.downsample_stride = 4;
-      viz.output_dir = opt.output_dir;
-      if (name == "viz") {
-        analysis = std::make_shared<HybridVisualization>(viz);
-      } else {
-        analysis = std::make_shared<InSituVisualization>(viz);
-      }
-    } else if (name == "topo") {
-      analysis = std::make_shared<HybridTopology>(TopologyConfig{});
-    } else if (name == "corr") {
-      analysis = std::make_shared<HybridCorrelation>(Variable::kTemperature,
-                                                     Variable::kYH2O);
-    } else if (name == "hist") {
-      analysis = std::make_shared<HybridHistogram>(HistogramConfig{});
-    } else if (name == "features") {
-      FeatureStatsConfig fcfg;
-      fcfg.threshold = 1.5;
-      analysis = std::make_shared<HybridFeatureStatistics>(fcfg);
-    } else if (name == "cont") {
-      analysis = std::make_shared<HybridContingency>(ContingencyConfig{});
-    } else if (name == "tseries") {
-      analysis =
-          std::make_shared<TimeSeriesAutocorrelation>(TimeSeriesConfig{});
-    } else if (name == "iso") {
-      IsosurfaceConfig icfg;
-      icfg.iso = 1.5;
-      icfg.output_dir = opt.output_dir;
-      analysis = std::make_shared<HybridIsosurface>(icfg);
-    } else {
-      std::fprintf(stderr, "unknown analysis: %s (try --list)\n",
-                   name.c_str());
-      return 2;
-    }
+    std::shared_ptr<HybridAnalysis> analysis = make_analysis(name, opt);
     report_names.push_back(analysis->name());
     runner.add_analysis(std::move(analysis), opt.frequency);
   }

@@ -27,16 +27,23 @@ namespace hia {
 /// Everything the in-situ stage of an analysis may touch on one rank.
 class InSituContext {
  public:
+  /// `tenant`/`ns_prefix` namespace this context inside a shared staging
+  /// service (multi-tenant campaigns): every published variable is stored
+  /// under `ns_prefix + variable` and charged to `tenant`'s ledgers. The
+  /// defaults reproduce the single-campaign behavior exactly.
   InSituContext(S3DRank& sim, Comm& comm, StagingService& staging,
                 SteeringBoard& steering, int dart_node, long step,
-                const Codec* codec = nullptr)
+                const Codec* codec = nullptr, int tenant = 0,
+                std::string ns_prefix = {})
       : sim_(sim),
         comm_(comm),
         staging_(staging),
         steering_(steering),
         dart_node_(dart_node),
         step_(step),
-        codec_(codec) {}
+        codec_(codec),
+        tenant_(tenant),
+        ns_prefix_(std::move(ns_prefix)) {}
 
   /// Native simulation data structures, shared with the solver.
   [[nodiscard]] S3DRank& sim() { return sim_; }
@@ -53,8 +60,8 @@ class InSituContext {
   DataDescriptor publish(const std::string& variable, const Box3& box,
                          const std::vector<double>& data) {
     published_bytes_ += data.size() * sizeof(double);
-    DataDescriptor desc =
-        staging_.publish(dart_node_, variable, step_, box, data, codec_);
+    DataDescriptor desc = staging_.publish(dart_node_, ns_prefix_ + variable,
+                                           step_, box, data, codec_, tenant_);
     published_wire_bytes_ += desc.handle.bytes;
     return desc;
   }
@@ -80,6 +87,8 @@ class InSituContext {
   int dart_node_;
   long step_;
   const Codec* codec_;
+  int tenant_ = 0;
+  std::string ns_prefix_;
   size_t published_bytes_ = 0;
   size_t published_wire_bytes_ = 0;
 };

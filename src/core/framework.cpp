@@ -29,15 +29,36 @@ HybridRunner::HybridRunner(RunConfig config)
     HIA_REQUIRE(ocfg.enabled(),
                 "--overload spec sets no budget and no credits: " +
                     config_.overload);
-    overload_ = std::make_unique<OverloadControl>(ocfg);
-    config_.dart.overload = overload_.get();
+    owned_overload_ = std::make_unique<OverloadControl>(ocfg);
+    config_.dart.overload = owned_overload_.get();
   }
+  overload_ = owned_overload_.get();
   steer_ = parse_steer_policy(config_.steer);
-  dart_ = std::make_unique<Dart>(network_, config_.dart);
-  staging_ = std::make_unique<StagingService>(
+  owned_dart_ = std::make_unique<Dart>(network_, config_.dart);
+  dart_ = owned_dart_.get();
+  owned_staging_ = std::make_unique<StagingService>(
       *dart_, StagingService::Options{config_.staging_servers,
                                       config_.staging_buckets,
-                                      faults_.get(), overload_.get()});
+                                      faults_.get(), overload_});
+  staging_ = owned_staging_.get();
+  if (!config_.staging_codec.empty()) {
+    codec_ = make_codec(config_.staging_codec);
+  }
+}
+
+HybridRunner::HybridRunner(RunConfig config, const SharedStagingEnv& env)
+    : config_(std::move(config)), network_(config_.network) {
+  HIA_REQUIRE(env.dart != nullptr && env.staging != nullptr,
+              "shared-mode runner needs a Dart and a StagingService");
+  HIA_REQUIRE(config_.faults.empty() && config_.overload.empty(),
+              "shared-mode runner: faults/overload belong to the service");
+  shared_ = true;
+  tenant_ = env.tenant;
+  ns_prefix_ = env.ns_prefix;
+  dart_ = env.dart;
+  staging_ = env.staging;
+  overload_ = env.overload;
+  steer_ = parse_steer_policy(config_.steer);
   if (!config_.staging_codec.empty()) {
     codec_ = make_codec(config_.staging_codec);
   }
@@ -45,9 +66,10 @@ HybridRunner::HybridRunner(RunConfig config)
 
 HybridRunner::~HybridRunner() {
   // Staging buckets may still touch the plan until destroyed; tear down in
-  // reverse dependency order before releasing it.
-  staging_.reset();
-  dart_.reset();
+  // reverse dependency order before releasing it. (Shared mode owns none
+  // of these — the resets are no-ops and the service tears its own down.)
+  owned_staging_.reset();
+  owned_dart_.reset();
   if (faults_ != nullptr) install_worker_faults(nullptr);
 }
 
@@ -57,11 +79,13 @@ void HybridRunner::add_analysis(std::shared_ptr<HybridAnalysis> analysis,
   HIA_REQUIRE(frequency >= 1, "frequency must be >= 1");
   HIA_REQUIRE(!ran_, "cannot add analyses after run()");
 
-  // Register the in-transit handler if the analysis stages data.
+  // Register the in-transit handler if the analysis stages data. In shared
+  // mode the handler key carries the tenant's namespace prefix, so two
+  // tenants running the same analysis never collide.
   if (!analysis->staged_variables().empty()) {
     std::shared_ptr<HybridAnalysis> a = analysis;
     staging_->register_handler(
-        a->name(), [a](TaskContext& ctx) { a->in_transit(ctx); });
+        ns_prefix_ + a->name(), [a](TaskContext& ctx) { a->in_transit(ctx); });
   }
   analyses_.push_back(Scheduled{std::move(analysis), frequency});
 }
@@ -115,24 +139,27 @@ RunReport HybridRunner::run() {
       case SteerDecision::kInTransit:
         ++steer_in_transit;
         c_transit.add(1);
-        staging_->submit_for(analysis, step, staged);
+        staging_->submit_for(analysis, step, staged, SubmitRoute::kQueue,
+                             tenant_);
         break;
       case SteerDecision::kInSitu:
         ++steer_in_situ;
         c_insitu.add(1);
         obs::instant("overload", "steer_in_situ", {.step = step});
-        staging_->submit_for(analysis, step, staged, SubmitRoute::kFallback);
+        staging_->submit_for(analysis, step, staged, SubmitRoute::kFallback,
+                             tenant_);
         break;
       case SteerDecision::kShed:
         ++steer_shed;
         c_shed.add(1);
         obs::instant("overload", "steer_shed", {.step = step});
-        staging_->submit_for(analysis, step, staged, SubmitRoute::kShed);
+        staging_->submit_for(analysis, step, staged, SubmitRoute::kShed,
+                             tenant_);
         break;
       case SteerDecision::kDefer:
         ++steer_deferred;
         c_defer.add(1);
-        staging_->record_deferred(analysis, step);
+        staging_->record_deferred(analysis, step, tenant_);
         parked.push_back(Parked{analysis, step, staged, defers + 1});
         break;
     }
@@ -143,7 +170,7 @@ RunReport HybridRunner::run() {
     const int r = comm.rank();
     obs::set_thread_track(obs::rank_track(r));
     const int dart_node =
-        dart_->register_node("sim-" + std::to_string(r));
+        dart_->register_node(ns_prefix_ + "sim-" + std::to_string(r));
 
     S3DRank sim(config_.sim, r);
     sim.initialize();
@@ -172,7 +199,7 @@ RunReport HybridRunner::run() {
         if (sim.step() % sched.frequency != 0) continue;
 
         InSituContext ctx(sim, comm, *staging_, steering_, dart_node,
-                          sim.step(), codec_.get());
+                          sim.step(), codec_.get(), tenant_, ns_prefix_);
         Stopwatch watch;
         {
           char span_name[obs::Event::kNameCapacity];
@@ -193,16 +220,21 @@ RunReport HybridRunner::run() {
         const double wire_bytes = comm.allreduce_sum(
             static_cast<double>(ctx.published_wire_bytes()));
 
-        // 3. Data-ready: rank 0 creates the in-transit task.
-        const auto staged = sched.analysis->staged_variables();
+        // 3. Data-ready: rank 0 creates the in-transit task. Names travel
+        // prefixed: the blocks were published under ns_prefix_ and the
+        // handler was registered under the prefixed analysis name.
+        auto staged = sched.analysis->staged_variables();
+        for (std::string& v : staged) v = ns_prefix_ + v;
         if (r == 0) {
           if (!staged.empty()) {
             if (steering_active) {
-              steer_submit(sched.analysis->name(), sim.step(), staged, 0);
+              steer_submit(ns_prefix_ + sched.analysis->name(), sim.step(),
+                           staged, 0);
             } else {
               // Steering off: byte-identical to the PR-4 submit path.
-              staging_->submit_for(sched.analysis->name(), sim.step(),
-                                   staged);
+              staging_->submit_for(ns_prefix_ + sched.analysis->name(),
+                                   sim.step(), staged, SubmitRoute::kQueue,
+                                   tenant_);
             }
           }
           std::lock_guard lock(report_mutex);
@@ -231,9 +263,22 @@ RunReport HybridRunner::run() {
     HIA_ASSERT(parked.empty());
   }
 
-  // Wait for the staging pipeline to finish outstanding analyses.
-  staging_->drain();
-  report.in_transit = staging_->records();
+  // Wait for the staging pipeline to finish outstanding analyses. A shared
+  // runner drains (and reports) only its own tenant's tasks — the service
+  // and the other tenants keep going.
+  if (shared_) {
+    staging_->drain_tenant(tenant_);
+    for (TaskRecord rec : staging_->records()) {
+      if (rec.tenant != tenant_) continue;
+      if (rec.analysis.compare(0, ns_prefix_.size(), ns_prefix_) == 0) {
+        rec.analysis.erase(0, ns_prefix_.size());
+      }
+      report.in_transit.push_back(std::move(rec));
+    }
+  } else {
+    staging_->drain();
+    report.in_transit = staging_->records();
+  }
 
   // Assemble the resilience ledger: reaction side from the task records and
   // transport counters, injection side from the plan's own tally.
@@ -248,22 +293,33 @@ RunReport HybridRunner::run() {
     res.task_retries += static_cast<uint64_t>(rec.attempts - 1);
     res.backoff_seconds += rec.backoff_seconds;
   }
-  const DartCounters dart_counters = dart_->counters();
-  res.frame_retransmits = dart_counters.get_retries;
-  res.crc_failures = dart_counters.crc_failures;
-  res.recovered_bytes = dart_counters.recovered_bytes;
+  if (!shared_) {
+    // Transport counters are service-global; in shared mode they mix every
+    // tenant's traffic, so only the owning (single-campaign) runner reports
+    // them.
+    const DartCounters dart_counters = dart_->counters();
+    res.frame_retransmits = dart_counters.get_retries;
+    res.crc_failures = dart_counters.crc_failures;
+    res.recovered_bytes = dart_counters.recovered_bytes;
+  }
   if (steering_active) {
     res.steer_in_transit = steer_in_transit;
     res.steer_in_situ = steer_in_situ;
     res.steer_deferred = steer_deferred;
     res.steer_shed = steer_shed;
   }
-  if (overload_ != nullptr) {
+  if (overload_ != nullptr && !shared_) {
     const OverloadControl::Stats ostats = overload_->stats();
     res.admission_overdrafts = ostats.admission_overdrafts;
     res.admission_wait_s = ostats.admission_wait_s;
     res.peak_queue_bytes = ostats.peak_queue_bytes;
     res.overload_diversions = staging_->overload_diversions();
+  } else if (overload_ != nullptr) {
+    // Shared mode: this tenant's slice of the admission ledger.
+    const OverloadControl::TenantStats tstats =
+        overload_->tenant_stats(tenant_);
+    res.admission_overdrafts = tstats.overdrafts;
+    res.admission_wait_s = tstats.wait_s;
   }
   if (faults_ != nullptr) {
     const FaultStats stats = faults_->stats();

@@ -58,9 +58,32 @@ struct RunConfig {
   std::string steer;
 };
 
+/// A borrowed staging environment for multi-tenant campaigns: the campaign
+/// service owns one Dart/StagingService/OverloadControl set and hands each
+/// tenant's HybridRunner this view of it. The runner then namespaces its
+/// handlers and published variables under `ns_prefix` and charges all
+/// admission/queue/store accounting to `tenant`. All pointers are unowned
+/// and must outlive the runner.
+struct SharedStagingEnv {
+  Dart* dart = nullptr;
+  StagingService* staging = nullptr;
+  OverloadControl* overload = nullptr;  // null = admission off
+  int tenant = 0;
+  std::string ns_prefix;  // e.g. "t3/" (empty for the default tenant)
+};
+
 class HybridRunner {
  public:
   explicit HybridRunner(RunConfig config);
+
+  /// Shared-mode runner: one tenant's campaign multiplexed onto a shared
+  /// staging environment. The config's faults/overload specs must be empty
+  /// (the service owns fault injection and the overload ledger); the
+  /// steering policy still applies, consulting the *shared* pressure.
+  /// run() drains only this tenant's tasks and reports only its records
+  /// (with the namespace prefix stripped back off).
+  HybridRunner(RunConfig config, const SharedStagingEnv& env);
+
   ~HybridRunner();
 
   HybridRunner(const HybridRunner&) = delete;
@@ -79,9 +102,10 @@ class HybridRunner {
   [[nodiscard]] SteeringBoard& steering() { return steering_; }
   [[nodiscard]] const RunConfig& config() const { return config_; }
   /// The overload ledger (null when overload control is off).
-  [[nodiscard]] const OverloadControl* overload() const {
-    return overload_.get();
-  }
+  [[nodiscard]] const OverloadControl* overload() const { return overload_; }
+  /// True when this runner borrows a shared staging environment.
+  [[nodiscard]] bool shared_mode() const { return shared_; }
+  [[nodiscard]] int tenant() const { return tenant_; }
 
  private:
   struct Scheduled {
@@ -92,12 +116,21 @@ class HybridRunner {
   RunConfig config_;
   NetworkModel network_;
   std::unique_ptr<FaultPlan> faults_;  // null = faults off
-  // Declared before dart_/staging_ (and so destroyed after them): both hold
-  // unowned pointers into the overload ledger.
-  std::unique_ptr<OverloadControl> overload_;  // null = overload off
+  // Owned singletons, declared in dependency order (the overload ledger is
+  // destroyed after Dart/staging, which hold unowned pointers into it). In
+  // shared mode all three stay null and the raw pointers below borrow the
+  // service's instances instead.
+  std::unique_ptr<OverloadControl> owned_overload_;
+  std::unique_ptr<Dart> owned_dart_;
+  std::unique_ptr<StagingService> owned_staging_;
+  // Working pointers: every call site goes through these, owned or shared.
+  OverloadControl* overload_ = nullptr;  // null = overload off
+  Dart* dart_ = nullptr;
+  StagingService* staging_ = nullptr;
   SteerPolicy steer_ = SteerPolicy::kInTransit;
-  std::unique_ptr<Dart> dart_;
-  std::unique_ptr<StagingService> staging_;
+  bool shared_ = false;
+  int tenant_ = 0;
+  std::string ns_prefix_;
   std::shared_ptr<const Codec> codec_;  // null = publish raw
   SteeringBoard steering_;
   std::vector<Scheduled> analyses_;

@@ -46,6 +46,7 @@ struct ResilienceSummary {
   size_t peak_queue_bytes = 0;        // high-water queued bytes (+ phantom)
   uint64_t overload_bytes_injected = 0;  // scripted phantom bytes
   uint64_t credits_starved = 0;          // scripted confiscated credits
+  uint64_t tenant_hog_bytes = 0;         // scripted tenant-attributed bytes
 
   /// True when any fault fired or any recovery action ran.
   [[nodiscard]] bool any() const {
@@ -54,8 +55,37 @@ struct ResilienceSummary {
            frames_corrupted || frames_delayed || tasks_failed ||
            worker_stalls || buckets_killed || steer_in_situ ||
            steer_deferred || steer_shed || overload_diversions ||
-           admission_overdrafts || overload_bytes_injected || credits_starved;
+           admission_overdrafts || overload_bytes_injected ||
+           credits_starved || tenant_hog_bytes;
   }
+};
+
+/// Per-tenant roll-up of a multi-tenant service run: the conservation,
+/// fair-share, and isolation numbers the campaign service reports (one row
+/// per tenant; see format_tenant_table).
+struct TenantRunRow {
+  int tenant = 0;
+  std::string name;
+  double weight = 1.0;
+  // Conservation: completed + degraded + deferred + shed == submitted,
+  // checked *per tenant* (the acceptance invariant of the service drill).
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;
+  uint64_t deferred = 0;
+  uint64_t shed = 0;
+  // Fair share: settled bucket occupancy and the observed vs. target
+  // fraction of total bucket time.
+  double bucket_seconds = 0.0;
+  double share_observed = 0.0;  // bucket_seconds / sum over tenants
+  double share_target = 0.0;    // weight / sum of weights
+  // Isolation.
+  double p99_turnaround_s = 0.0;  // over this tenant's terminal records
+  uint64_t cap_diversions = 0;    // per-tenant queue-cap diversions
+  uint64_t admission_overdrafts = 0;
+  double admission_wait_s = 0.0;  // seconds this tenant blocked at the gate
+  size_t store_peak_bytes = 0;    // high-water object-store residency
+  uint64_t hog_bytes = 0;         // scripted tenant-hog bytes charged here
 };
 
 /// Per-(analysis, step) in-situ aggregates across ranks.

@@ -106,6 +106,35 @@ std::string format_resilience(const RunReport& report) {
     table.add_row({"injected phantom bytes",
                    fmt_bytes(static_cast<double>(r.overload_bytes_injected))});
     count_row("credits starved (injected)", r.credits_starved);
+    if (r.tenant_hog_bytes > 0) {
+      table.add_row({"tenant-hog bytes (injected)",
+                     fmt_bytes(static_cast<double>(r.tenant_hog_bytes))});
+    }
+  }
+  return table.render();
+}
+
+std::string format_tenant_table(const std::vector<TenantRunRow>& rows) {
+  Table table({"tenant", "weight", "submitted", "completed", "degraded",
+               "deferred", "shed", "bucket time (s)", "share", "target",
+               "p99 turnaround (s)", "cap diversions", "hog bytes"});
+  for (const TenantRunRow& r : rows) {
+    const uint64_t accounted = r.completed + r.degraded + r.deferred + r.shed;
+    std::string submitted = std::to_string(r.submitted);
+    if (accounted != r.submitted) {
+      // Conservation broke — make it impossible to miss in the output.
+      submitted += " (!=" + std::to_string(accounted) + ")";
+    }
+    table.add_row({r.name.empty() ? std::to_string(r.tenant) : r.name,
+                   fmt_fixed(r.weight, 1), submitted,
+                   std::to_string(r.completed), std::to_string(r.degraded),
+                   std::to_string(r.deferred), std::to_string(r.shed),
+                   fmt_fixed(r.bucket_seconds, 3),
+                   fmt_fixed(r.share_observed * 100.0, 1) + "%",
+                   fmt_fixed(r.share_target * 100.0, 1) + "%",
+                   fmt_fixed(r.p99_turnaround_s, 4),
+                   std::to_string(r.cap_diversions),
+                   std::to_string(r.hog_bytes)});
   }
   return table.render();
 }

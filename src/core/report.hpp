@@ -28,6 +28,11 @@ std::string format_fig6(const RunReport& report,
 /// run every row is zero.
 std::string format_resilience(const RunReport& report);
 
+/// Multi-tenant service block: one row per tenant with its conservation
+/// counts, observed vs. target bucket-time share, p99 turnaround, and
+/// isolation ledger (cap diversions, gate waits, hog bytes).
+std::string format_tenant_table(const std::vector<TenantRunRow>& rows);
+
 /// One Table I column: core allocation, data size, simulation time, and
 /// modeled I/O read/write time through the OST model.
 struct Table1Column {

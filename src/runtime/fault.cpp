@@ -20,6 +20,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kBackoff: return "backoff";
     case FaultSite::kOverload: return "overload";
     case FaultSite::kCreditStarve: return "credit-starve";
+    case FaultSite::kTenantHog: return "tenant-hog";
   }
   return "?";
 }
@@ -136,6 +137,18 @@ FaultPlanConfig FaultPlan::parse_spec(const std::string& spec) {
       HIA_REQUIRE(starve.credits > 0,
                   "--faults credit-starve: need credits > 0");
       cfg.credit_starves.push_back(starve);
+    } else if (name == "tenant-hog") {
+      // tenant-hog=T:B@N — v0 is the tenant, v1 is "bytes@step".
+      const size_t at = v1.find('@');
+      HIA_REQUIRE(colon != std::string::npos && at != std::string::npos,
+                  "--faults tenant-hog needs T:B@N (tenant:bytes@step)");
+      FaultPlanConfig::TenantHog hog;
+      hog.tenant = static_cast<int>(parse_double(name, v0));
+      hog.bytes = static_cast<size_t>(parse_double(name, v1.substr(0, at)));
+      hog.step = static_cast<long>(parse_double(name, v1.substr(at + 1)));
+      HIA_REQUIRE(hog.tenant >= 0, "--faults tenant-hog: negative tenant");
+      HIA_REQUIRE(hog.bytes > 0, "--faults tenant-hog: need bytes > 0");
+      cfg.tenant_hogs.push_back(hog);
     } else if (name == "attempts") {
       cfg.retry.max_task_attempts = static_cast<int>(parse_double(name, value));
       HIA_REQUIRE(cfg.retry.max_task_attempts >= 1,
@@ -236,6 +249,10 @@ void FaultPlan::count_credit_starve(int credits) const {
                              std::memory_order_relaxed);
 }
 
+void FaultPlan::count_tenant_hog(size_t bytes) const {
+  tenant_hog_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
 double FaultPlan::bucket_slow_factor(int bucket) const {
   double factor = 1.0;
   for (const auto& slow : config_.bucket_slowdowns) {
@@ -267,6 +284,7 @@ FaultStats FaultPlan::stats() const {
   s.overload_bytes_injected =
       overload_bytes_injected_.load(std::memory_order_relaxed);
   s.credits_starved = credits_starved_.load(std::memory_order_relaxed);
+  s.tenant_hog_bytes = tenant_hog_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

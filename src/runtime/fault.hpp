@@ -40,6 +40,7 @@ enum class FaultSite : uint32_t {
   kBackoff = 7,       // jitter draws of the retry backoff schedule
   kOverload = 8,      // scripted phantom-byte injection (rogue producer)
   kCreditStarve = 9,  // scripted admission-credit confiscation
+  kTenantHog = 10,    // scripted tenant-attributed phantom-byte burst
 };
 
 const char* to_string(FaultSite site);
@@ -110,6 +111,19 @@ struct FaultPlanConfig {
   };
   std::vector<CreditStarve> credit_starves;
 
+  /// Scripted: tenant `tenant` goes rogue and floods the staging queue
+  /// with `bytes` phantom bytes once a task with step >= `step` is
+  /// submitted. Unlike the anonymous `overload` site, the burst is
+  /// *attributed*: the pressure is charged to the hog tenant's ledger, so
+  /// its own queue caps absorb the damage first while the global pressure
+  /// signal still rises. Requires overload control to be active.
+  struct TenantHog {
+    int tenant = 0;
+    size_t bytes = 0;
+    long step = 0;
+  };
+  std::vector<TenantHog> tenant_hogs;
+
   RetryPolicy retry;
 };
 
@@ -125,6 +139,7 @@ struct FaultStats {
   uint64_t buckets_killed = 0;
   uint64_t overload_bytes_injected = 0;  // scripted phantom queue bytes
   uint64_t credits_starved = 0;          // scripted confiscated credits
+  uint64_t tenant_hog_bytes = 0;         // tenant-attributed phantom bytes
 };
 
 class FaultPlan {
@@ -141,6 +156,9 @@ class FaultPlan {
   ///   overload=B@N        inject B phantom queue bytes once step N is
   ///                       submitted (needs overload control active)
   ///   credit-starve=C@N   confiscate C admission credits at step N
+  ///   tenant-hog=T:B@N    tenant T floods the queue with B phantom bytes
+  ///                       at step N, charged to T's own ledger (needs
+  ///                       overload control active)
   ///   attempts=K          task attempts before degrade/shed (default 4)
   ///   backoff=BASE:CAP    retry backoff bounds in seconds
   ///   shed                after K attempts drop the task (counted) instead
@@ -198,6 +216,7 @@ class FaultPlan {
   /// service calls these when it fires the event, once per scripted entry).
   void count_overload_inject(size_t bytes) const;
   void count_credit_starve(int credits) const;
+  void count_tenant_hog(size_t bytes) const;
 
   // ---- Thread-pool worker stalls ----
 
@@ -222,6 +241,7 @@ class FaultPlan {
   mutable std::atomic<uint64_t> buckets_killed_{0};
   mutable std::atomic<uint64_t> overload_bytes_injected_{0};
   mutable std::atomic<uint64_t> credits_starved_{0};
+  mutable std::atomic<uint64_t> tenant_hog_bytes_{0};
 };
 
 // ---- Thread-pool hook ----

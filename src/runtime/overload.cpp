@@ -222,20 +222,32 @@ PressureSignal OverloadControl::signal_locked() const {
   return s;
 }
 
-PressureSignal OverloadControl::admit(size_t bytes) {
+PressureSignal OverloadControl::admit(size_t bytes, int tenant) {
   (void)bytes;  // budgeting is per-region count; bytes inform the snapshot
   std::unique_lock lock(mutex_);
   if (config_.credits > 0) {
+    TenantLedger& ledger = tenants_[tenant];
+    // The gate: global pool has slack AND the tenant is under its own cap.
+    auto can_admit = [this, &ledger] {
+      if (credits_in_use_ >= effective_credits_locked()) return false;
+      return ledger.credit_cap <= 0 ||
+             ledger.credits_in_use < ledger.credit_cap;
+    };
+    const bool capped_at_entry =
+        ledger.credit_cap > 0 && ledger.credits_in_use >= ledger.credit_cap &&
+        credits_in_use_ < effective_credits_locked();
     Stopwatch waited;
     const bool got = credit_cv_.wait_for(
         lock, std::chrono::duration<double>(config_.admit_max_wait_s),
-        [this] { return credits_in_use_ < effective_credits_locked(); });
+        can_admit);
     const double wait_s = waited.seconds();
+    if (capped_at_entry) ++ledger.cap_waits;
     if (!got) {
       // Overdraft: the deadline passed with every credit out. Admit anyway
       // (liveness beats the bound) but count it loudly — overdrafts mean
       // the credit pool is undersized for the producer rate.
       ++overdrafts_;
+      ++ledger.overdrafts;
       static obs::Counter& overdraft_c =
           obs::counter("dart_admission_overdrafts");
       overdraft_c.add(1);
@@ -243,8 +255,11 @@ PressureSignal OverloadControl::admit(size_t bytes) {
                    {.bytes = static_cast<long long>(bytes)});
     }
     ++credits_in_use_;
+    ++ledger.credits_in_use;
     ++admissions_;
+    ++ledger.admissions;
     wait_s_total_ += wait_s;
+    ledger.wait_s += wait_s;
     credits_gauge().add(1);
     static obs::Histogram& wait_h = obs::histogram("dart_admission_wait_s");
     wait_h.record(wait_s);
@@ -253,15 +268,41 @@ PressureSignal OverloadControl::admit(size_t bytes) {
   return signal_locked();
 }
 
-void OverloadControl::release_credit() {
+void OverloadControl::release_credit(int tenant) {
   {
     std::lock_guard lock(mutex_);
     if (config_.credits <= 0) return;
     if (credits_in_use_ > 0) --credits_in_use_;
+    TenantLedger& ledger = tenants_[tenant];
+    if (ledger.credits_in_use > 0) --ledger.credits_in_use;
     credits_gauge().add(-1);
     update_state_locked();
   }
-  credit_cv_.notify_one();
+  // notify_all, not notify_one: the freed credit may be unusable by the
+  // longest waiter (a capped tenant) while a later waiter could take it.
+  credit_cv_.notify_all();
+}
+
+void OverloadControl::set_tenant_credit_cap(int tenant, int credits) {
+  {
+    std::lock_guard lock(mutex_);
+    tenants_[tenant].credit_cap = std::max(0, credits);
+  }
+  credit_cv_.notify_all();
+}
+
+OverloadControl::TenantStats OverloadControl::tenant_stats(int tenant) const {
+  std::lock_guard lock(mutex_);
+  TenantStats s;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return s;
+  s.admissions = it->second.admissions;
+  s.overdrafts = it->second.overdrafts;
+  s.wait_s = it->second.wait_s;
+  s.cap_waits = it->second.cap_waits;
+  s.credits_outstanding = it->second.credits_in_use;
+  s.credit_cap = it->second.credit_cap;
+  return s;
 }
 
 void OverloadControl::on_store_put(size_t bytes) {

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -116,10 +117,22 @@ class OverloadControl {
   /// counted as an overdraft. Returns the post-admission pressure snapshot
   /// (the signal Dart piggybacks on the put ack). When credits are off
   /// this only refreshes and returns the snapshot.
-  PressureSignal admit(size_t bytes);
+  ///
+  /// `tenant` charges the admission (and any overdraft or gate wait) to
+  /// that tenant's ledger. A tenant with a credit cap (set_tenant_credit_cap)
+  /// also waits while it already holds cap credits, even when the global
+  /// pool has slack — a hog producer cannot hoard the whole pool. The
+  /// overdraft escape hatch still applies per wait, so a capped tenant is
+  /// slowed, never wedged.
+  PressureSignal admit(size_t bytes, int tenant = 0);
 
-  /// Returns the credit held by a released region.
-  void release_credit();
+  /// Returns the credit held by a released region to the global pool and
+  /// the owning tenant's ledger.
+  void release_credit(int tenant = 0);
+
+  /// Caps how many admission credits `tenant` may hold at once
+  /// (0 = uncapped). Effective only when the global credit gate is on.
+  void set_tenant_credit_cap(int tenant, int credits);
 
   // ---- Accounting hooks ----
 
@@ -160,6 +173,18 @@ class OverloadControl {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Per-tenant slice of the admission ledger (all zeros for a tenant the
+  /// gate never saw).
+  struct TenantStats {
+    uint64_t admissions = 0;
+    uint64_t overdrafts = 0;        // deadline hits charged to this tenant
+    double wait_s = 0.0;            // this tenant's seconds at the gate
+    uint64_t cap_waits = 0;         // waits caused by the tenant's own cap
+    int credits_outstanding = 0;    // credits the tenant holds right now
+    int credit_cap = 0;             // configured cap (0 = uncapped)
+  };
+  [[nodiscard]] TenantStats tenant_stats(int tenant) const;
+
   [[nodiscard]] const OverloadConfig& config() const { return config_; }
 
  private:
@@ -185,6 +210,16 @@ class OverloadControl {
   uint64_t overdrafts_ = 0;
   double wait_s_total_ = 0.0;
   size_t peak_queue_bytes_ = 0;
+
+  struct TenantLedger {
+    uint64_t admissions = 0;
+    uint64_t overdrafts = 0;
+    double wait_s = 0.0;
+    uint64_t cap_waits = 0;
+    int credits_in_use = 0;
+    int credit_cap = 0;  // 0 = uncapped
+  };
+  std::map<int, TenantLedger> tenants_;  // guarded by mutex_
 };
 
 // ---- Steering ----

@@ -1,0 +1,44 @@
+#include "service/bucket_pool.hpp"
+
+#include "runtime/overload.hpp"
+#include "util/error.hpp"
+
+namespace hia {
+
+ElasticBucketPool::ElasticBucketPool(StagingService& staging,
+                                     const OverloadControl* overload,
+                                     Options options)
+    : staging_(staging), overload_(overload), options_(options) {
+  HIA_REQUIRE(options_.min_buckets >= 1, "elastic pool: min_buckets >= 1");
+  HIA_REQUIRE(options_.max_buckets >= options_.min_buckets,
+              "elastic pool: max_buckets >= min_buckets");
+  HIA_REQUIRE(options_.cooldown_s >= 0.0, "elastic pool: negative cooldown");
+}
+
+void ElasticBucketPool::step() {
+  if (overload_ == nullptr) return;  // no pressure signal, no policy
+  const double now = staging_.now();
+  if (last_action_ >= 0.0 && now - last_action_ < options_.cooldown_s) return;
+
+  const PressureSignal pressure = staging_.pressure();
+  const int live = pressure.live_buckets;
+  if (pressure.state == PressureState::kSaturated &&
+      live < options_.max_buckets) {
+    staging_.add_bucket();
+    ++stats_.grows;
+    last_action_ = now;
+    return;
+  }
+  if (pressure.state == PressureState::kNominal && live > options_.min_buckets &&
+      staging_.pending_tasks() == 0 &&
+      staging_.free_bucket_count() >= live) {
+    // Fully idle above the floor: give a core back. retire_bucket refuses
+    // to take the last live bucket, so this can never strand the queue.
+    if (staging_.retire_bucket() >= 0) {
+      ++stats_.shrinks;
+      last_action_ = now;
+    }
+  }
+}
+
+}  // namespace hia

@@ -1,0 +1,60 @@
+// ElasticBucketPool — pressure-driven elasticity for the staging bucket
+// pool (the in-transit cores).
+//
+// The paper sizes its staging area statically; under a multi-tenant
+// campaign the right size moves with the offered load. This policy watches
+// the shared pressure ledger and resizes one bucket at a time:
+//   * grow  — pressure Saturated and the pool is below max: a new bucket
+//             joins the live census (StagingService::add_bucket);
+//   * shrink — pressure Nominal, the queue is empty, every bucket idle,
+//             and the pool is above min: one bucket retires gracefully
+//             (StagingService::retire_bucket reuses the scripted-kill
+//             drain — the victim finishes its current task first).
+// A cooldown between actions keeps the pool from flapping on a pressure
+// signal that oscillates around a watermark.
+//
+// The policy is deliberately passive without overload control: pressure
+// never leaves Nominal, so the pool would only ever shrink — step() is a
+// no-op when constructed with a null ledger.
+#pragma once
+
+#include <cstdint>
+
+#include "staging/scheduler.hpp"
+
+namespace hia {
+
+class OverloadControl;
+
+class ElasticBucketPool {
+ public:
+  struct Options {
+    int min_buckets = 1;
+    int max_buckets = 8;
+    double cooldown_s = 0.25;  // min seconds between resize actions
+  };
+
+  /// `overload` is the pressure source (unowned; null disables the policy).
+  ElasticBucketPool(StagingService& staging, const OverloadControl* overload,
+                    Options options);
+
+  /// Polls pressure and performs at most one resize. Call from the
+  /// service's supervision loop; cheap when nothing needs to change.
+  void step();
+
+  struct Stats {
+    uint64_t grows = 0;
+    uint64_t shrinks = 0;
+  };
+  [[nodiscard]] Stats stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  StagingService& staging_;
+  const OverloadControl* overload_;
+  Options options_;
+  Stats stats_;
+  double last_action_ = -1.0;  // staging clock seconds of the last resize
+};
+
+}  // namespace hia

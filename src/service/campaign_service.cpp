@@ -1,0 +1,170 @@
+#include "service/campaign_service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "runtime/fault.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace hia {
+
+CampaignService::CampaignService(Options options)
+    : options_(std::move(options)), network_(options_.network) {
+  HIA_REQUIRE(options_.staging_buckets >= 1, "service needs >= 1 bucket");
+  if (!options_.faults.empty()) {
+    FaultPlanConfig plan = FaultPlan::parse_spec(options_.faults);
+    if (options_.fault_seed != 0) plan.seed = options_.fault_seed;
+    faults_ = std::make_unique<FaultPlan>(plan);
+    install_worker_faults(faults_.get());
+  }
+  if (!options_.overload.empty()) {
+    OverloadConfig ocfg = OverloadConfig::parse_spec(options_.overload);
+    HIA_REQUIRE(ocfg.enabled(),
+                "service overload spec sets no budget and no credits: " +
+                    options_.overload);
+    overload_ = std::make_unique<OverloadControl>(ocfg);
+  }
+  Dart::Options dopts;
+  dopts.faults = faults_.get();
+  dopts.overload = overload_.get();
+  dart_ = std::make_unique<Dart>(network_, dopts);
+  staging_ = std::make_unique<StagingService>(
+      *dart_, StagingService::Options{options_.staging_servers,
+                                      options_.staging_buckets, faults_.get(),
+                                      overload_.get()});
+  if (options_.pool_max > 0) {
+    ElasticBucketPool::Options popts;
+    popts.min_buckets = options_.pool_min >= 1 ? options_.pool_min : 1;
+    popts.max_buckets = options_.pool_max;
+    popts.cooldown_s = options_.pool_cooldown_s;
+    HIA_REQUIRE(popts.max_buckets >= options_.staging_buckets,
+                "pool_max below the initial bucket count");
+    pool_ = std::make_unique<ElasticBucketPool>(*staging_, overload_.get(),
+                                                popts);
+  }
+}
+
+CampaignService::~CampaignService() {
+  // Buckets may still touch the plan until the service is down; tear down
+  // in reverse dependency order before releasing it.
+  staging_.reset();
+  dart_.reset();
+  if (faults_ != nullptr) install_worker_faults(nullptr);
+}
+
+int CampaignService::add_tenant(TenantSpec spec) {
+  HIA_REQUIRE(!ran_, "cannot add tenants after run()");
+  HIA_REQUIRE(spec.config.faults.empty() && spec.config.overload.empty(),
+              "tenant '" + spec.name +
+                  "': faults/overload belong to the service, not the tenant");
+  const int id = registry_.add(spec.name, spec.weight);
+  staging_->set_tenant_policy(id, spec.weight, spec.queue_bytes_cap,
+                              spec.queue_depth_cap);
+  if (spec.credit_cap > 0) {
+    HIA_REQUIRE(overload_ != nullptr,
+                "tenant '" + spec.name +
+                    "': credit_cap needs a service overload spec");
+    overload_->set_tenant_credit_cap(id, spec.credit_cap);
+  }
+  specs_.push_back(std::move(spec));
+  return id;
+}
+
+CampaignService::ServiceReport CampaignService::run() {
+  HIA_REQUIRE(!ran_, "run() may be called once");
+  HIA_REQUIRE(!specs_.empty(), "no tenants registered");
+  ran_ = true;
+
+  const int n = registry_.count();
+  HIA_LOG_INFO("service", "starting %d tenant campaigns on %d buckets", n,
+               staging_->live_bucket_count());
+
+  std::vector<RunReport> reports(static_cast<size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+  std::atomic<int> running{n};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int id = 1; id <= n; ++id) {
+    threads.emplace_back([this, id, &reports, &errors, &running] {
+      const size_t i = static_cast<size_t>(id - 1);
+      try {
+        const TenantSpec& spec = specs_[i];
+        HybridRunner runner(
+            spec.config,
+            SharedStagingEnv{dart_.get(), staging_.get(), overload_.get(), id,
+                             TenantRegistry::ns_prefix(id)});
+        if (spec.setup) spec.setup(runner);
+        reports[i] = runner.run();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Supervision loop: while tenants run, drive the elastic pool policy.
+  while (running.load(std::memory_order_acquire) > 0) {
+    if (pool_ != nullptr) pool_->step();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  ServiceReport out;
+  const std::vector<TaskRecord> all_records = staging_->records();
+  for (int id = 1; id <= n; ++id) {
+    const size_t i = static_cast<size_t>(id - 1);
+    out.tenants.push_back(
+        TenantReport{id, registry_.name(id), std::move(reports[i])});
+    out.rows.push_back(
+        registry_.row(id, *staging_, overload_.get(), all_records));
+  }
+  if (pool_ != nullptr) out.pool = pool_->stats();
+  out.final_buckets = staging_->live_bucket_count();
+
+  // Injection-side ledger (service-global: the plan and the shared gate).
+  if (faults_ != nullptr) {
+    const FaultStats stats = faults_->stats();
+    out.resilience.frames_dropped = stats.frames_dropped;
+    out.resilience.frames_corrupted = stats.frames_corrupted;
+    out.resilience.frames_delayed = stats.frames_delayed;
+    out.resilience.injected_delay_s = stats.injected_delay_s;
+    out.resilience.tasks_failed = stats.tasks_failed;
+    out.resilience.worker_stalls = stats.worker_stalls;
+    out.resilience.buckets_killed = stats.buckets_killed;
+    out.resilience.overload_bytes_injected = stats.overload_bytes_injected;
+    out.resilience.credits_starved = stats.credits_starved;
+    out.resilience.tenant_hog_bytes = stats.tenant_hog_bytes;
+  }
+  if (overload_ != nullptr) {
+    const OverloadControl::Stats ostats = overload_->stats();
+    out.resilience.admission_overdrafts = ostats.admission_overdrafts;
+    out.resilience.admission_wait_s = ostats.admission_wait_s;
+    out.resilience.peak_queue_bytes = ostats.peak_queue_bytes;
+    out.resilience.overload_diversions = staging_->overload_diversions();
+  }
+  // Reaction-side totals across every tenant's records.
+  for (const TenantRunRow& row : out.rows) {
+    out.resilience.tasks_completed += row.completed;
+    out.resilience.tasks_degraded += row.degraded;
+    out.resilience.tasks_deferred += row.deferred;
+    out.resilience.tasks_shed += row.shed;
+  }
+
+  HIA_LOG_INFO("service",
+               "campaigns done: %d tenants, %zu records, pool %llu grows / "
+               "%llu shrinks, %d buckets at drain",
+               n, all_records.size(),
+               static_cast<unsigned long long>(out.pool.grows),
+               static_cast<unsigned long long>(out.pool.shrinks),
+               out.final_buckets);
+  return out;
+}
+
+}  // namespace hia

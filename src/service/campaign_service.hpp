@@ -1,0 +1,119 @@
+// CampaignService — the multi-tenant campaign driver (the service layer
+// over the paper's staging framework).
+//
+// One shared staging deployment — Dart transport, DataSpaces object store,
+// bucket pool, overload ledger — multiplexes N concurrent analysis
+// campaigns ("tenants"). Each tenant runs a full HybridRunner campaign
+// (simulation + in-situ stages + in-transit submissions) on its own
+// thread, borrowing the shared environment through SharedStagingEnv:
+//
+//   * isolation  — per-tenant namespaces in the object store, per-tenant
+//     credit ledgers at the admission gate, per-tenant queue caps at the
+//     scheduler (a hog diverts on its own budget before touching the
+//     shared one);
+//   * fairness   — the scheduler's weighted fair-share matcher divides
+//     bucket time by the tenants' weights, with starvation protection;
+//   * elasticity — an ElasticBucketPool grows the bucket census under
+//     sustained saturation and retires idle buckets when pressure clears.
+//
+// The service owns the fault plan (including scripted `tenant-hog` bursts)
+// and the overload control; tenant configs must leave both empty.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "service/bucket_pool.hpp"
+#include "service/tenant.hpp"
+
+namespace hia {
+
+class CampaignService {
+ public:
+  struct Options {
+    int staging_servers = 2;
+    int staging_buckets = 4;  // initial pool size
+    NetworkParams network{};
+    /// Service-wide fault plan (FaultPlan::parse_spec grammar, including
+    /// `tenant-hog=T:B@N`). Empty = faults off.
+    std::string faults;
+    uint64_t fault_seed = 0;
+    /// Service-wide overload spec (OverloadConfig::parse_spec grammar).
+    /// Empty = overload off (admission, pressure, and elasticity disabled).
+    std::string overload;
+    /// Elastic pool bounds; both 0 = fixed pool of staging_buckets.
+    int pool_min = 0;
+    int pool_max = 0;
+    double pool_cooldown_s = 0.25;
+  };
+
+  struct TenantSpec {
+    std::string name;
+    double weight = 1.0;
+    /// Scheduler queue caps (0 = uncapped).
+    size_t queue_bytes_cap = 0;
+    size_t queue_depth_cap = 0;
+    /// Admission credits the tenant may hold at once (0 = uncapped;
+    /// effective only when the service overload spec sets credits).
+    int credit_cap = 0;
+    /// The tenant's campaign: sim size, steps, codec, steering policy.
+    /// `faults` and `overload` must be empty — the service owns those.
+    RunConfig config;
+    /// Called with the tenant's runner before run(): add_analysis here.
+    std::function<void(HybridRunner&)> setup;
+  };
+
+  explicit CampaignService(Options options);
+  ~CampaignService();
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Registers a tenant campaign; returns its tenant id (1-based).
+  /// Must be called before run().
+  int add_tenant(TenantSpec spec);
+
+  struct TenantReport {
+    int tenant = 0;
+    std::string name;
+    RunReport report;  // the tenant's own records, prefix-stripped
+  };
+
+  struct ServiceReport {
+    std::vector<TenantReport> tenants;   // in tenant-id order
+    std::vector<TenantRunRow> rows;      // ready for format_tenant_table
+    ElasticBucketPool::Stats pool;
+    int final_buckets = 0;               // live buckets at drain
+    /// Service-global injection-side ledger (scripted faults, phantom
+    /// bytes, hog bursts) — the per-tenant reaction side lives in rows.
+    ResilienceSummary resilience;
+  };
+
+  /// Runs every registered tenant campaign concurrently to completion and
+  /// returns the combined report. May be called once.
+  ServiceReport run();
+
+  [[nodiscard]] StagingService& staging() { return *staging_; }
+  [[nodiscard]] Dart& dart() { return *dart_; }
+  [[nodiscard]] TenantRegistry& tenants() { return registry_; }
+  [[nodiscard]] const OverloadControl* overload() const {
+    return overload_.get();
+  }
+
+ private:
+  Options options_;
+  NetworkModel network_;
+  std::unique_ptr<FaultPlan> faults_;          // null = faults off
+  std::unique_ptr<OverloadControl> overload_;  // null = overload off
+  std::unique_ptr<Dart> dart_;
+  std::unique_ptr<StagingService> staging_;
+  std::unique_ptr<ElasticBucketPool> pool_;
+  TenantRegistry registry_;
+  std::vector<TenantSpec> specs_;  // index = tenant id - 1
+  bool ran_ = false;
+};
+
+}  // namespace hia

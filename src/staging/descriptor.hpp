@@ -19,6 +19,10 @@ struct DataDescriptor {
   Box3 box;             // global index-space bounds of the block
   DartHandle handle;    // RDMA handle registered with Dart
   int src_node = -1;    // publishing in-situ node
+  /// Owning tenant (0 = the default single-campaign tenant). Multi-tenant
+  /// runs namespace `variable` with the tenant prefix as well; the id is
+  /// what the byte-accounting ledgers charge.
+  int tenant = 0;
 };
 
 /// An in-transit task: run `analysis` over `inputs` for timestep `step`.
@@ -28,6 +32,9 @@ struct InTransitTask {
   std::vector<DataDescriptor> inputs;
   /// Caller-assigned id, unique per service instance once submitted.
   uint64_t task_id = 0;
+  /// Owning tenant: the fair-share matcher schedules by tenant deficit and
+  /// every queue/credit/diversion charge lands on this id (0 = default).
+  int tenant = 0;
 };
 
 /// How a task left the staging pipeline. Every submitted task ends in
@@ -53,10 +60,19 @@ inline const char* to_string(TaskOutcome outcome) {
 }
 
 /// Timing record for one executed in-transit task (Fig. 5 / Fig. 6 data).
+///
+/// Ordering invariant: `task_id` is assigned monotonically at submit, and
+/// the scheduler keeps its queue sorted by task_id — a task released from
+/// retry backoff re-enters at its *arrival position*, not the queue tail,
+/// so FCFS order is preserved across backoff (asserted at every queue
+/// insert). Under weighted fair-share, arrival order still holds *within*
+/// each tenant; cross-tenant order intentionally follows the tenants'
+/// normalized service deficits instead.
 struct TaskRecord {
   uint64_t task_id = 0;
   std::string analysis;
   long step = 0;
+  int tenant = 0;  // owning tenant (0 = default)
   // All three timestamps are *virtual task-clock* seconds since service
   // start (StagingService::now()), never wall-epoch time — queue-wait math
   // (assign - enqueue) would silently explode if the domains ever mixed;

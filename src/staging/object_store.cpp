@@ -1,5 +1,6 @@
 #include "staging/object_store.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 
@@ -45,6 +46,12 @@ void ObjectStore::put(const DataDescriptor& desc) {
   bytes_.fetch_add(desc.handle.bytes, std::memory_order_relaxed);
   store_bytes_gauge().add(static_cast<int64_t>(desc.handle.bytes));
   if (overload_) overload_->on_store_put(desc.handle.bytes);
+  {
+    std::lock_guard lock(tenant_mutex_);
+    TenantBytes& tb = tenant_bytes_[desc.tenant];
+    tb.bytes += desc.handle.bytes;
+    tb.peak = std::max(tb.peak, tb.bytes);
+  }
 }
 
 std::vector<DataDescriptor> ObjectStore::query(const std::string& variable,
@@ -89,7 +96,26 @@ std::vector<DataDescriptor> ObjectStore::take(const std::string& variable,
   bytes_.fetch_sub(removed, std::memory_order_relaxed);
   store_bytes_gauge().add(-static_cast<int64_t>(removed));
   if (overload_ && removed > 0) overload_->on_store_take(removed);
+  if (removed > 0) {
+    std::lock_guard lock(tenant_mutex_);
+    for (const DataDescriptor& d : out) {
+      TenantBytes& tb = tenant_bytes_[d.tenant];
+      tb.bytes -= std::min(tb.bytes, d.handle.bytes);
+    }
+  }
   return out;
+}
+
+size_t ObjectStore::tenant_bytes(int tenant) const {
+  std::lock_guard lock(tenant_mutex_);
+  auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second.bytes;
+}
+
+size_t ObjectStore::tenant_peak_bytes(int tenant) const {
+  std::lock_guard lock(tenant_mutex_);
+  auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second.peak;
 }
 
 std::vector<uint64_t> ObjectStore::rpc_counts() const {

@@ -61,6 +61,12 @@ class ObjectStore {
     return bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Bytes currently resident for one tenant (descriptors carry their
+  /// owning tenant id), and the high-water mark of that residency — the
+  /// per-tenant half of the store-pressure attribution.
+  [[nodiscard]] size_t tenant_bytes(int tenant) const;
+  [[nodiscard]] size_t tenant_peak_bytes(int tenant) const;
+
  private:
   struct Server {
     mutable std::mutex mutex;
@@ -75,6 +81,13 @@ class ObjectStore {
   std::vector<std::unique_ptr<Server>> servers_;
   std::atomic<size_t> bytes_{0};
   OverloadControl* overload_ = nullptr;
+
+  struct TenantBytes {
+    size_t bytes = 0;
+    size_t peak = 0;
+  };
+  mutable std::mutex tenant_mutex_;
+  std::map<int, TenantBytes> tenant_bytes_;  // guarded by tenant_mutex_
 };
 
 }  // namespace hia

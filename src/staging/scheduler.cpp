@@ -1,5 +1,6 @@
 #include "staging/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -69,7 +70,8 @@ StagingService::StagingService(Dart& dart, Options options)
   obs::set_virtual_clock([this] { return clock_.seconds(); }, this);
   if (faults_ != nullptr && overload_ == nullptr &&
       (!faults_->config().overload_injects.empty() ||
-       !faults_->config().credit_starves.empty())) {
+       !faults_->config().credit_starves.empty() ||
+       !faults_->config().tenant_hogs.empty())) {
     HIA_LOG_WARN("staging",
                  "fault plan scripts overload events but overload control is "
                  "off; they will not fire");
@@ -77,6 +79,7 @@ StagingService::StagingService(Dart& dart, Options options)
   if (faults_ != nullptr) {
     overload_fired_.resize(faults_->config().overload_injects.size(), false);
     starve_fired_.resize(faults_->config().credit_starves.size(), false);
+    hog_fired_.resize(faults_->config().tenant_hogs.size(), false);
   }
   slots_.resize(static_cast<size_t>(options.num_buckets));
   buckets_.resize(static_cast<size_t>(options.num_buckets));
@@ -110,14 +113,17 @@ DataDescriptor StagingService::publish(int src_node,
                                        const std::string& variable, long step,
                                        const Box3& box,
                                        const std::vector<double>& data,
-                                       const Codec* codec) {
+                                       const Codec* codec, int tenant) {
   DataDescriptor desc;
   desc.variable = variable;
   desc.step = step;
   desc.box = box;
   desc.src_node = src_node;
-  desc.handle = codec == nullptr ? dart_.put_doubles(src_node, data)
-                                 : dart_.put_doubles(src_node, data, *codec);
+  desc.tenant = tenant;
+  desc.handle =
+      codec == nullptr
+          ? dart_.put_doubles(src_node, data, tenant)
+          : dart_.put_doubles(src_node, data, *codec, nullptr, tenant);
   store_.put(desc);
   return desc;
 }
@@ -177,6 +183,11 @@ void StagingService::queue_account_add(Assigned& assigned) {
   queue_bytes_ += assigned.bytes;
   queue_bytes_gauge().add(static_cast<int64_t>(assigned.bytes));
   if (overload_ != nullptr) overload_->on_queue_add(assigned.bytes);
+  if (fair_share_) {
+    TenantSched& t = tenants_[assigned.task.tenant];
+    t.queue_bytes += assigned.bytes;
+    ++t.queue_depth;
+  }
 }
 
 void StagingService::queue_account_remove(const Assigned& assigned) {
@@ -185,6 +196,44 @@ void StagingService::queue_account_remove(const Assigned& assigned) {
   queue_bytes_ -= assigned.bytes;
   queue_bytes_gauge().add(-static_cast<int64_t>(assigned.bytes));
   if (overload_ != nullptr) overload_->on_queue_remove(assigned.bytes);
+  if (fair_share_) {
+    TenantSched& t = tenants_[assigned.task.tenant];
+    t.queue_bytes -= std::min(t.queue_bytes, assigned.bytes);
+    if (t.queue_depth > 0) --t.queue_depth;
+  }
+}
+
+void StagingService::queue_insert_sorted(Assigned assigned) {
+  // Requires mutex_ held. The queue is sorted by task_id (monotonic at
+  // submit), so a backoff-released retry re-enters at its *arrival
+  // position*, never the tail — FCFS order survives backoff. The neighbor
+  // asserts are the invariant's tripwire.
+  auto pos = std::lower_bound(
+      task_queue_.begin(), task_queue_.end(), assigned,
+      [](const Assigned& a, const Assigned& b) {
+        return a.task.task_id < b.task.task_id;
+      });
+  if (pos != task_queue_.begin()) {
+    HIA_ASSERT(std::prev(pos)->task.task_id < assigned.task.task_id);
+  }
+  if (pos != task_queue_.end()) {
+    HIA_ASSERT(pos->task.task_id > assigned.task.task_id);
+  }
+  task_queue_.insert(pos, std::move(assigned));
+}
+
+void StagingService::settle_service_locked(Assigned& assigned, double busy_s) {
+  // Requires mutex_ held. Safe to call with no charge outstanding.
+  if (!fair_share_) return;
+  TenantSched& t = tenants_[assigned.task.tenant];
+  t.inflight_s -= std::min(t.inflight_s, assigned.charge_s);
+  assigned.charge_s = 0.0;
+  if (busy_s > 0.0) {
+    t.service_s += busy_s;
+    t.ewma_task_s = t.ewma_task_s <= 0.0
+                        ? busy_s
+                        : 0.8 * t.ewma_task_s + 0.2 * busy_s;
+  }
 }
 
 void StagingService::apply_scripted_overload(long step) {
@@ -218,14 +267,33 @@ void StagingService::apply_scripted_overload(long step) {
                  "fault plan confiscated %d admission credits at step %ld",
                  starve.credits, step);
   }
+  for (size_t i = 0; i < cfg.tenant_hogs.size(); ++i) {
+    const auto& hog = cfg.tenant_hogs[i];
+    if (hog_fired_[i] || step < hog.step) continue;
+    hog_fired_[i] = true;
+    // The burst raises the shared pressure signal like any rogue producer,
+    // but the bytes are *attributed*: the hog tenant's ledger carries them.
+    overload_->inject_phantom_bytes(hog.bytes);
+    tenants_[hog.tenant].hog_bytes += hog.bytes;
+    faults_->count_tenant_hog(hog.bytes);
+    obs::instant("fault", "tenant_hog",
+                 {.step = step,
+                  .bytes = static_cast<long long>(hog.bytes),
+                  .vtime = clock_.seconds()});
+    HIA_LOG_WARN("staging",
+                 "tenant %d hogged %zu phantom queue bytes at step %ld",
+                 hog.tenant, hog.bytes, step);
+  }
 }
 
 uint64_t StagingService::submit(InTransitTask task) {
   uint64_t id = 0;
   long step = task.step;
+  const int tenant = task.tenant;
   const size_t bytes = task_wire_bytes(task);
   std::vector<Assigned> orphaned;
   std::optional<Assigned> diverted;
+  bool tenant_capped = false;
   {
     std::lock_guard lock(mutex_);
     HIA_REQUIRE(handlers_.count(task.analysis) > 0,
@@ -234,17 +302,31 @@ uint64_t StagingService::submit(InTransitTask task) {
     id = next_task_id_++;
     task.task_id = id;
     ++outstanding_;
+    if (fair_share_) ++tenants_[tenant].outstanding;
     Assigned assigned;
     assigned.task = std::move(task);
     assigned.enqueue_time = clock_.seconds();
     assigned.bytes = bytes;
-    if (overload_ != nullptr && overload_->queue_would_overflow(bytes)) {
+    if (fair_share_) {
+      // Per-tenant caps fire *before* the global hard wall: a hog's burst
+      // diverts on its own budget instead of eating the shared one.
+      TenantSched& t = tenants_[tenant];
+      tenant_capped =
+          (t.queue_bytes_cap > 0 && t.queue_bytes + bytes > t.queue_bytes_cap) ||
+          (t.queue_depth_cap > 0 && t.queue_depth >= t.queue_depth_cap);
+      if (tenant_capped) ++t.cap_diversions;
+    }
+    if (tenant_capped) {
+      diverted = std::move(assigned);
+    } else if (overload_ != nullptr && overload_->queue_would_overflow(bytes)) {
       // The hard wall: queued bytes/depth never exceed budget. The task is
       // diverted straight to degrade/shed instead of entering the queue.
       ++overload_diversions_;
       diverted = std::move(assigned);
     } else {
       queue_account_add(assigned);
+      // task_id is monotonic under this lock, so the tail IS the arrival
+      // position — the queue stays sorted by task_id.
       task_queue_.push_back(std::move(assigned));
       queue_depth().add(1);
       orphaned = apply_scripted_kills(step);
@@ -254,15 +336,19 @@ uint64_t StagingService::submit(InTransitTask task) {
   work_cv_.notify_all();
   if (diverted.has_value()) {
     static obs::Counter& diversions = obs::counter("staging_overload_diversions");
-    diversions.add(1);
-    obs::instant("overload", "queue_diverted",
+    static obs::Counter& cap_diversions =
+        obs::counter("staging_tenant_cap_diversions");
+    (tenant_capped ? cap_diversions : diversions).add(1);
+    obs::instant("overload",
+                 tenant_capped ? "tenant_cap_diverted" : "queue_diverted",
                  {.step = step,
                   .bytes = static_cast<long long>(bytes),
                   .vtime = clock_.seconds()});
     HIA_LOG_WARN("staging",
-                 "task %llu (%s, step %ld) diverted: queue budget exhausted",
+                 "task %llu (%s, step %ld, tenant %d) diverted: %s exhausted",
                  static_cast<unsigned long long>(id),
-                 diverted->task.analysis.c_str(), step);
+                 diverted->task.analysis.c_str(), step, tenant,
+                 tenant_capped ? "tenant queue cap" : "queue budget");
     degrade_or_shed(std::move(*diverted));
   }
   for (Assigned& a : orphaned) degrade_or_shed(std::move(a));
@@ -271,10 +357,11 @@ uint64_t StagingService::submit(InTransitTask task) {
 
 uint64_t StagingService::submit_for(const std::string& analysis, long step,
                                     const std::vector<std::string>& variables,
-                                    SubmitRoute route) {
+                                    SubmitRoute route, int tenant) {
   InTransitTask task;
   task.analysis = analysis;
   task.step = step;
+  task.tenant = tenant;
   for (const std::string& var : variables) {
     auto descs = store_.take(var, step);
     task.inputs.insert(task.inputs.end(), descs.begin(), descs.end());
@@ -292,6 +379,7 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
     id = next_task_id_++;
     task.task_id = id;
     ++outstanding_;
+    if (fair_share_) ++tenants_[tenant].outstanding;
     assigned.task = std::move(task);
     assigned.enqueue_time = clock_.seconds();
     assigned.bytes = task_wire_bytes(assigned.task);
@@ -306,10 +394,11 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
 }
 
 uint64_t StagingService::record_deferred(const std::string& analysis,
-                                         long step) {
+                                         long step, int tenant) {
   TaskRecord record;
   record.analysis = analysis;
   record.step = step;
+  record.tenant = tenant;
   record.bucket = -1;
   record.enqueue_time = clock_.seconds();
   record.assign_time = record.enqueue_time;
@@ -337,6 +426,110 @@ PressureSignal StagingService::pressure() const {
 uint64_t StagingService::overload_diversions() const {
   std::lock_guard lock(mutex_);
   return overload_diversions_;
+}
+
+void StagingService::set_tenant_policy(int tenant, double weight,
+                                       size_t queue_bytes_cap,
+                                       size_t queue_depth_cap) {
+  HIA_REQUIRE(weight > 0.0, "tenant weight must be > 0");
+  std::lock_guard lock(mutex_);
+  fair_share_ = true;
+  TenantSched& t = tenants_[tenant];
+  t.weight = weight;
+  t.queue_bytes_cap = queue_bytes_cap;
+  t.queue_depth_cap = queue_depth_cap;
+}
+
+bool StagingService::fair_share_enabled() const {
+  std::lock_guard lock(mutex_);
+  return fair_share_;
+}
+
+std::vector<StagingService::TenantShare> StagingService::tenant_shares()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<TenantShare> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, t] : tenants_) {
+    TenantShare share;
+    share.tenant = tenant;
+    share.weight = t.weight;
+    share.bucket_seconds = t.service_s;
+    share.cap_diversions = t.cap_diversions;
+    share.hog_bytes = t.hog_bytes;
+    share.queue_depth = t.queue_depth;
+    share.queue_bytes = t.queue_bytes;
+    share.outstanding = t.outstanding;
+    out.push_back(share);
+  }
+  return out;
+}
+
+void StagingService::drain_tenant(int tenant) {
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this, tenant] {
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() || it->second.outstanding == 0;
+  });
+}
+
+int StagingService::add_bucket() {
+  int index = -1;
+  {
+    std::lock_guard lock(mutex_);
+    index = static_cast<int>(buckets_.size());
+    slots_.emplace_back();
+    buckets_.emplace_back();
+    buckets_.back().dart_node =
+        dart_.register_node("bucket-" + std::to_string(index));
+    buckets_.back().thread =
+        std::thread([this, index] { bucket_main(index); });
+    ++live_buckets_;
+  }
+  static obs::Counter& grows = obs::counter("staging_pool_grows");
+  grows.add(1);
+  obs::instant("pool", "bucket_added",
+               {.bucket = index, .vtime = clock_.seconds()});
+  HIA_LOG_INFO("staging", "elastic pool grew: bucket %d joined", index);
+  work_cv_.notify_all();
+  return index;
+}
+
+int StagingService::retire_bucket() {
+  int victim = -1;
+  {
+    std::lock_guard lock(mutex_);
+    if (live_buckets_ <= 1) return -1;  // never retire the last bucket
+    // Prefer an idle bucket (no task to finish); otherwise the busy one
+    // with the highest index, which drains gracefully like a scripted
+    // kill: it completes its current task before exiting.
+    if (!free_buckets_.empty()) {
+      victim = free_buckets_.front();
+    } else {
+      for (int b = static_cast<int>(buckets_.size()) - 1; b >= 0; --b) {
+        if (!buckets_[static_cast<size_t>(b)].dead) {
+          victim = b;
+          break;
+        }
+      }
+    }
+    HIA_ASSERT(victim >= 0);
+    buckets_[static_cast<size_t>(victim)].dead = true;
+    --live_buckets_;
+    for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
+      if (*it == victim) {
+        free_buckets_.erase(it);
+        break;
+      }
+    }
+  }
+  static obs::Counter& shrinks = obs::counter("staging_pool_shrinks");
+  shrinks.add(1);
+  obs::instant("pool", "bucket_retired",
+               {.bucket = victim, .vtime = clock_.seconds()});
+  HIA_LOG_INFO("staging", "elastic pool shrank: bucket %d retired", victim);
+  work_cv_.notify_all();
+  return victim;
 }
 
 void StagingService::drain() {
@@ -371,6 +564,54 @@ int StagingService::free_bucket_count() const {
   return static_cast<int>(free_buckets_.size());
 }
 
+int StagingService::num_buckets() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(buckets_.size());
+}
+
+std::deque<StagingService::Assigned>::iterator StagingService::pick_task_locked(
+    int free_b, double now) {
+  auto eligible = [&](const Assigned& a) {
+    if (a.not_before > now) return false;  // still backing off
+    if (a.last_bucket == free_b && live_buckets_ > 1) return false;
+    return true;
+  };
+  // The queue is sorted by task_id (= arrival order), so the first
+  // eligible hit is the oldest — both globally and within each tenant.
+  auto oldest = task_queue_.end();
+  if (!fair_share_) {
+    for (auto it = task_queue_.begin(); it != task_queue_.end(); ++it) {
+      if (eligible(*it)) return it;
+    }
+    return oldest;
+  }
+  std::map<int, std::deque<Assigned>::iterator> heads;  // tenant -> oldest
+  for (auto it = task_queue_.begin(); it != task_queue_.end(); ++it) {
+    if (!eligible(*it)) continue;
+    if (oldest == task_queue_.end()) oldest = it;
+    heads.emplace(it->task.tenant, it);  // keeps the first (oldest) hit
+  }
+  if (oldest == task_queue_.end()) return oldest;
+  if (now - oldest->enqueue_time > kStarvationWaitS) {
+    // Starvation guard: weights shape throughput, they never deny service.
+    return oldest;
+  }
+  // Weighted fair share: serve the tenant with the least normalized
+  // service. The provisional in-flight charge keeps a burst of assigns
+  // within one matcher pass from all landing on the same tenant.
+  auto best = task_queue_.end();
+  double best_norm = 0.0;
+  for (const auto& [tenant, it] : heads) {
+    const TenantSched& t = tenants_[tenant];
+    const double norm = (t.service_s + t.inflight_s) / t.weight;
+    if (best == task_queue_.end() || norm < best_norm) {
+      best = it;
+      best_norm = norm;
+    }
+  }
+  return best;
+}
+
 int StagingService::live_bucket_count() const {
   std::lock_guard lock(mutex_);
   return live_buckets_;
@@ -379,9 +620,10 @@ int StagingService::live_bucket_count() const {
 void StagingService::bucket_main(int bucket_index) {
   obs::set_thread_track(obs::bucket_track(bucket_index));
   const size_t b = static_cast<size_t>(bucket_index);
-  // FCFS matcher body: moves queued, backoff-released tasks onto free
-  // buckets' slots. A retried task avoids the bucket it last failed on
-  // whenever another live bucket exists. Requires mutex_ held.
+  // Matcher body: moves queued, backoff-released tasks onto free buckets'
+  // slots — FCFS by default, weighted fair share once tenant policies are
+  // set (pick_task_locked). A retried task avoids the bucket it last
+  // failed on whenever another live bucket exists. Requires mutex_ held.
   auto match = [this] {
     const double now = clock_.seconds();
     bool matched = true;
@@ -389,18 +631,23 @@ void StagingService::bucket_main(int bucket_index) {
       matched = false;
       for (auto fb = free_buckets_.begin(); fb != free_buckets_.end(); ++fb) {
         const int free_b = *fb;
-        for (auto it = task_queue_.begin(); it != task_queue_.end(); ++it) {
-          if (it->not_before > now) continue;  // still backing off
-          if (it->last_bucket == free_b && live_buckets_ > 1) continue;
-          slots_[static_cast<size_t>(free_b)] = std::move(*it);
-          task_queue_.erase(it);
-          free_buckets_.erase(fb);
-          queue_depth().add(-1);
-          queue_account_remove(*slots_[static_cast<size_t>(free_b)]);
-          matched = true;
-          break;
+        auto it = pick_task_locked(free_b, now);
+        if (it == task_queue_.end()) continue;
+        slots_[static_cast<size_t>(free_b)] = std::move(*it);
+        task_queue_.erase(it);
+        free_buckets_.erase(fb);
+        Assigned& picked = *slots_[static_cast<size_t>(free_b)];
+        queue_depth().add(-1);
+        queue_account_remove(picked);
+        if (fair_share_) {
+          // Provisional charge: hold the tenant's smoothed per-attempt
+          // bucket time against it until the attempt settles.
+          TenantSched& t = tenants_[picked.task.tenant];
+          picked.charge_s = t.ewma_task_s > 0.0 ? t.ewma_task_s : 1e-3;
+          t.inflight_s += picked.charge_s;
         }
-        if (matched) break;  // iterators invalidated; rescan
+        matched = true;
+        break;  // iterators invalidated; rescan
       }
     }
   };
@@ -481,6 +728,12 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
           std::chrono::duration<double>(retry.task_timeout_s));
       busy_buckets().add(-1);
     }
+    {
+      // The stuck time was real bucket occupancy: settle it against the
+      // tenant before the task re-enters the queue (or degrades).
+      std::lock_guard lock(mutex_);
+      settle_service_locked(assigned, retry.task_timeout_s);
+    }
     if (assigned.attempt < retry.max_task_attempts) {
       retry_task(bucket_index, std::move(assigned));
     } else {
@@ -511,7 +764,17 @@ void StagingService::retry_task(int failed_bucket, Assigned assigned) {
     assigned.attempt += 1;
     assigned.backoff_total += backoff;
     assigned.not_before = clock_.seconds() + backoff;
-    if (live_buckets_ == 0) {
+    bool tenant_capped = false;
+    if (fair_share_) {
+      TenantSched& t = tenants_[assigned.task.tenant];
+      tenant_capped = (t.queue_bytes_cap > 0 &&
+                       t.queue_bytes + assigned.bytes > t.queue_bytes_cap) ||
+                      (t.queue_depth_cap > 0 &&
+                       t.queue_depth >= t.queue_depth_cap);
+      // Same rule per tenant: a retry may not push its owner over cap.
+      if (tenant_capped) ++t.cap_diversions;
+    }
+    if (live_buckets_ == 0 || tenant_capped) {
       no_capacity = true;
     } else if (overload_ != nullptr &&
                overload_->queue_would_overflow(assigned.bytes)) {
@@ -521,7 +784,7 @@ void StagingService::retry_task(int failed_bucket, Assigned assigned) {
       no_capacity = true;
     } else {
       queue_account_add(assigned);
-      task_queue_.push_back(std::move(assigned));
+      queue_insert_sorted(std::move(assigned));
       queue_depth().add(1);
     }
   }
@@ -562,6 +825,7 @@ void StagingService::shed_task(Assigned assigned) {
   record.task_id = assigned.task.task_id;
   record.analysis = assigned.task.analysis;
   record.step = assigned.task.step;
+  record.tenant = assigned.task.tenant;
   record.bucket = -1;
   record.enqueue_time = assigned.enqueue_time;
   record.assign_time = clock_.seconds();
@@ -577,9 +841,15 @@ void StagingService::shed_task(Assigned assigned) {
              record.enqueue_time <= clock_.seconds());
   {
     std::lock_guard lock(mutex_);
+    settle_service_locked(assigned, 0.0);  // no bucket time: drop any charge
     records_.push_back(record);
     HIA_ASSERT(outstanding_ > 0);
     --outstanding_;
+    if (fair_share_) {
+      TenantSched& t = tenants_[record.tenant];
+      HIA_ASSERT(t.outstanding > 0);
+      --t.outstanding;
+    }
   }
   drain_cv_.notify_all();
 }
@@ -640,6 +910,12 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
     // A thrown handler (e.g. a pull whose frames never survived the wire)
     // is a failed attempt: back off and retry like an injected timeout.
     busy_buckets().add(-1);
+    {
+      // The failed attempt still occupied the bucket: settle that time
+      // against the tenant before requeueing.
+      std::lock_guard lock(mutex_);
+      settle_service_locked(assigned, clock_.seconds() - assign_time);
+    }
     retry_task(bucket_index, std::move(assigned));
     return;
   }
@@ -664,6 +940,7 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
   record.task_id = assigned.task.task_id;
   record.analysis = assigned.task.analysis;
   record.step = assigned.task.step;
+  record.tenant = assigned.task.tenant;
   record.bucket = bucket_index;
   record.enqueue_time = assigned.enqueue_time;
   record.assign_time = assign_time;
@@ -691,12 +968,22 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
 
   {
     std::lock_guard lock(mutex_);
+    // Settle the fair-share ledger: real bucket occupancy replaces the
+    // provisional charge (fallback runs cost no bucket time).
+    settle_service_locked(
+        assigned,
+        bucket_index >= 0 ? record.complete_time - record.assign_time : 0.0);
     records_.push_back(record);
     if (!failed && ctx.result_.has_value()) {
       results_[record.task_id] = std::move(*ctx.result_);
     }
     HIA_ASSERT(outstanding_ > 0);
     --outstanding_;
+    if (fair_share_) {
+      TenantSched& t = tenants_[record.tenant];
+      HIA_ASSERT(t.outstanding > 0);
+      --t.outstanding;
+    }
   }
   if (outcome == TaskOutcome::kDegraded) {
     static obs::Counter& degraded = obs::counter("staging_tasks_degraded");
@@ -712,6 +999,12 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
   wait_h.record(record.assign_time - record.enqueue_time);
   compute_h.record(record.compute_seconds);
   turnaround_h.record(record.complete_time - record.enqueue_time);
+  if (fair_share_enabled()) {
+    // Per-tenant turnaround: the isolation metric the service drill and
+    // the tenants ablation gate on (p99 per tenant under contention).
+    obs::histogram("staging_turnaround_s_t" + std::to_string(record.tenant))
+        .record(record.complete_time - record.enqueue_time);
+  }
   if (bucket_index >= 0) busy_buckets().add(-1);
   obs::instant("sched", "complete",
                {.bucket = bucket_index,

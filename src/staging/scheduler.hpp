@@ -21,6 +21,19 @@
 // when no live bucket remains, new work degrades immediately. Every
 // submitted task ends in exactly one TaskRecord — see docs/FAILURE_MODEL.md
 // for the full state machine.
+//
+// Multi-tenancy (active only once set_tenant_policy is called): the matcher
+// switches from global FCFS to weighted fair share. Each tenant accrues
+// *normalized service* — settled bucket-seconds plus a provisional charge
+// for its in-flight tasks, divided by its weight — and the matcher always
+// serves the eligible tenant with the least normalized service (within a
+// tenant, strict arrival order). A starvation guard overrides the pick for
+// any task that has waited longer than kStarvationWaitS, so a zero-weight
+// mistake still cannot wedge a tenant. Per-tenant queue caps divert a hog's
+// overflow to degrade/shed *before* the global hard wall, so one tenant's
+// burst cannot consume the shared queue budget. The bucket pool is elastic:
+// add_bucket()/retire_bucket() grow and shrink capacity at runtime (retire
+// reuses the graceful kill drain — the victim finishes its current task).
 #pragma once
 
 #include <condition_variable>
@@ -127,9 +140,11 @@ class StagingService {
   /// into the shared space. Returns the descriptor. When `codec` is given
   /// the block travels encoded: the descriptor's handle carries the wire
   /// size and every bucket pull is charged on the compressed bytes.
+  /// `tenant` owns the block: the Dart admission credit and the store
+  /// bytes are charged to its ledgers.
   DataDescriptor publish(int src_node, const std::string& variable, long step,
                          const Box3& box, const std::vector<double>& data,
-                         const Codec* codec = nullptr);
+                         const Codec* codec = nullptr, int tenant = 0);
 
   /// Data-ready: queue an in-transit task. Returns the task id.
   uint64_t submit(InTransitTask task);
@@ -140,16 +155,65 @@ class StagingService {
   /// policy's verdict: the default queues in-transit (PR-4 behavior);
   /// kFallback runs the task immediately on the in-situ fallback executor
   /// (recorded kDegraded); kShed drops it loudly (inputs released,
-  /// recorded kShed).
+  /// recorded kShed). `tenant` stamps the task for fair-share accounting.
   uint64_t submit_for(const std::string& analysis, long step,
                       const std::vector<std::string>& variables,
-                      SubmitRoute route = SubmitRoute::kQueue);
+                      SubmitRoute route = SubmitRoute::kQueue, int tenant = 0);
 
   /// Steering chose defer: writes a terminal kDeferred record for this
   /// (analysis, step) decision. The staged inputs stay in the store; the
   /// runner resubmits them as a *new* task at the next step boundary, so
   /// `completed + degraded + deferred + shed == submitted` still holds.
-  uint64_t record_deferred(const std::string& analysis, long step);
+  uint64_t record_deferred(const std::string& analysis, long step,
+                           int tenant = 0);
+
+  // ---- Multi-tenant fair share ----
+
+  /// A task older than this is matched regardless of its tenant's deficit
+  /// (starvation guard: weights shape throughput, never deny service).
+  static constexpr double kStarvationWaitS = 0.5;
+
+  /// Registers `tenant` with the fair-share matcher. The first call flips
+  /// the matcher from global FCFS to weighted fair share for the lifetime
+  /// of the service. `weight` is the tenant's share of bucket time
+  /// (relative to the other weights); the caps bound how much of the queue
+  /// the tenant may occupy (0 = uncapped) — overflow diverts to
+  /// degrade/shed, charged to the tenant, before the global hard wall.
+  void set_tenant_policy(int tenant, double weight,
+                         size_t queue_bytes_cap = 0,
+                         size_t queue_depth_cap = 0);
+
+  /// Snapshot of one tenant's scheduling ledger.
+  struct TenantShare {
+    int tenant = 0;
+    double weight = 1.0;
+    double bucket_seconds = 0.0;   // settled bucket occupancy (service)
+    uint64_t cap_diversions = 0;   // tasks diverted by this tenant's caps
+    uint64_t hog_bytes = 0;        // scripted tenant-hog bytes charged here
+    size_t queue_depth = 0;        // tasks of this tenant waiting now
+    size_t queue_bytes = 0;        // their input wire bytes
+    size_t outstanding = 0;        // submitted, not yet terminal
+  };
+  /// Every tenant the matcher has seen, ascending by tenant id.
+  [[nodiscard]] std::vector<TenantShare> tenant_shares() const;
+
+  /// True once any set_tenant_policy call flipped the matcher.
+  [[nodiscard]] bool fair_share_enabled() const;
+
+  /// Blocks until every task submitted under `tenant` has completed.
+  void drain_tenant(int tenant);
+
+  // ---- Elastic bucket pool ----
+
+  /// Grows the pool by one bucket (registered with Dart, thread started);
+  /// returns its index. Safe while the service is running.
+  int add_bucket();
+
+  /// Retires one live bucket gracefully: it finishes its current task,
+  /// leaves the free list, and its thread exits (joined at destruction,
+  /// like a scripted kill). Prefers an idle bucket. Refuses to retire the
+  /// last live bucket; returns the retired index, or -1 when refused.
+  int retire_bucket();
 
   /// Pressure snapshot for steering: the overload ledger's signal with
   /// live_buckets filled in (all-defaults signal when overload is off).
@@ -171,9 +235,8 @@ class StagingService {
   // ---- Instrumentation (Fig. 5 scheduler bench) ----
   [[nodiscard]] size_t pending_tasks() const;
   [[nodiscard]] int free_bucket_count() const;
-  [[nodiscard]] int num_buckets() const {
-    return static_cast<int>(buckets_.size());
-  }
+  /// Pool size including retired buckets (locked: the pool is elastic).
+  [[nodiscard]] int num_buckets() const;
   /// Buckets not retired by a scripted kill.
   [[nodiscard]] int live_bucket_count() const;
   /// Seconds since service start (the clock used in TaskRecord fields).
@@ -199,6 +262,24 @@ class StagingService {
     double backoff_total = 0.0;  // backoff accumulated across retries
     int last_bucket = -1;        // bucket of the last failed attempt
     double not_before = 0.0;     // earliest assign time (backoff release)
+    /// Provisional fair-share charge held against the tenant while the
+    /// attempt is in flight (0 = no charge outstanding).
+    double charge_s = 0.0;
+  };
+
+  /// Per-tenant scheduling ledger (guarded by mutex_).
+  struct TenantSched {
+    double weight = 1.0;
+    size_t queue_bytes_cap = 0;  // 0 = uncapped
+    size_t queue_depth_cap = 0;  // 0 = uncapped
+    double service_s = 0.0;      // settled bucket occupancy
+    double inflight_s = 0.0;     // provisional charges outstanding
+    double ewma_task_s = 0.0;    // smoothed per-attempt bucket seconds
+    size_t queue_bytes = 0;
+    size_t queue_depth = 0;
+    uint64_t cap_diversions = 0;
+    uint64_t hog_bytes = 0;
+    size_t outstanding = 0;
   };
 
   void bucket_main(int bucket_index);
@@ -226,6 +307,17 @@ class StagingService {
   void queue_account_remove(const Assigned& assigned);
   /// Sum of a task's input wire bytes (what the queue budget charges).
   static size_t task_wire_bytes(const InTransitTask& task);
+  /// Inserts at the task's arrival position (the queue is sorted by
+  /// task_id) and asserts the ordering invariant. Requires mutex_.
+  void queue_insert_sorted(Assigned assigned);
+  /// The task the matcher hands to `free_b` now: first eligible in arrival
+  /// order under FCFS, least-normalized-service tenant's oldest eligible
+  /// under fair share (starvation guard overrides). Requires mutex_.
+  std::deque<Assigned>::iterator pick_task_locked(int free_b, double now);
+  /// Settles a finished attempt against the tenant ledger: drops the
+  /// provisional in-flight charge and adds `busy_s` of real bucket
+  /// occupancy to the settled service and its EWMA. Requires mutex_.
+  void settle_service_locked(Assigned& assigned, double busy_s);
 
   Dart& dart_;
   ObjectStore store_;
@@ -251,6 +343,9 @@ class StagingService {
   uint64_t overload_diversions_ = 0;  // hard-budget diversions (mutex_)
   std::vector<bool> overload_fired_;  // scripted overload events (mutex_)
   std::vector<bool> starve_fired_;    // scripted credit-starves (mutex_)
+  std::vector<bool> hog_fired_;       // scripted tenant-hogs (mutex_)
+  bool fair_share_ = false;           // any set_tenant_policy call (mutex_)
+  std::map<int, TenantSched> tenants_;  // guarded by mutex_
   bool stopping_ = false;
 
   std::vector<Bucket> buckets_;

@@ -63,7 +63,8 @@ std::string Dart::node_name(int node) const {
   return it->second.name;
 }
 
-DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
+DartHandle Dart::put(int owner_node, std::vector<std::byte> data,
+                     int tenant) {
   HIA_TRACE_SPAN_ARGS("dart", "put",
                       {.bytes = static_cast<long long>(data.size())});
   static obs::Histogram& put_bytes = obs::histogram("dart_put_bytes");
@@ -72,7 +73,7 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
   // admit_max_wait_s) and must never do so while holding mutex_.
   PressureSignal pressure;
   const bool admitted = options_.overload != nullptr;
-  if (admitted) pressure = options_.overload->admit(data.size());
+  if (admitted) pressure = options_.overload->admit(data.size(), tenant);
   uint64_t id = 0;
   size_t bytes = 0;
   {
@@ -84,6 +85,7 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
     bytes = data.size();
     Region region{owner_node, std::move(data), bytes, false};
     region.admitted = admitted;
+    region.tenant = tenant;
     if (frame_faults_on(options_)) {
       region.crc = crc32(region.data.data(), region.data.size());
       region.crc_stamped = true;
@@ -104,14 +106,16 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data) {
   return DartHandle{id, bytes, owner_node};
 }
 
-DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data) {
+DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
+                             int tenant) {
   std::vector<std::byte> bytes(data.size() * sizeof(double));
   std::memcpy(bytes.data(), data.data(), bytes.size());
-  return put(owner_node, std::move(bytes));
+  return put(owner_node, std::move(bytes), tenant);
 }
 
 DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
-                             const Codec& codec, double* encode_seconds) {
+                             const Codec& codec, double* encode_seconds,
+                             int tenant) {
   static obs::Counter& saved = obs::counter("compress_bytes_saved");
   const size_t raw = data.size() * sizeof(double);
   HIA_TRACE_SPAN_ARGS("dart", "put",
@@ -136,7 +140,7 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
   // staging area must hold); see put() for the lock-ordering rationale.
   PressureSignal pressure;
   const bool admitted = options_.overload != nullptr;
-  if (admitted) pressure = options_.overload->admit(frame.size());
+  if (admitted) pressure = options_.overload->admit(frame.size(), tenant);
   uint64_t id = 0;
   size_t wire = 0;
   {
@@ -150,6 +154,7 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
     Region region{owner_node, std::move(frame), data.size() * sizeof(double),
                   true};
     region.admitted = admitted;
+    region.tenant = tenant;
     if (frame_faults_on(options_)) {
       region.crc = crc32(region.data.data(), region.data.size());
       region.crc_stamped = true;
@@ -360,16 +365,18 @@ std::vector<double> Dart::get_doubles(int dest_node, const DartHandle& handle,
 
 void Dart::release(const DartHandle& handle) {
   bool admitted = false;
+  int tenant = 0;
   {
     std::lock_guard lock(mutex_);
     auto it = regions_.find(handle.id);
     HIA_REQUIRE(it != regions_.end(), "release of unknown region");
     admitted = it->second.admitted;
+    tenant = it->second.tenant;
     regions_.erase(it);
   }
   // Credit return outside the transport lock (innermost-mutex ordering).
   if (admitted && options_.overload != nullptr) {
-    options_.overload->release_credit();
+    options_.overload->release_credit(tenant);
   }
 }
 

@@ -121,10 +121,14 @@ class Dart {
 
   /// Publishes `data` as an RDMA-readable region owned by `owner_node`.
   /// Cheap: the data stays in the owner's memory (no transfer yet).
-  DartHandle put(int owner_node, std::vector<std::byte> data);
+  /// `tenant` is the owning tenant of the region: admission is charged to
+  /// that tenant's credit ledger and the credit returns to it on release()
+  /// (0 = the default single-campaign tenant).
+  DartHandle put(int owner_node, std::vector<std::byte> data, int tenant = 0);
 
   /// Typed convenience: publishes a vector of doubles.
-  DartHandle put_doubles(int owner_node, const std::vector<double>& data);
+  DartHandle put_doubles(int owner_node, const std::vector<double>& data,
+                         int tenant = 0);
 
   /// Codec-aware publish: encodes `data` into a self-describing frame and
   /// publishes the *encoded* bytes, so every subsequent get() charges the
@@ -133,7 +137,7 @@ class Dart {
   /// paid on the publishing rank, not on the wire.
   DartHandle put_doubles(int owner_node, const std::vector<double>& data,
                          const Codec& codec,
-                         double* encode_seconds = nullptr);
+                         double* encode_seconds = nullptr, int tenant = 0);
 
   /// One-sided pull of a published region into `dest_node`'s memory.
   /// Charges the modeled network cost and raises kGetCompleted at the
@@ -185,6 +189,7 @@ class Dart {
     uint32_t crc = 0;         // frame checksum (stamped only when
     bool crc_stamped = false;  // frame faults are enabled)
     bool admitted = false;     // holds an admission credit until release()
+    int tenant = 0;            // whose ledger the credit charge sits on
   };
 
   struct NodeState {
