@@ -4,21 +4,27 @@
 #   2. traced smoke: hia_campaign with --trace/--metrics/--summary, gated
 #      by trace_lint (trace pairing, Prometheus exposition, RunSummary
 #      schema with >=1 histogram and >=1 gauge series)
-#   3. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
+#   3. events gate: a recorded multi-tenant campaign (--events +
+#      --status-interval) must produce an hia-events-v1 file that
+#      events_lint validates (framing, schema, timestamp monotonicity,
+#      per-tenant conservation) and whose per-tenant partition exactly
+#      matches the service report (hia_campaign exits nonzero otherwise)
+#   4. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
 #      and every --flag the docs mention exists in hia_campaign --help
 #      (or is allowlisted as another tool's flag)
-#   4. perf baselines: bench_fig5_scheduler's, bench_ablate_overload's,
+#   5. perf baselines: bench_fig5_scheduler's, bench_ablate_overload's,
 #      and bench_ablate_tenants's RunSummaries diffed against
 #      bench/baselines/ by tools/bench_diff — nonzero exit on drift past
 #      the baseline's per-metric tolerances (the overload bench also
 #      proves zero-overhead-when-off: its makespan_off_s point runs with
 #      every overload pointer null; the tenants bench gates fair-share
-#      conservation and hog isolation)
-#   5. soak: ci/soak.sh drives randomized bucket kills, phantom bytes,
+#      conservation and hog isolation; the overload bench also A/Bs the
+#      flight recorder and gates recorder_overhead_ok as a boolean)
+#   6. soak: ci/soak.sh drives randomized bucket kills, phantom bytes,
 #      credit starvation, and a multi-tenant hog through the adaptive
 #      steering and fair-share paths; failures print the seed and an
 #      exact replay command
-#   6. sanitizers: ASan+UBSan over everything, TSan over the concurrent
+#   7. sanitizers: ASan+UBSan over everything, TSan over the concurrent
 #      paths (see ci/sanitize.sh; sanitizer runs skip the perf gate —
 #      their timings are not comparable to baseline)
 #
@@ -60,6 +66,15 @@ grep -q '^hia_staging_tasks_completed' "$smoke_dir/metrics.txt" || {
 cp "$smoke_dir/trace.json" "$smoke_dir/metrics.txt" \
   "$smoke_dir/campaign_summary.json" "$artifact_dir/"
 echo "traced smoke OK"
+
+echo "==> events gate: recorded multi-tenant campaign + events_lint"
+./build/examples/hia_campaign --tenants 3 --steps 3 \
+  --weights 2,1,1 --overload "queue-depth=16,credits=8" \
+  --events "$smoke_dir/events.bin" --status-interval 1 \
+  > "$smoke_dir/events_stdout.txt"
+./build/tools/events_lint "$smoke_dir/events.bin"
+cp "$smoke_dir/events.bin" "$smoke_dir/events_stdout.txt" "$artifact_dir/"
+echo "events gate OK (hia_campaign cross-checked the per-tenant partition)"
 
 echo "==> doc hygiene: links + documented flags (check_docs.sh)"
 ci/check_docs.sh ./build/examples/hia_campaign

@@ -30,8 +30,8 @@ case "$mode" in
   tsan)
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" --target \
-      test_obs test_util test_comm test_dart test_staging test_network \
-      test_fault test_overload test_service
+      test_obs test_events test_util test_comm test_dart test_staging \
+      test_network test_fault test_overload test_service
     export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
     # Scope to the tests that exercise the tracer's and the runtime's
     # concurrent paths; TSan slows everything ~10x, so the full pipeline
@@ -39,9 +39,11 @@ case "$mode" in
     # concurrent-injection and faulted-scheduler races; test_overload for
     # the admission-gate and pressure-accounting races; test_service for
     # the fair-share matcher, concurrent campaign threads, and the
-    # elastic pool's add/retire-under-load races.
+    # elastic pool's add/retire-under-load races; test_events for the
+    # flight recorder's thread-sharded rings under a concurrent
+    # multi-tenant campaign.
     ctest --preset tsan -j "$(nproc)" \
-      -R 'test_(obs|util|comm|dart|staging|network|fault|overload|service)'
+      -R 'test_(obs|events|util|comm|dart|staging|network|fault|overload|service)'
     ;;
   *)
     echo "usage: ci/sanitize.sh [asan|tsan]" >&2

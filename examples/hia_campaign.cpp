@@ -10,11 +10,14 @@
 //   hia_campaign --steps 5 --trace trace.json --metrics metrics.txt
 //   hia_campaign --list
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <thread>
 #include <sys/stat.h>
 
 #include "core/contingency_pipeline.hpp"
@@ -28,6 +31,7 @@
 #include "core/timeseries_pipeline.hpp"
 #include "core/topology_pipeline.hpp"
 #include "core/viz_pipeline.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/timeseries.hpp"
@@ -60,6 +64,8 @@ struct Options {
   std::string trace_path;
   std::string metrics_path;
   std::string summary_path;
+  std::string events_path;
+  double status_interval_s = 0.0;
   double sample_hz = 0.0;
   bool list_only = false;
 };
@@ -128,6 +134,14 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --trace FILE        write a Chrome trace-event JSON (load in\n"
       "                      Perfetto / chrome://tracing)\n"
       "  --metrics FILE      write a flat Prometheus-style counter dump\n"
+      "                      (per-tenant series carry {tenant=\"N\"} labels)\n"
+      "  --events FILE       write the flight recorder's structured event\n"
+      "                      log (binary hia-events-v1; validate with\n"
+      "                      events_lint, which checks the per-tenant\n"
+      "                      conservation partition)\n"
+      "  --status-interval S print a one-line service status digest every\n"
+      "                      S seconds while the campaigns run (needs\n"
+      "                      --tenants N with N > 1)\n"
       "  --summary FILE      write a RunSummary JSON (schema\n"
       "                      hia-run-summary-v1: metrics, counters,\n"
       "                      histograms, gauge time series)\n"
@@ -193,6 +207,10 @@ Options parse(int argc, char** argv) {
       opt.metrics_path = need("--metrics");
     } else if (std::strcmp(argv[a], "--summary") == 0) {
       opt.summary_path = need("--summary");
+    } else if (std::strcmp(argv[a], "--events") == 0) {
+      opt.events_path = need("--events");
+    } else if (std::strcmp(argv[a], "--status-interval") == 0) {
+      opt.status_interval_s = std::atof(need("--status-interval"));
     } else if (std::strcmp(argv[a], "--obs-sample-hz") == 0) {
       opt.sample_hz = std::atof(need("--obs-sample-hz"));
     } else if (std::strcmp(argv[a], "--list") == 0) {
@@ -314,7 +332,52 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
               opt.buckets,
               opt.pool_max > 0 ? " (elastic)" : "");
 
+  if (!opt.events_path.empty()) {
+    // Raise the per-thread ring capacity before the tenant threads spin
+    // up (rings are sized at first touch): a recorded campaign that
+    // overflows loses submit events, and with them the exact per-tenant
+    // conservation partition. Then start from a clean stream.
+    obs::set_events_capacity(1 << 16);
+    obs::reset_events();
+    obs::enable_events();
+  }
+
+  // --status-interval: a digest thread polls the service while the
+  // campaigns run, one line per interval (the batch-mode sibling of the
+  // hia_top dashboard). Poll-with-deadline so it exits promptly when the
+  // service drains instead of sleeping through a full interval.
+  std::atomic<bool> campaign_done{false};
+  std::thread digest;
+  if (opt.status_interval_s > 0.0) {
+    digest = std::thread([&service, &campaign_done,
+                          interval = opt.status_interval_s] {
+      const auto step = std::chrono::duration<double>(interval);
+      while (!campaign_done.load(std::memory_order_acquire)) {
+        const auto deadline = std::chrono::steady_clock::now() + step;
+        while (!campaign_done.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (campaign_done.load(std::memory_order_acquire)) break;
+        const CampaignService::Status st = service.poll_status();
+        std::printf("[status] vt=%.2fs pressure=%s queue=%zut/%zuB "
+                    "buckets=%d",
+                    st.virtual_time_s, to_string(st.pressure),
+                    st.queue_depth, st.queue_bytes, st.live_buckets);
+        for (const CampaignService::TenantStatus& t : st.tenants) {
+          std::printf(" | t%d q=%zu out=%zu p99=%.3fs burn=%.0f%%",
+                      t.tenant, t.queue_depth, t.outstanding,
+                      t.p99_turnaround_s, t.slo_burn * 100.0);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+      }
+    });
+  }
+
   const CampaignService::ServiceReport report = service.run();
+  campaign_done.store(true, std::memory_order_release);
+  if (digest.joinable()) digest.join();
   obs::stop_sampler();
   obs::sample_now();
 
@@ -350,6 +413,51 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
     if (!obs::write_metrics(opt.metrics_path)) return 1;
     std::printf("metrics written to %s\n", opt.metrics_path.c_str());
   }
+  bool events_ok = true;
+  if (!opt.events_path.empty()) {
+    if (!obs::write_events_file(opt.events_path)) return 1;
+    const obs::EventsValidation ev =
+        obs::validate_events_file(opt.events_path);
+    if (!ev.ok) {
+      std::fprintf(stderr, "events file %s INVALID: %s\n",
+                   opt.events_path.c_str(), ev.error.c_str());
+      return 1;
+    }
+    // The recorder and the service report count the same lifecycle
+    // transitions through different paths; their per-tenant partitions
+    // must agree exactly, or one of them lied.
+    for (const TenantRunRow& row : report.rows) {
+      const obs::EventsValidation::TenantCounts* counts = nullptr;
+      for (const obs::EventsValidation::TenantCounts& t : ev.tenants) {
+        if (t.tenant == row.tenant) counts = &t;
+      }
+      const bool row_ok = counts != nullptr &&
+                          counts->submitted == row.submitted &&
+                          counts->completed == row.completed &&
+                          counts->degraded == row.degraded &&
+                          counts->shed == row.shed &&
+                          counts->deferred == row.deferred;
+      if (!row_ok) {
+        std::fprintf(stderr,
+                     "events partition MISMATCH for tenant %d "
+                     "(report: %llu sub / %llu comp / %llu degr / %llu "
+                     "shed / %llu defd)\n",
+                     row.tenant,
+                     static_cast<unsigned long long>(row.submitted),
+                     static_cast<unsigned long long>(row.completed),
+                     static_cast<unsigned long long>(row.degraded),
+                     static_cast<unsigned long long>(row.shed),
+                     static_cast<unsigned long long>(row.deferred));
+        events_ok = false;
+      }
+    }
+    std::printf("events written to %s (%llu records, %llu dropped; "
+                "per-tenant partition %s the service report)\n",
+                opt.events_path.c_str(),
+                static_cast<unsigned long long>(ev.records),
+                static_cast<unsigned long long>(ev.dropped),
+                events_ok ? "matches" : "MISMATCHES");
+  }
   if (!opt.summary_path.empty()) {
     obs::RunSummary summary;
     summary.bench = "hia_campaign";
@@ -369,7 +477,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
     if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
     std::printf("run summary written to %s\n", opt.summary_path.c_str());
   }
-  return conserved ? 0 : 1;
+  return conserved && events_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -447,6 +555,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--weights needs --tenants N with N > 1\n");
     return 2;
   }
+  if (opt.status_interval_s > 0.0 && opt.tenants <= 1) {
+    std::fprintf(stderr, "--status-interval needs --tenants N with N > 1\n");
+    return 2;
+  }
 
   auto wanted = split(opt.analyses == "all"
                           ? "stats,stats-insitu,viz,viz-insitu,topo,corr,"
@@ -467,6 +579,12 @@ int main(int argc, char** argv) {
   if (opt.sample_hz > 0.0) obs::start_sampler(opt.sample_hz);
 
   if (opt.tenants > 1) return run_tenants(opt, config, wanted);
+
+  if (!opt.events_path.empty()) {
+    obs::set_events_capacity(1 << 16);
+    obs::reset_events();
+    obs::enable_events();
+  }
 
   HybridRunner runner(config);
 
@@ -526,6 +644,20 @@ int main(int argc, char** argv) {
   if (!opt.metrics_path.empty()) {
     if (!obs::write_metrics(opt.metrics_path)) return 1;
     std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+  }
+  if (!opt.events_path.empty()) {
+    if (!obs::write_events_file(opt.events_path)) return 1;
+    const obs::EventsValidation ev =
+        obs::validate_events_file(opt.events_path);
+    if (!ev.ok) {
+      std::fprintf(stderr, "events file %s INVALID: %s\n",
+                   opt.events_path.c_str(), ev.error.c_str());
+      return 1;
+    }
+    std::printf("events written to %s (%llu records, %llu dropped)\n",
+                opt.events_path.c_str(),
+                static_cast<unsigned long long>(ev.records),
+                static_cast<unsigned long long>(ev.dropped));
   }
   if (!opt.summary_path.empty()) {
     obs::RunSummary summary;

@@ -134,17 +134,23 @@ RunReport HybridRunner::run() {
     static obs::Counter& c_insitu = obs::counter("steer_in_situ");
     static obs::Counter& c_defer = obs::counter("steer_deferred");
     static obs::Counter& c_shed = obs::counter("steer_shed");
+    // Labeled variant: per-tenant steering mix for the campaign console.
+    auto labeled = [this](const char* name) -> obs::Counter* {
+      return tenant_ > 0 ? &obs::counter(name, {.tenant = tenant_}) : nullptr;
+    };
     const PressureSignal pressure = staging_->pressure();
     switch (steer_decide(steer_, pressure, defers, max_defers)) {
       case SteerDecision::kInTransit:
         ++steer_in_transit;
         c_transit.add(1);
+        if (auto* c = labeled("steer_in_transit")) c->add(1);
         staging_->submit_for(analysis, step, staged, SubmitRoute::kQueue,
                              tenant_);
         break;
       case SteerDecision::kInSitu:
         ++steer_in_situ;
         c_insitu.add(1);
+        if (auto* c = labeled("steer_in_situ")) c->add(1);
         obs::instant("overload", "steer_in_situ", {.step = step});
         staging_->submit_for(analysis, step, staged, SubmitRoute::kFallback,
                              tenant_);
@@ -152,6 +158,7 @@ RunReport HybridRunner::run() {
       case SteerDecision::kShed:
         ++steer_shed;
         c_shed.add(1);
+        if (auto* c = labeled("steer_shed")) c->add(1);
         obs::instant("overload", "steer_shed", {.step = step});
         staging_->submit_for(analysis, step, staged, SubmitRoute::kShed,
                              tenant_);
@@ -159,6 +166,7 @@ RunReport HybridRunner::run() {
       case SteerDecision::kDefer:
         ++steer_deferred;
         c_defer.add(1);
+        if (auto* c = labeled("steer_deferred")) c->add(1);
         staging_->record_deferred(analysis, step, tenant_);
         parked.push_back(Parked{analysis, step, staged, defers + 1});
         break;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 namespace hia::obs {
 
@@ -12,6 +13,9 @@ namespace {
 struct CounterRegistry {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>> cells;
+  // Labeled cells live in their own map so the unlabeled snapshot (and
+  // every consumer written before labels existed) is byte-identical.
+  std::map<std::pair<std::string, Labels>, std::unique_ptr<Counter>> labeled;
 };
 
 CounterRegistry& counter_registry() {
@@ -31,13 +35,37 @@ Counter& counter(const std::string& name) {
   return *it->second;
 }
 
+Counter& counter(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return counter(name);
+  CounterRegistry& reg = counter_registry();
+  std::lock_guard lock(reg.mutex);
+  const auto key = std::make_pair(name, labels);
+  auto it = reg.labeled.find(key);
+  if (it == reg.labeled.end()) {
+    it = reg.labeled.emplace(key, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
 std::vector<CounterSample> counters_snapshot() {
   CounterRegistry& reg = counter_registry();
   std::lock_guard lock(reg.mutex);
   std::vector<CounterSample> out;
   out.reserve(reg.cells.size());
   for (const auto& [name, cell] : reg.cells) {
-    out.push_back(CounterSample{name, cell->value(), cell->max()});
+    out.push_back(CounterSample{name, Labels{}, cell->value(), cell->max()});
+  }
+  return out;
+}
+
+std::vector<CounterSample> labeled_counters_snapshot() {
+  CounterRegistry& reg = counter_registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<CounterSample> out;
+  out.reserve(reg.labeled.size());
+  for (const auto& [key, cell] : reg.labeled) {
+    out.push_back(
+        CounterSample{key.first, key.second, cell->value(), cell->max()});
   }
   return out;
 }
@@ -46,6 +74,10 @@ void reset_counters() {
   CounterRegistry& reg = counter_registry();
   std::lock_guard lock(reg.mutex);
   for (auto& [name, cell] : reg.cells) {
+    cell->value_.store(0, std::memory_order_relaxed);
+    cell->max_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, cell] : reg.labeled) {
     cell->value_.store(0, std::memory_order_relaxed);
     cell->max_.store(0, std::memory_order_relaxed);
   }

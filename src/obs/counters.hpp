@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/labels.hpp"
+
 namespace hia::obs {
 
 /// One named counter/gauge cell. Never destroyed once registered, so
@@ -55,14 +57,25 @@ class Counter {
 /// Names should be prometheus-flavored: lowercase, '_'-separated.
 Counter& counter(const std::string& name);
 
+/// Labeled variant: the counter for `name` carrying `labels`. Each
+/// distinct (name, labels) pair is its own cell; `counter(name)` is
+/// exactly `counter(name, Labels{})`. Hot paths cache the reference the
+/// same way as the unlabeled form.
+Counter& counter(const std::string& name, const Labels& labels);
+
 struct CounterSample {
   std::string name;
+  Labels labels;  // empty() for the classic unlabeled series
   int64_t value = 0;
   int64_t max = 0;
 };
 
-/// Name-sorted snapshot of every registered counter.
+/// Name-sorted snapshot of every *unlabeled* counter (the pre-label
+/// surface: RunSummary's "counters" table and existing report code).
 std::vector<CounterSample> counters_snapshot();
+
+/// (name, labels)-sorted snapshot of every *labeled* counter.
+std::vector<CounterSample> labeled_counters_snapshot();
 
 /// Zeroes every registered counter and its high-water mark.
 void reset_counters();

@@ -1,0 +1,348 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace hia::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'h', 'i', 'a', 'e', 'v', 't', 's', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kDefaultRingCapacity = 16384;
+
+/// One thread's ring. The owner thread writes under `mutex` uncontended;
+/// snapshot() contends only during a merge.
+struct EventRing {
+  explicit EventRing(size_t capacity) : records(capacity) {}
+  std::mutex mutex;
+  std::vector<EventRecord> records;  // fixed-size ring storage
+  size_t head = 0;                   // next write slot
+  size_t count = 0;
+
+  /// Returns true when the write overwrote (dropped) the oldest record.
+  bool push(const EventRecord& r) {
+    std::lock_guard lock(mutex);
+    const bool dropped = count == records.size();
+    if (!dropped) ++count;
+    records[head] = r;
+    head = (head + 1) % records.size();
+    return dropped;
+  }
+};
+
+struct EventsRegistry {
+  std::atomic<bool> enabled{true};
+  std::atomic<size_t> capacity{kDefaultRingCapacity};
+  std::atomic<uint64_t> dropped{0};
+  std::mutex mutex;  // guards `rings`
+  std::vector<std::shared_ptr<EventRing>> rings;
+};
+
+EventsRegistry& registry() {
+  static EventsRegistry* r = new EventsRegistry();  // leaked, see trace.cpp
+  return *r;
+}
+
+thread_local std::shared_ptr<EventRing> t_event_ring;
+
+EventRing& local_ring() {
+  if (t_event_ring == nullptr) {
+    EventsRegistry& reg = registry();
+    auto ring = std::make_shared<EventRing>(
+        std::max<size_t>(reg.capacity.load(std::memory_order_relaxed), 1));
+    {
+      std::lock_guard lock(reg.mutex);
+      reg.rings.push_back(ring);
+    }
+    t_event_ring = std::move(ring);
+  }
+  return *t_event_ring;
+}
+
+const char* kind_name(int32_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kTaskSubmit: return "task_submit";
+    case EventKind::kTaskAssign: return "task_assign";
+    case EventKind::kTaskComplete: return "task_complete";
+    case EventKind::kTaskDegrade: return "task_degrade";
+    case EventKind::kTaskShed: return "task_shed";
+    case EventKind::kTaskDefer: return "task_defer";
+    case EventKind::kPut: return "put";
+    case EventKind::kGet: return "get";
+    case EventKind::kPressure: return "pressure";
+    case EventKind::kPoolGrow: return "pool_grow";
+    case EventKind::kPoolShrink: return "pool_shrink";
+    case EventKind::kFaultVerdict: return "fault_verdict";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void record_event(EventKind kind, int tenant, int bucket, int64_t a,
+                  int64_t b, double vt_s) {
+  EventsRegistry& reg = registry();
+  if (!reg.enabled.load(std::memory_order_relaxed)) return;
+  EventRecord r;
+  r.t_us = now_us();
+  r.vt_s = vt_s;
+  r.a = a;
+  r.b = b;
+  r.kind = static_cast<int32_t>(kind);
+  r.tenant = tenant;
+  r.bucket = bucket;
+  if (local_ring().push(r)) {
+    reg.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void enable_events() {
+  registry().enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_events() {
+  registry().enabled.store(false, std::memory_order_relaxed);
+}
+
+bool events_enabled() {
+  return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void set_events_capacity(size_t records) {
+  registry().capacity.store(std::max<size_t>(records, 1),
+                            std::memory_order_relaxed);
+}
+
+std::vector<EventRecord> events_snapshot() {
+  EventsRegistry& reg = registry();
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard lock(reg.mutex);
+    rings = reg.rings;
+  }
+  std::vector<EventRecord> out;
+  for (const auto& ring : rings) {
+    std::lock_guard lock(ring->mutex);
+    const size_t cap = ring->records.size();
+    const size_t start = ring->count == cap ? ring->head : 0;
+    for (size_t i = 0; i < ring->count; ++i) {
+      out.push_back(ring->records[(start + i) % cap]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EventRecord& x, const EventRecord& y) {
+                     return x.t_us < y.t_us;
+                   });
+  return out;
+}
+
+uint64_t dropped_event_records() {
+  return registry().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_events() {
+  EventsRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->head = 0;
+    ring->count = 0;
+  }
+  reg.dropped.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- spill ----
+
+bool write_events_file(const std::string& path) {
+  const std::vector<EventRecord> records = events_snapshot();
+  const uint64_t dropped = dropped_event_records();
+
+  std::ostringstream header;
+  header << "{\"schema\":\"hia-events-v1\",\"record_bytes\":"
+         << sizeof(EventRecord) << ",\"count\":" << records.size()
+         << ",\"dropped\":" << dropped
+         << ",\"fields\":[\"t_us:f64\",\"vt_s:f64\",\"a:i64\",\"b:i64\","
+            "\"kind:i32\",\"tenant:i32\",\"bucket:i32\",\"pad:i32\"],"
+            "\"kinds\":{";
+  bool first = true;
+  for (int32_t k = 1; kind_name(k) != nullptr; ++k) {
+    if (!first) header << ',';
+    first = false;
+    header << '"' << k << "\":\"" << kind_name(k) << '"';
+  }
+  header << "}}";
+  const std::string header_json = header.str();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  const uint32_t header_bytes = static_cast<uint32_t>(header_json.size());
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&header_bytes),
+            sizeof(header_bytes));
+  out.write(header_json.data(),
+            static_cast<std::streamsize>(header_json.size()));
+  for (const EventRecord& r : records) {
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  }
+  return static_cast<bool>(out);
+}
+
+// -------------------------------------------------------- validation ----
+
+EventsValidation validate_events(const std::vector<EventRecord>& records,
+                                 uint64_t dropped) {
+  EventsValidation v;
+  v.records = records.size();
+  v.dropped = dropped;
+
+  std::map<int, EventsValidation::TenantCounts> by_tenant;
+  double prev_t = -1.0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const EventRecord& r = records[i];
+    if (kind_name(r.kind) == nullptr) {
+      v.error = "record " + std::to_string(i) + ": unknown event kind " +
+                std::to_string(r.kind);
+      return v;
+    }
+    if (r.t_us < prev_t) {
+      v.error = "record " + std::to_string(i) +
+                ": wall timestamp went backwards (" + std::to_string(r.t_us) +
+                " < " + std::to_string(prev_t) + ")";
+      return v;
+    }
+    prev_t = r.t_us;
+
+    const EventKind kind = static_cast<EventKind>(r.kind);
+    const bool task_event = kind == EventKind::kTaskSubmit ||
+                            kind == EventKind::kTaskAssign ||
+                            kind == EventKind::kTaskComplete ||
+                            kind == EventKind::kTaskDegrade ||
+                            kind == EventKind::kTaskShed ||
+                            kind == EventKind::kTaskDefer;
+    if (task_event && r.tenant < 0) {
+      v.error = "record " + std::to_string(i) + " (" +
+                kind_name(r.kind) + "): task event without a tenant";
+      return v;
+    }
+    if (!task_event) continue;
+    EventsValidation::TenantCounts& t = by_tenant[r.tenant];
+    t.tenant = r.tenant;
+    switch (kind) {
+      case EventKind::kTaskSubmit: ++t.submitted; break;
+      case EventKind::kTaskAssign: ++t.assigned; break;
+      case EventKind::kTaskComplete: ++t.completed; break;
+      case EventKind::kTaskDegrade: ++t.degraded; break;
+      case EventKind::kTaskShed: ++t.shed; break;
+      case EventKind::kTaskDefer: ++t.deferred; break;
+      default: break;
+    }
+  }
+
+  for (const auto& [tenant, counts] : by_tenant) {
+    v.tenants.push_back(counts);
+    if (dropped > 0) continue;  // partition reported, not enforced
+    const uint64_t terminal = counts.completed + counts.degraded +
+                              counts.shed + counts.deferred;
+    if (terminal != counts.submitted) {
+      v.error = "tenant " + std::to_string(tenant) +
+                ": conservation broken (submitted=" +
+                std::to_string(counts.submitted) + " != completed=" +
+                std::to_string(counts.completed) + " + degraded=" +
+                std::to_string(counts.degraded) + " + shed=" +
+                std::to_string(counts.shed) + " + deferred=" +
+                std::to_string(counts.deferred) + ")";
+      return v;
+    }
+  }
+  v.ok = true;
+  return v;
+}
+
+EventsValidation validate_events_file(const std::string& path) {
+  EventsValidation v;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    v.error = "cannot open " + path;
+    return v;
+  }
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t header_bytes = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&header_bytes), sizeof(header_bytes));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    v.error = "bad magic: not an hia-events-v1 file";
+    return v;
+  }
+  if (version != kVersion) {
+    v.error = "unsupported version " + std::to_string(version);
+    return v;
+  }
+  if (header_bytes == 0 || header_bytes > (1u << 20)) {
+    v.error = "implausible header length " + std::to_string(header_bytes);
+    return v;
+  }
+  std::string header_json(header_bytes, '\0');
+  in.read(header_json.data(), header_bytes);
+  if (!in) {
+    v.error = "truncated header";
+    return v;
+  }
+  json::Value header;
+  std::string parse_error;
+  if (!json::parse(header_json, header, parse_error)) {
+    v.error = "header is not valid JSON: " + parse_error;
+    return v;
+  }
+  const json::Value* schema = json::find(header, "schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "hia-events-v1") {
+    v.error = "header schema tag is not hia-events-v1";
+    return v;
+  }
+  const json::Value* record_bytes = json::find(header, "record_bytes");
+  if (record_bytes == nullptr || !record_bytes->is_number() ||
+      static_cast<size_t>(record_bytes->number) != sizeof(EventRecord)) {
+    v.error = "header record_bytes does not match EventRecord";
+    return v;
+  }
+  const json::Value* count = json::find(header, "count");
+  const json::Value* dropped = json::find(header, "dropped");
+  if (count == nullptr || !count->is_number() || dropped == nullptr ||
+      !dropped->is_number()) {
+    v.error = "header missing count/dropped";
+    return v;
+  }
+
+  const auto n = static_cast<uint64_t>(count->number);
+  std::vector<EventRecord> records(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    in.read(reinterpret_cast<char*>(&records[i]), sizeof(EventRecord));
+    if (!in) {
+      v.error = "truncated at record " + std::to_string(i) + " of " +
+                std::to_string(n);
+      return v;
+    }
+  }
+  in.peek();
+  if (!in.eof()) {
+    v.error = "trailing bytes after " + std::to_string(n) + " records";
+    return v;
+  }
+  return validate_events(records, static_cast<uint64_t>(dropped->number));
+}
+
+}  // namespace hia::obs

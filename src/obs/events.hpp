@@ -1,0 +1,133 @@
+// Flight recorder: an always-on, bounded, thread-sharded binary ring of
+// structured lifecycle events — the "what happened" companion to the span
+// tracer's "when" and the registries' "how much". Where Chrome spans are a
+// rendering format, these records are a *replayable* trace: every task
+// submit/assign/terminal transition, put/get with byte counts, pressure
+// transition, pool resize, and fault verdict, each stamped with the tenant
+// that owns it and a dual wall/virtual timestamp. The spill format
+// (`hia-events-v1`, see write_events_file) is the recorded-trace input for
+// the ROADMAP's what-if replay planner.
+//
+// Architecture mirrors obs/trace.cpp: each thread owns a fixed-size ring
+// of POD records guarded by a mutex its owner holds uncontended; overflow
+// drops the oldest record and counts the drop. Recording is on by default
+// (one relaxed atomic load plus an uncontended ring write per event —
+// cheap enough for every hot path; the overload bench gates the overhead)
+// and can be disabled for A/B measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hia::obs {
+
+/// What happened. Values are stable on-disk identifiers: append only.
+enum class EventKind : int32_t {
+  kTaskSubmit = 1,    // a=task_id, b=input bytes
+  kTaskAssign = 2,    // a=task_id, b=attempt
+  kTaskComplete = 3,  // a=task_id, b=attempt
+  kTaskDegrade = 4,   // a=task_id, b=attempt (in-situ fallback ran it)
+  kTaskShed = 5,      // a=task_id, b=attempt (dropped loudly)
+  kTaskDefer = 6,     // a=task_id, b=0 (returned to the runner for resubmit)
+  kPut = 7,           // a=handle id, b=wire bytes
+  kGet = 8,           // a=handle id, b=wire bytes
+  kPressure = 9,      // a=new PressureState, b=old PressureState
+  kPoolGrow = 10,     // a=new bucket id, b=live buckets after
+  kPoolShrink = 11,   // a=retired bucket id, b=live buckets after
+  kFaultVerdict = 12, // a=site code (EventFaultSite), b=bytes or bucket
+};
+
+/// Fault-verdict site codes carried in EventRecord::a for kFaultVerdict.
+enum class EventFaultSite : int64_t {
+  kFrameDrop = 1,
+  kFrameCrc = 2,
+  kBucketKill = 3,
+  kPhantomBytes = 4,
+  kCreditStarve = 5,
+};
+
+/// One recorded event. POD: memcpy'd verbatim into the spill file.
+struct EventRecord {
+  double t_us = 0.0;   // wall microseconds since the obs trace epoch
+  double vt_s = -1.0;  // virtual/model seconds; -1 = no virtual clock
+  int64_t a = 0;       // kind-specific (see EventKind)
+  int64_t b = 0;       // kind-specific
+  int32_t kind = 0;    // EventKind
+  int32_t tenant = -1; // owning tenant; -1 = not tenant-attributed
+  int32_t bucket = -1; // bucket/node; -1 = not bucket-attributed
+  int32_t pad = 0;     // keeps the record at 48 bytes, zero on disk
+};
+static_assert(sizeof(EventRecord) == 48, "hia-events-v1 record size");
+
+/// Records one event. ~one relaxed load + an uncontended ring write; safe
+/// from any thread, any time (drops silently before static init only).
+void record_event(EventKind kind, int tenant, int bucket, int64_t a,
+                  int64_t b, double vt_s = -1.0);
+
+/// Recorder on/off (default on). Off = one relaxed load per call site.
+void enable_events();
+void disable_events();
+[[nodiscard]] bool events_enabled();
+
+/// Ring capacity, in records per thread, for rings created after the call
+/// (default 16384). Raise before a long recorded campaign so conservation
+/// survives (a dropped submit breaks the per-tenant partition).
+void set_events_capacity(size_t records);
+
+/// Merged snapshot across every thread's ring, sorted by wall time.
+std::vector<EventRecord> events_snapshot();
+
+/// Total records dropped to ring overflow since the last reset.
+uint64_t dropped_event_records();
+
+/// Drops all recorded events and zeroes the drop counter; registrations
+/// (per-thread rings) and the enabled flag persist. Test isolation.
+void reset_events();
+
+// ---- Spill format: hia-events-v1 ----
+//
+// Self-describing layout, little-endian:
+//   [0..8)    magic "hiaevts1"
+//   [8..12)   uint32 version (1)
+//   [12..16)  uint32 header_bytes = H (JSON text length)
+//   [16..16+H) header JSON: {"schema":"hia-events-v1","record_bytes":48,
+//              "count":N,"dropped":D,"fields":[...],"kinds":{...}}
+//   then N EventRecord structs, sorted by t_us.
+
+/// Writes the current snapshot as an hia-events-v1 file. Returns false on
+/// I/O failure.
+bool write_events_file(const std::string& path);
+
+/// Validation result for an hia-events-v1 file (see validate_events_file).
+struct EventsValidation {
+  bool ok = false;
+  std::string error;    // first failure; empty when ok
+  uint64_t records = 0;
+  uint64_t dropped = 0;  // from the header: ring overflow at record time
+  struct TenantCounts {
+    int tenant = -1;
+    uint64_t submitted = 0;
+    uint64_t assigned = 0;
+    uint64_t completed = 0;
+    uint64_t degraded = 0;
+    uint64_t shed = 0;
+    uint64_t deferred = 0;
+  };
+  std::vector<TenantCounts> tenants;  // sorted by tenant id
+};
+
+/// Reads and validates an hia-events-v1 file: magic/version/size framing,
+/// known kinds, wall-timestamp monotonicity, and — when the recorder
+/// dropped nothing — the per-tenant conservation partition
+/// (submitted == completed + degraded + shed + deferred for every tenant).
+/// With drops the partition is reported but not enforced (the ring lost
+/// records, so exact conservation is unknowable).
+EventsValidation validate_events_file(const std::string& path);
+
+/// Same checks over an in-memory record stream (used by tests and by
+/// validate_events_file after deserializing).
+EventsValidation validate_events(const std::vector<EventRecord>& records,
+                                 uint64_t dropped);
+
+}  // namespace hia::obs

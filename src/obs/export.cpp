@@ -199,50 +199,115 @@ bool write_chrome_trace(const std::string& path) {
   return true;
 }
 
+namespace {
+
+bool is_legal_metric_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Maps every character outside the Prometheus metric-name grammar
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) to '_', so an illegal registry name (dots,
+/// dashes, unicode) degrades to a legal series instead of corrupting the
+/// exposition. Sanitization can collide two raw names; the emitter below
+/// dedupes series after sanitizing.
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  for (size_t i = 0; i < name.size(); ++i) {
+    out += is_legal_metric_char(name[i], i == 0) ? name[i] : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string metrics_text() {
   std::string out;
   char buf[64];
-  auto line = [&](const std::string& name, int64_t value) {
+  // Series already emitted, keyed by sanitized name + label-pair text.
+  // Sanitization can collapse distinct raw names; first writer wins.
+  std::set<std::string> emitted;
+
+  auto line = [&](const std::string& name, const std::string& brace,
+                  int64_t value) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
-    out += "hia_" + name + " " + buf + "\n";
+    out += "hia_" + name + brace + " " + buf + "\n";
   };
+
+  // Counters, grouped by sanitized name: one # TYPE line per metric, the
+  // unlabeled aggregate first, then every labeled variant.
+  std::map<std::string, std::vector<CounterSample>> counters;
   for (const CounterSample& s : counters_snapshot()) {
-    out += "# TYPE hia_" + s.name + " gauge\n";
-    line(s.name, s.value);
-    line(s.name + "_max", s.max);
+    counters[sanitize_metric_name(s.name)].push_back(s);
   }
-  for (const HistogramSnapshot& h : histograms_snapshot()) {
-    if (h.count == 0) continue;
-    out += "# TYPE hia_" + h.name + " histogram\n";
-    // Cumulative buckets, sparse: one line per boundary where the count
-    // changes, then the mandatory le="+Inf" line equal to _count.
-    uint64_t cum = 0;
-    for (size_t b = 0; b < h.buckets.size(); ++b) {
-      if (h.buckets[b] == 0) continue;
-      cum += h.buckets[b];
-      const double le = histogram_bucket_upper_bound(static_cast<int>(b));
-      if (std::isinf(le)) continue;  // folded into the +Inf line below
-      std::snprintf(buf, sizeof(buf), "%.9g", le);
-      out += "hia_" + h.name + "_bucket{le=\"" + buf + "\"} ";
-      std::snprintf(buf, sizeof(buf), "%llu",
-                    static_cast<unsigned long long>(cum));
-      out += std::string(buf) + "\n";
+  for (const CounterSample& s : labeled_counters_snapshot()) {
+    counters[sanitize_metric_name(s.name)].push_back(s);
+  }
+  for (const auto& [name, samples] : counters) {
+    out += "# TYPE hia_" + name + " gauge\n";
+    for (const CounterSample& s : samples) {
+      const std::string pairs = s.labels.prometheus_pairs();
+      const std::string brace = pairs.empty() ? "" : "{" + pairs + "}";
+      if (!emitted.insert(name + brace).second) continue;  // dedupe
+      line(name, brace, s.value);
+      line(name + "_max", brace, s.max);
     }
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(h.count));
-    out += "hia_" + h.name + "_bucket{le=\"+Inf\"} " + buf + "\n";
-    std::snprintf(buf, sizeof(buf), "%.9g", h.sum);
-    out += "hia_" + h.name + "_sum " + buf + "\n";
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(h.count));
-    out += "hia_" + h.name + "_count " + buf + "\n";
   }
+
+  // Histograms, grouped the same way. Cumulative buckets, sparse: one line
+  // per boundary where the count changes, then the mandatory le="+Inf"
+  // line equal to _count.
+  std::map<std::string, std::vector<HistogramSnapshot>> hists;
+  for (HistogramSnapshot& h : histograms_snapshot()) {
+    if (h.count == 0) continue;
+    hists[sanitize_metric_name(h.name)].push_back(std::move(h));
+  }
+  for (HistogramSnapshot& h : labeled_histograms_snapshot()) {
+    if (h.count == 0) continue;
+    hists[sanitize_metric_name(h.name)].push_back(std::move(h));
+  }
+  for (const auto& [name, snapshots] : hists) {
+    out += "# TYPE hia_" + name + " histogram\n";
+    for (const HistogramSnapshot& h : snapshots) {
+      const std::string pairs = h.labels.prometheus_pairs();
+      const std::string brace = pairs.empty() ? "" : "{" + pairs + "}";
+      if (!emitted.insert(name + brace).second) continue;  // dedupe
+      const std::string le_prefix = pairs.empty() ? "{" : "{" + pairs + ",";
+      uint64_t cum = 0;
+      for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0) continue;
+        cum += h.buckets[b];
+        const double le = histogram_bucket_upper_bound(static_cast<int>(b));
+        if (std::isinf(le)) continue;  // folded into the +Inf line below
+        std::snprintf(buf, sizeof(buf), "%.9g", le);
+        out += "hia_" + name + "_bucket" + le_prefix + "le=\"" + buf + "\"} ";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(cum));
+        out += std::string(buf) + "\n";
+      }
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(h.count));
+      out += "hia_" + name + "_bucket" + le_prefix + "le=\"+Inf\"} " + buf +
+             "\n";
+      std::snprintf(buf, sizeof(buf), "%.9g", h.sum);
+      out += "hia_" + name + "_sum" + brace + " " + buf + "\n";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(h.count));
+      out += "hia_" + name + "_count" + brace + " " + buf + "\n";
+    }
+  }
+
   out += "# TYPE hia_trace_dropped_events counter\n";
-  line("trace_dropped_events", static_cast<int64_t>(dropped_events()));
+  line("trace_dropped_events", "", static_cast<int64_t>(dropped_events()));
   out += "# TYPE hia_trace_oversized_names counter\n";
-  line("trace_oversized_names", static_cast<int64_t>(oversized_names()));
+  line("trace_oversized_names", "", static_cast<int64_t>(oversized_names()));
   out += "# TYPE hia_trace_recorded_events gauge\n";
-  line("trace_recorded_events", static_cast<int64_t>(recorded_events()));
+  line("trace_recorded_events", "", static_cast<int64_t>(recorded_events()));
   return out;
 }
 
@@ -338,10 +403,110 @@ TraceValidation validate_chrome_trace_json(const std::string& text) {
   return v;
 }
 
+namespace {
+
+bool legal_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!is_legal_metric_char(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+bool legal_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Parses a Prometheus label-set body (the text between '{' and '}')
+/// into name/value pairs, honoring quoted values with \\, \" and \n
+/// escapes. Returns false with `err` set on malformed input.
+bool parse_label_pairs(const std::string& body,
+                       std::vector<std::pair<std::string, std::string>>& out,
+                       std::string& err) {
+  size_t i = 0;
+  while (i < body.size()) {
+    const size_t eq = body.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= body.size() ||
+        body[eq + 1] != '"') {
+      err = "label without =\"value\"";
+      return false;
+    }
+    const std::string label = body.substr(i, eq - i);
+    if (!legal_label_name(label)) {
+      err = "illegal label name '" + label + "'";
+      return false;
+    }
+    std::string value;
+    size_t j = eq + 2;
+    bool closed = false;
+    for (; j < body.size(); ++j) {
+      const char c = body[j];
+      if (c == '\\') {
+        if (j + 1 >= body.size()) break;
+        ++j;
+        value += body[j] == 'n' ? '\n' : body[j];
+      } else if (c == '"') {
+        closed = true;
+        break;
+      } else {
+        value += c;
+      }
+    }
+    if (!closed) {
+      err = "unterminated label value for '" + label + "'";
+      return false;
+    }
+    out.emplace_back(label, value);
+    i = j + 1;
+    if (i < body.size()) {
+      if (body[i] != ',') {
+        err = "expected ',' between labels";
+        return false;
+      }
+      ++i;
+      if (i >= body.size()) {
+        err = "trailing ',' in label set";
+        return false;
+      }
+    }
+  }
+  for (size_t a = 0; a < out.size(); ++a) {
+    for (size_t b = a + 1; b < out.size(); ++b) {
+      if (out[a].first == out[b].first) {
+        err = "duplicate label name '" + out[a].first + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Canonical (sorted) rendering of a label set for series identity.
+std::string canonical_labels(
+    std::vector<std::pair<std::string, std::string>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  std::string out;
+  for (const auto& [k, val] : pairs) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + val + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
 MetricsValidation validate_metrics_text(const std::string& text) {
   MetricsValidation v;
 
   struct HistState {
+    std::string base;        // declared histogram metric name
     double prev_le = -std::numeric_limits<double>::infinity();
     double prev_cum = -1.0;  // cumulative counts must be non-decreasing
     bool saw_inf = false;
@@ -351,7 +516,11 @@ MetricsValidation validate_metrics_text(const std::string& text) {
     double count_value = -1.0;
   };
   std::map<std::string, char> types;  // series -> 'g'auge/'c'ounter/'h'istogram
+  // Histogram state is per *series*: keyed by base name plus the canonical
+  // non-le label set, so hia_x{tenant="1"} and hia_x{tenant="2"} (and the
+  // unlabeled hia_x) are independent triplets under one # TYPE.
   std::map<std::string, HistState> hists;
+  std::set<std::string> seen_series;  // name + canonical labels, dedupe
 
   size_t lineno = 0;
   size_t pos = 0;
@@ -381,6 +550,15 @@ MetricsValidation validate_metrics_text(const std::string& text) {
         fail("unknown metric type " + type);
         return v;
       }
+      if (!legal_metric_name(name)) {
+        fail("illegal metric name '" + name + "'");
+        return v;
+      }
+      auto it = types.find(name);
+      if (it != types.end() && it->second != type[0]) {
+        fail("metric " + name + " re-declared with a different type");
+        return v;
+      }
       types[name] = type[0];
       continue;
     }
@@ -392,16 +570,42 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       return v;
     }
     const std::string name = line.substr(0, name_end);
-    std::string labels;
+    if (!legal_metric_name(name)) {
+      fail("illegal metric name '" + name + "'");
+      return v;
+    }
+    std::vector<std::pair<std::string, std::string>> labels;
     size_t value_begin = name_end;
     if (line[name_end] == '{') {
-      const size_t close = line.find('}', name_end);
+      // Scan for the closing brace outside any quoted label value.
+      size_t close = std::string::npos;
+      bool in_quote = false;
+      for (size_t i = name_end + 1; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quote) {
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            in_quote = false;
+          }
+        } else if (c == '"') {
+          in_quote = true;
+        } else if (c == '}') {
+          close = i;
+          break;
+        }
+      }
       if (close == std::string::npos || close + 1 >= line.size() ||
           line[close + 1] != ' ') {
         fail("malformed label set");
         return v;
       }
-      labels = line.substr(name_end + 1, close - name_end - 1);
+      const std::string body = line.substr(name_end + 1, close - name_end - 1);
+      std::string err;
+      if (!parse_label_pairs(body, labels, err)) {
+        fail(err);
+        return v;
+      }
       value_begin = close + 1;
     }
     if (line[value_begin] != ' ') {
@@ -416,6 +620,12 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       return v;
     }
     ++v.samples;
+
+    const std::string series_key = name + "{" + canonical_labels(labels) + "}";
+    if (!seen_series.insert(series_key).second) {
+      fail("duplicate series " + series_key);
+      return v;
+    }
 
     // Resolve the declared series this sample belongs to.
     auto ends_with = [&](const char* suffix) {
@@ -451,15 +661,24 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       continue;
     }
 
-    HistState& h = hists[hist_base];
+    // The histogram series identity excludes the per-bucket le label.
+    std::string le_str;
+    std::vector<std::pair<std::string, std::string>> non_le;
+    for (const auto& [k, val] : labels) {
+      if (k == "le") {
+        le_str = val;
+      } else {
+        non_le.emplace_back(k, val);
+      }
+    }
+    HistState& h =
+        hists[hist_base + "{" + canonical_labels(non_le) + "}"];
+    h.base = hist_base;
     if (std::string_view(hist_part) == "_bucket") {
-      const size_t le_pos = labels.find("le=\"");
-      const size_t le_end = labels.find('"', le_pos + 4);
-      if (le_pos == std::string::npos || le_end == std::string::npos) {
+      if (le_str.empty()) {
         fail("histogram bucket without le label");
         return v;
       }
-      const std::string le_str = labels.substr(le_pos + 4, le_end - le_pos - 4);
       double le;
       if (le_str == "+Inf") {
         le = std::numeric_limits<double>::infinity();
@@ -494,18 +713,26 @@ MetricsValidation validate_metrics_text(const std::string& text) {
   }
 
   for (const auto& [name, type] : types) {
-    if (type == 'h' && hists.count(name) == 0) {
+    if (type != 'h') continue;
+    bool any = false;
+    for (const auto& [key, h] : hists) {
+      if (h.base == name) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
       v.error = "histogram " + name + " declared but has no samples";
       return v;
     }
   }
-  for (const auto& [name, h] : hists) {
+  for (const auto& [key, h] : hists) {
     if (!h.saw_inf || !h.saw_sum || !h.saw_count) {
-      v.error = "histogram " + name + " missing _bucket{le=\"+Inf\"}/_sum/_count";
+      v.error = "histogram " + key + " missing _bucket{le=\"+Inf\"}/_sum/_count";
       return v;
     }
     if (h.inf_count != h.count_value) {
-      v.error = "histogram " + name + " +Inf bucket != _count";
+      v.error = "histogram " + key + " +Inf bucket != _count";
       return v;
     }
     ++v.histograms;

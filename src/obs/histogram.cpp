@@ -6,6 +6,7 @@
 #include <memory>
 #include <limits>
 #include <mutex>
+#include <utility>
 
 namespace hia::obs {
 
@@ -19,7 +20,10 @@ constexpr int kNumBuckets = 1 + kMidBuckets + 1;  // underflow + mid + overflow
 
 struct HistogramRegistry {
   std::mutex mutex;
-  std::map<std::string, Histogram*> by_name;
+  // Keyed by (name, labels); the unlabeled series is Labels{}. by_id spans
+  // both labeled and unlabeled histograms (it indexes the per-thread shard
+  // cache, which does not care about labels).
+  std::map<std::pair<std::string, Labels>, Histogram*> by_key;
   std::vector<Histogram*> by_id;
 };
 
@@ -77,8 +81,8 @@ int histogram_bucket_index(double value) {
 
 // ---------------------------------------------------------- Histogram ----
 
-Histogram::Histogram(std::string name, size_t id)
-    : name_(std::move(name)), id_(id) {}
+Histogram::Histogram(std::string name, Labels labels, size_t id)
+    : name_(std::move(name)), labels_(std::move(labels)), id_(id) {}
 
 Histogram::Shard& Histogram::local_shard() {
   if (id_ < t_shards.size() && t_shards[id_] != nullptr) {
@@ -112,6 +116,7 @@ void Histogram::record(double value) {
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot out;
   out.name = name_;
+  out.labels = labels_;
   out.buckets.assign(kNumBuckets, 0);
   std::lock_guard lock(shards_mutex());
   for (Shard* shard : shards_) {
@@ -220,12 +225,18 @@ HistogramSnapshot merge(const HistogramSnapshot& a,
 // ----------------------------------------------------------- registry ----
 
 Histogram& histogram(const std::string& name) {
+  return histogram(name, Labels{});
+}
+
+Histogram& histogram(const std::string& name, const Labels& labels) {
   HistogramRegistry& reg = registry();
   std::lock_guard lock(reg.mutex);
-  auto it = reg.by_name.find(name);
-  if (it != reg.by_name.end()) return *it->second;
-  auto* h = new Histogram(name, reg.by_id.size());  // leaked, stable address
-  reg.by_name.emplace(name, h);
+  const auto key = std::make_pair(name, labels);
+  auto it = reg.by_key.find(key);
+  if (it != reg.by_key.end()) return *it->second;
+  // leaked, stable address
+  auto* h = new Histogram(name, labels, reg.by_id.size());
+  reg.by_key.emplace(key, h);
   reg.by_id.push_back(h);
   return *h;
 }
@@ -235,7 +246,24 @@ std::vector<HistogramSnapshot> histograms_snapshot() {
   {
     HistogramRegistry& reg = registry();
     std::lock_guard lock(reg.mutex);
-    for (const auto& [name, h] : reg.by_name) all.push_back(h);
+    for (const auto& [key, h] : reg.by_key) {
+      if (key.second.empty()) all.push_back(h);
+    }
+  }
+  std::vector<HistogramSnapshot> out;
+  out.reserve(all.size());
+  for (Histogram* h : all) out.push_back(h->snapshot());
+  return out;
+}
+
+std::vector<HistogramSnapshot> labeled_histograms_snapshot() {
+  std::vector<Histogram*> all;
+  {
+    HistogramRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& [key, h] : reg.by_key) {
+      if (!key.second.empty()) all.push_back(h);
+    }
   }
   std::vector<HistogramSnapshot> out;
   out.reserve(all.size());

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/labels.hpp"
+
 namespace hia::obs {
 
 // ---- Shared bucket layout ----
@@ -53,6 +55,7 @@ int histogram_bucket_index(double value);
 /// ship, or merge() with any other snapshot (same global layout).
 struct HistogramSnapshot {
   std::string name;
+  Labels labels;  // empty() for the classic unlabeled series
   uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  // meaningful only when count > 0
@@ -89,17 +92,19 @@ class Histogram {
   /// Merged view across every thread's shard.
   [[nodiscard]] HistogramSnapshot snapshot() const;
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Labels& labels() const { return labels_; }
 
   struct Shard;  // implementation detail, defined in histogram.cpp
 
  private:
-  friend Histogram& histogram(const std::string& name);
+  friend Histogram& histogram(const std::string& name, const Labels& labels);
   friend void reset_histograms();
-  Histogram(std::string name, size_t id);
+  Histogram(std::string name, Labels labels, size_t id);
 
   Shard& local_shard();
 
   const std::string name_;
+  const Labels labels_;
   const size_t id_;  // index into the per-thread shard cache
   mutable std::vector<Shard*> shards_;  // guarded by shards_mutex_ (in .cpp)
 };
@@ -109,8 +114,16 @@ class Histogram {
 /// (`staging_queue_wait_s`, `dart_get_wire_bytes`).
 Histogram& histogram(const std::string& name);
 
-/// Name-sorted snapshot of every registered histogram.
+/// Labeled variant: each distinct (name, labels) pair is its own
+/// histogram; `histogram(name)` is exactly `histogram(name, Labels{})`.
+Histogram& histogram(const std::string& name, const Labels& labels);
+
+/// Name-sorted snapshot of every *unlabeled* registered histogram (the
+/// pre-label surface: RunSummary's "histograms" table, existing reports).
 std::vector<HistogramSnapshot> histograms_snapshot();
+
+/// (name, labels)-sorted snapshot of every *labeled* histogram.
+std::vector<HistogramSnapshot> labeled_histograms_snapshot();
 
 /// Zeroes every registered histogram (all shards). Registrations persist.
 void reset_histograms();

@@ -1,0 +1,78 @@
+// A small fixed label set for the obs registries (counters, histograms,
+// time series): `tenant`, `bucket`, and `site`. Labels replace the
+// name-mangling the multi-tenant service used to do ("metric_t3") with
+// proper dimensions, so the Prometheus exporter can emit
+// `hia_metric{tenant="3"}` and RunSummary can build per-label breakdown
+// tables without string surgery.
+//
+// The unlabeled instrument (`Labels{}` everywhere) is a distinct series
+// from any labeled one: hot paths keep recording into the unlabeled
+// aggregate exactly as before (preserving committed baselines) and
+// additionally stamp a labeled record when they carry a tenant id.
+#pragma once
+
+#include <string>
+
+namespace hia::obs {
+
+struct Labels {
+  int tenant = -1;   // -1 = unset
+  int bucket = -1;   // -1 = unset
+  std::string site;  // "" = unset
+
+  [[nodiscard]] bool empty() const {
+    return tenant < 0 && bucket < 0 && site.empty();
+  }
+
+  friend bool operator==(const Labels& a, const Labels& b) {
+    return a.tenant == b.tenant && a.bucket == b.bucket && a.site == b.site;
+  }
+
+  friend bool operator<(const Labels& a, const Labels& b) {
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    if (a.bucket != b.bucket) return a.bucket < b.bucket;
+    return a.site < b.site;
+  }
+
+  /// Canonical registry key / human-readable form: `tenant=3,bucket=0`.
+  /// Empty string for the unlabeled set.
+  [[nodiscard]] std::string key() const {
+    std::string out;
+    auto append = [&out](const std::string& part) {
+      if (!out.empty()) out += ',';
+      out += part;
+    };
+    if (tenant >= 0) append("tenant=" + std::to_string(tenant));
+    if (bucket >= 0) append("bucket=" + std::to_string(bucket));
+    if (!site.empty()) append("site=" + site);
+    return out;
+  }
+
+  /// Prometheus label-pair rendering without braces: `tenant="3",site="x"`.
+  /// Empty string for the unlabeled set. Set names are fixed and legal;
+  /// the free-form `site` value is escaped by the exporter.
+  [[nodiscard]] std::string prometheus_pairs() const {
+    std::string out;
+    auto append = [&out](const std::string& part) {
+      if (!out.empty()) out += ',';
+      out += part;
+    };
+    if (tenant >= 0) append("tenant=\"" + std::to_string(tenant) + "\"");
+    if (bucket >= 0) append("bucket=\"" + std::to_string(bucket) + "\"");
+    if (!site.empty()) {
+      std::string escaped;
+      for (char c : site) {
+        if (c == '\\' || c == '"') escaped += '\\';
+        if (c == '\n') {
+          escaped += "\\n";
+          continue;
+        }
+        escaped += c;
+      }
+      append("site=\"" + escaped + "\"");
+    }
+    return out;
+  }
+};
+
+}  // namespace hia::obs

@@ -143,6 +143,50 @@ std::string run_summary_json(const RunSummary& meta) {
     }
     out += first ? "}" : "\n  }";
   }
+
+  // Per-label breakdown tables: every labeled counter and histogram,
+  // grouped by metric name and keyed by the canonical label key
+  // ("tenant=3"). Optional — omitted entirely when the run recorded no
+  // labeled series, so unlabeled runs (and the committed baselines) are
+  // byte-identical to the pre-label schema.
+  std::map<std::string, std::string> breakdowns;  // metric -> rendered rows
+  for (const CounterSample& c : labeled_counters_snapshot()) {
+    // Registered-but-untouched cells (e.g. zeroed by reset_counters) add
+    // no information; skipping them keeps a quiesced registry silent.
+    if (c.value == 0 && c.max == 0) continue;
+    std::string& rows = breakdowns[c.name];
+    if (!rows.empty()) rows += ",";
+    rows += "\n      \"";
+    append_escaped(rows, c.labels.key());
+    rows += "\": {\"value\": " + num(static_cast<double>(c.value)) +
+            ", \"max\": " + num(static_cast<double>(c.max)) + "}";
+  }
+  for (const HistogramSnapshot& h : labeled_histograms_snapshot()) {
+    if (h.count == 0) continue;
+    std::string& rows = breakdowns[h.name];
+    if (!rows.empty()) rows += ",";
+    rows += "\n      \"";
+    append_escaped(rows, h.labels.key());
+    rows += "\": {\"count\": " + num(static_cast<double>(h.count)) +
+            ", \"sum\": " + num(h.sum) + ", \"min\": " + num(h.min) +
+            ", \"max\": " + num(h.max) +
+            ", \"p50\": " + num(h.quantile(0.50)) +
+            ", \"p90\": " + num(h.quantile(0.90)) +
+            ", \"p99\": " + num(h.quantile(0.99)) + "}";
+  }
+  if (!breakdowns.empty()) {
+    out += ",\n  \"breakdowns\": {";
+    bool first = true;
+    for (const auto& [name, rows] : breakdowns) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    \"";
+      append_escaped(out, name);
+      out += "\": {" + rows + "\n    }";
+    }
+    out += "\n  }";
+  }
+
   out += "\n}\n";
   return out;
 }
@@ -288,6 +332,37 @@ SummaryValidation validate_run_summary_json(const std::string& text) {
   for (const auto& [name, s] : series->object) {
     if (!check_series(name, s, v.error)) return v;
     ++v.series;
+  }
+
+  // Optional per-label breakdown tables (runs with labeled telemetry
+  // only): an object of metric -> labelset-key -> numeric fields.
+  if (const json::Value* breakdowns = json::find(root, "breakdowns");
+      breakdowns != nullptr) {
+    if (!breakdowns->is_object()) {
+      v.error = "breakdowns is not an object";
+      return v;
+    }
+    for (const auto& [metric, table] : breakdowns->object) {
+      if (!table.is_object() || table.object.empty()) {
+        v.error = "breakdown " + metric + " is not a non-empty object";
+        return v;
+      }
+      for (const auto& [labelset, fields] : table.object) {
+        if (!fields.is_object()) {
+          v.error = "breakdown " + metric + "/" + labelset +
+                    " is not an object";
+          return v;
+        }
+        for (const auto& [field, value] : fields.object) {
+          if (!value.is_number()) {
+            v.error = "breakdown " + metric + "/" + labelset + "/" + field +
+                      " is not a number";
+            return v;
+          }
+        }
+      }
+      ++v.breakdowns;
+    }
   }
 
   v.ok = true;

@@ -24,7 +24,9 @@
 //         "p50": ..., "p90": ..., "p99": ...,
 //         "buckets": [{"le": 0.0011, "count": 3}, ...]}},    // sparse
 //     "series":     {"staging_queue_depth": {
-//         "samples": [[t_s, vt_s, value], ...]}}
+//         "samples": [[t_s, vt_s, value], ...]}},
+//     "breakdowns": {"staging_turnaround_s": {          // labeled runs only
+//         "tenant=1": {"count": ..., "p50": ..., "p99": ...}, ...}}
 //   }
 #pragma once
 
@@ -62,6 +64,7 @@ struct SummaryValidation {
   size_t counters = 0;
   size_t histograms = 0;  // histograms with count/p50/p99/buckets present
   size_t series = 0;      // series with at least one dual-clock sample
+  size_t breakdowns = 0;  // per-label breakdown tables (optional section)
 };
 
 /// Parses `json` and checks the schema-v1 invariants: schema tag, metrics

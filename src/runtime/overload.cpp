@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -197,6 +198,7 @@ void OverloadControl::update_state_locked() {
       break;
   }
   if (next != state_) {
+    const PressureState prev = state_;
     state_ = next;
     pressure_gauge().set(static_cast<int64_t>(next));
     const char* name = next == PressureState::kSaturated ? "pressure:saturated"
@@ -205,6 +207,9 @@ void OverloadControl::update_state_locked() {
                            : "pressure:nominal";
     obs::instant("overload", name,
                  {.bytes = static_cast<long long>(queue_total)});
+    obs::record_event(obs::EventKind::kPressure, -1, -1,
+                      static_cast<int64_t>(next),
+                      static_cast<int64_t>(prev));
   }
   peak_queue_bytes_ = std::max(peak_queue_bytes_, queue_total);
 }
@@ -251,6 +256,9 @@ PressureSignal OverloadControl::admit(size_t bytes, int tenant) {
       static obs::Counter& overdraft_c =
           obs::counter("dart_admission_overdrafts");
       overdraft_c.add(1);
+      if (tenant > 0) {
+        obs::counter("dart_admission_overdrafts", {.tenant = tenant}).add(1);
+      }
       obs::instant("overload", "admission_overdraft",
                    {.bytes = static_cast<long long>(bytes)});
     }
@@ -263,6 +271,10 @@ PressureSignal OverloadControl::admit(size_t bytes, int tenant) {
     credits_gauge().add(1);
     static obs::Histogram& wait_h = obs::histogram("dart_admission_wait_s");
     wait_h.record(wait_s);
+    if (tenant > 0) {
+      obs::histogram("dart_admission_wait_s", {.tenant = tenant})
+          .record(wait_s);
+    }
     update_state_locked();
   }
   return signal_locked();

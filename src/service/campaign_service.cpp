@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "runtime/fault.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -72,6 +74,79 @@ int CampaignService::add_tenant(TenantSpec spec) {
   }
   specs_.push_back(std::move(spec));
   return id;
+}
+
+CampaignService::Status CampaignService::poll_status() {
+  Status st;
+  const PressureSignal sig = staging_->pressure();
+  st.pressure = sig.state;
+  st.queue_depth = sig.queue_depth;
+  st.queue_bytes = sig.queue_bytes;
+  st.store_bytes = sig.store_bytes;
+  st.credits_free = sig.credits_free;
+  st.live_buckets = staging_->live_bucket_count();
+  st.virtual_time_s = staging_->now();
+  if (pool_ != nullptr) st.pool = pool_->stats();
+
+  const std::vector<StagingService::TenantShare> shares =
+      staging_->tenant_shares();
+  double settled_bucket_s = 0.0;
+  for (const StagingService::TenantShare& s : shares) {
+    settled_bucket_s += s.bucket_seconds;
+  }
+  const double total_weight = registry_.total_weight();
+
+  std::lock_guard<std::mutex> status_lock(status_mutex_);
+  for (int id = 1; id <= registry_.count(); ++id) {
+    TenantStatus ts;
+    ts.tenant = id;
+    ts.name = registry_.name(id);
+    ts.weight = registry_.weight(id);
+    ts.target_share = total_weight > 0.0 ? ts.weight / total_weight : 0.0;
+    for (const StagingService::TenantShare& s : shares) {
+      if (s.tenant != id) continue;
+      ts.observed_share =
+          settled_bucket_s > 0.0 ? s.bucket_seconds / settled_bucket_s : 0.0;
+      ts.queue_depth = s.queue_depth;
+      ts.queue_bytes = s.queue_bytes;
+      ts.outstanding = s.outstanding;
+      break;
+    }
+    if (overload_ != nullptr) {
+      const OverloadControl::TenantStats os = overload_->tenant_stats(id);
+      ts.credits_outstanding = os.credits_outstanding;
+      ts.credit_cap = os.credit_cap;
+    }
+    obs::Labels labels;
+    labels.tenant = id;
+    ts.completed = obs::counter("staging_tasks_completed", labels).value();
+    ts.degraded = obs::counter("staging_tasks_degraded", labels).value();
+    ts.shed = obs::counter("staging_tasks_dropped", labels).value();
+    ts.deferred = obs::counter("staging_tasks_deferred", labels).value();
+
+    ts.slo_target_s = specs_[static_cast<size_t>(id - 1)].slo_target_s;
+    const obs::HistogramSnapshot turnaround =
+        obs::histogram("staging_turnaround_s", labels).snapshot();
+    ts.p99_turnaround_s = turnaround.quantile(0.99);
+    ts.slo_samples = turnaround.count;
+    const int target_bucket = obs::histogram_bucket_index(ts.slo_target_s);
+    for (int b = target_bucket + 1;
+         b < static_cast<int>(turnaround.buckets.size()); ++b) {
+      ts.slo_over += turnaround.buckets[static_cast<size_t>(b)];
+    }
+    std::pair<uint64_t, uint64_t>& prev = slo_prev_[id];
+    const uint64_t new_samples =
+        ts.slo_samples >= prev.first ? ts.slo_samples - prev.first : 0;
+    const uint64_t new_over =
+        ts.slo_over >= prev.second ? ts.slo_over - prev.second : 0;
+    ts.slo_burn = new_samples > 0
+                      ? static_cast<double>(new_over) /
+                            static_cast<double>(new_samples)
+                      : 0.0;
+    prev = {ts.slo_samples, ts.slo_over};
+    st.tenants.push_back(std::move(ts));
+  }
+  return st;
 }
 
 CampaignService::ServiceReport CampaignService::run() {

@@ -20,9 +20,13 @@
 // and the overload control; tenant configs must leave both empty.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/framework.hpp"
@@ -59,6 +63,10 @@ class CampaignService {
     /// Admission credits the tenant may hold at once (0 = uncapped;
     /// effective only when the service overload spec sets credits).
     int credit_cap = 0;
+    /// Turnaround SLO target for the operator console: poll_status()
+    /// reports the fraction of completed tasks whose turnaround exceeded
+    /// this, per polling interval ("SLO burn").
+    double slo_target_s = 0.05;
     /// The tenant's campaign: sim size, steps, codec, steering policy.
     /// `faults` and `overload` must be empty — the service owns those.
     RunConfig config;
@@ -96,6 +104,56 @@ class CampaignService {
   /// returns the combined report. May be called once.
   ServiceReport run();
 
+  // ---- Live operator console ----
+
+  /// One tenant's row in a status snapshot. Counts come from the labeled
+  /// telemetry registries (obs/), share and queue figures from the
+  /// scheduler's fair-share ledger, credits from the admission gate.
+  struct TenantStatus {
+    int tenant = 0;
+    std::string name;
+    double weight = 1.0;
+    double target_share = 0.0;    // weight / total weight
+    double observed_share = 0.0;  // settled bucket-seconds share so far
+    size_t queue_depth = 0;       // this tenant's tasks waiting now
+    size_t queue_bytes = 0;
+    size_t outstanding = 0;       // submitted, not yet terminal
+    int credits_outstanding = 0;  // admission credits held right now
+    int credit_cap = 0;           // configured cap (0 = uncapped)
+    int64_t completed = 0;        // terminal-state counts so far
+    int64_t degraded = 0;
+    int64_t shed = 0;
+    int64_t deferred = 0;
+    double p99_turnaround_s = 0.0;  // rolling p99 from the labeled histogram
+    double slo_target_s = 0.0;      // the tenant's configured target
+    /// Fraction of turnaround samples recorded since the previous
+    /// poll_status() call that exceeded slo_target_s (0 when no new
+    /// samples arrived). Bucketed: a sample counts as over-target only
+    /// when it landed strictly above the bucket covering the target, so
+    /// the burn rate is a slight under-estimate (<= one bucket width,
+    /// ~9% relative).
+    double slo_burn = 0.0;
+    uint64_t slo_samples = 0;  // cumulative turnaround samples
+    uint64_t slo_over = 0;     // cumulative samples over target
+  };
+
+  /// Service-wide status snapshot for operator consoles (hia_top, the
+  /// --status-interval digest). Lock-cheap: a handful of short internal
+  /// locks, no allocation proportional to task count. Safe to call
+  /// concurrently with run() from any thread, and before/after it.
+  struct Status {
+    PressureState pressure = PressureState::kNominal;
+    size_t queue_depth = 0;  // shared staging queue, all tenants
+    size_t queue_bytes = 0;
+    size_t store_bytes = 0;
+    int credits_free = -1;  // -1 = admission gate off
+    int live_buckets = 0;
+    double virtual_time_s = 0.0;  // staging task-clock seconds
+    ElasticBucketPool::Stats pool;  // zeros when the pool is fixed
+    std::vector<TenantStatus> tenants;  // in tenant-id order
+  };
+  [[nodiscard]] Status poll_status();
+
   [[nodiscard]] StagingService& staging() { return *staging_; }
   [[nodiscard]] Dart& dart() { return *dart_; }
   [[nodiscard]] TenantRegistry& tenants() { return registry_; }
@@ -114,6 +172,12 @@ class CampaignService {
   TenantRegistry registry_;
   std::vector<TenantSpec> specs_;  // index = tenant id - 1
   bool ran_ = false;
+
+  /// SLO-burn delta state: per tenant, the (samples, over-target) totals
+  /// seen at the previous poll_status() call. Guarded by status_mutex_ so
+  /// concurrent pollers each get a consistent (if interleaved) delta.
+  std::mutex status_mutex_;
+  std::map<int, std::pair<uint64_t, uint64_t>> slo_prev_;
 };
 
 }  // namespace hia

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -148,6 +149,9 @@ std::vector<StagingService::Assigned> StagingService::apply_scripted_kills(
     killed.add(1);
     obs::instant("fault", "bucket_killed",
                  {.bucket = b, .step = step, .vtime = clock_.seconds()});
+    obs::record_event(obs::EventKind::kFaultVerdict, -1, b,
+                      static_cast<int64_t>(obs::EventFaultSite::kBucketKill),
+                      b, clock_.seconds());
     HIA_LOG_WARN("staging", "bucket %d killed by fault plan at step %ld", b,
                  step);
     for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
@@ -251,6 +255,10 @@ void StagingService::apply_scripted_overload(long step) {
                  {.step = step,
                   .bytes = static_cast<long long>(inject.bytes),
                   .vtime = clock_.seconds()});
+    obs::record_event(
+        obs::EventKind::kFaultVerdict, -1, -1,
+        static_cast<int64_t>(obs::EventFaultSite::kPhantomBytes),
+        static_cast<int64_t>(inject.bytes), clock_.seconds());
     HIA_LOG_WARN("staging",
                  "fault plan injected %zu phantom queue bytes at step %ld",
                  inject.bytes, step);
@@ -263,6 +271,10 @@ void StagingService::apply_scripted_overload(long step) {
     faults_->count_credit_starve(starve.credits);
     obs::instant("fault", "credit_starve",
                  {.step = step, .vtime = clock_.seconds()});
+    obs::record_event(
+        obs::EventKind::kFaultVerdict, -1, -1,
+        static_cast<int64_t>(obs::EventFaultSite::kCreditStarve),
+        starve.credits, clock_.seconds());
     HIA_LOG_WARN("staging",
                  "fault plan confiscated %d admission credits at step %ld",
                  starve.credits, step);
@@ -280,6 +292,10 @@ void StagingService::apply_scripted_overload(long step) {
                  {.step = step,
                   .bytes = static_cast<long long>(hog.bytes),
                   .vtime = clock_.seconds()});
+    obs::record_event(
+        obs::EventKind::kFaultVerdict, hog.tenant, -1,
+        static_cast<int64_t>(obs::EventFaultSite::kPhantomBytes),
+        static_cast<int64_t>(hog.bytes), clock_.seconds());
     HIA_LOG_WARN("staging",
                  "tenant %d hogged %zu phantom queue bytes at step %ld",
                  hog.tenant, hog.bytes, step);
@@ -333,6 +349,9 @@ uint64_t StagingService::submit(InTransitTask task) {
     }
   }
   obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
+                    static_cast<int64_t>(id), static_cast<int64_t>(bytes),
+                    clock_.seconds());
   work_cv_.notify_all();
   if (diverted.has_value()) {
     static obs::Counter& diversions = obs::counter("staging_overload_diversions");
@@ -384,6 +403,9 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
     assigned.enqueue_time = clock_.seconds();
     assigned.bytes = task_wire_bytes(assigned.task);
   }
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
+                    static_cast<int64_t>(id),
+                    static_cast<int64_t>(assigned.bytes), clock_.seconds());
   if (route == SubmitRoute::kFallback) {
     run_task(-1, std::move(assigned), clock_.seconds(),
              TaskOutcome::kDegraded);
@@ -411,8 +433,19 @@ uint64_t StagingService::record_deferred(const std::string& analysis,
   }
   static obs::Counter& deferred = obs::counter("staging_tasks_deferred");
   deferred.add(1);
+  if (fair_share_enabled()) {
+    obs::counter("staging_tasks_deferred", {.tenant = tenant}).add(1);
+  }
   obs::instant("overload", "task_deferred",
                {.step = step, .vtime = clock_.seconds()});
+  // A deferral is a submission that terminates immediately: both events
+  // are recorded so the per-tenant partition stays conserved.
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
+                    static_cast<int64_t>(record.task_id), 0,
+                    record.enqueue_time);
+  obs::record_event(obs::EventKind::kTaskDefer, tenant, -1,
+                    static_cast<int64_t>(record.task_id), 0,
+                    record.complete_time);
   return record.task_id;
 }
 
@@ -475,6 +508,7 @@ void StagingService::drain_tenant(int tenant) {
 
 int StagingService::add_bucket() {
   int index = -1;
+  int live_after = 0;
   {
     std::lock_guard lock(mutex_);
     index = static_cast<int>(buckets_.size());
@@ -485,11 +519,14 @@ int StagingService::add_bucket() {
     buckets_.back().thread =
         std::thread([this, index] { bucket_main(index); });
     ++live_buckets_;
+    live_after = live_buckets_;
   }
   static obs::Counter& grows = obs::counter("staging_pool_grows");
   grows.add(1);
   obs::instant("pool", "bucket_added",
                {.bucket = index, .vtime = clock_.seconds()});
+  obs::record_event(obs::EventKind::kPoolGrow, -1, index, index, live_after,
+                    clock_.seconds());
   HIA_LOG_INFO("staging", "elastic pool grew: bucket %d joined", index);
   work_cv_.notify_all();
   return index;
@@ -497,6 +534,7 @@ int StagingService::add_bucket() {
 
 int StagingService::retire_bucket() {
   int victim = -1;
+  int live_after = 0;
   {
     std::lock_guard lock(mutex_);
     if (live_buckets_ <= 1) return -1;  // never retire the last bucket
@@ -516,6 +554,7 @@ int StagingService::retire_bucket() {
     HIA_ASSERT(victim >= 0);
     buckets_[static_cast<size_t>(victim)].dead = true;
     --live_buckets_;
+    live_after = live_buckets_;
     for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
       if (*it == victim) {
         free_buckets_.erase(it);
@@ -527,6 +566,8 @@ int StagingService::retire_bucket() {
   shrinks.add(1);
   obs::instant("pool", "bucket_retired",
                {.bucket = victim, .vtime = clock_.seconds()});
+  obs::record_event(obs::EventKind::kPoolShrink, -1, victim, victim,
+                    live_after, clock_.seconds());
   HIA_LOG_INFO("staging", "elastic pool shrank: bucket %d retired", victim);
   work_cv_.notify_all();
   return victim;
@@ -812,8 +853,15 @@ void StagingService::shed_task(Assigned assigned) {
   // record and bumps an explicit counter — nothing disappears silently.
   static obs::Counter& dropped = obs::counter("staging_tasks_dropped");
   dropped.add(1);
+  if (fair_share_enabled()) {
+    obs::counter("staging_tasks_dropped", {.tenant = assigned.task.tenant})
+        .add(1);
+  }
   obs::instant("fault", "task_shed",
                {.step = assigned.task.step, .vtime = clock_.seconds()});
+  obs::record_event(obs::EventKind::kTaskShed, assigned.task.tenant, -1,
+                    static_cast<int64_t>(assigned.task.task_id),
+                    assigned.attempt, clock_.seconds());
   HIA_LOG_WARN("staging", "task %llu (%s, step %ld) shed after %d attempts",
                static_cast<unsigned long long>(assigned.task.task_id),
                assigned.task.analysis.c_str(), assigned.task.step,
@@ -882,6 +930,10 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
                 outcome == TaskOutcome::kDegraded ? "degraded:" : "",
                 assigned.task.analysis.c_str());
   if (bucket_index >= 0) busy_buckets().add(1);
+  obs::record_event(obs::EventKind::kTaskAssign, assigned.task.tenant,
+                    bucket_index,
+                    static_cast<int64_t>(assigned.task.task_id),
+                    assigned.attempt, assign_time);
   obs::Span task_span("sched", span_name,
                       {.bucket = bucket_index,
                        .step = assigned.task.step,
@@ -985,13 +1037,28 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
       --t.outstanding;
     }
   }
+  const bool fair_share = fair_share_enabled();
   if (outcome == TaskOutcome::kDegraded) {
     static obs::Counter& degraded = obs::counter("staging_tasks_degraded");
     degraded.add(1);
+    if (fair_share) {
+      obs::counter("staging_tasks_degraded", {.tenant = record.tenant})
+          .add(1);
+    }
   } else {
     static obs::Counter& completed = obs::counter("staging_tasks_completed");
     completed.add(1);
+    if (fair_share) {
+      obs::counter("staging_tasks_completed", {.tenant = record.tenant})
+          .add(1);
+    }
   }
+  obs::record_event(outcome == TaskOutcome::kDegraded
+                        ? obs::EventKind::kTaskDegrade
+                        : obs::EventKind::kTaskComplete,
+                    record.tenant, record.bucket,
+                    static_cast<int64_t>(record.task_id), record.attempts,
+                    record.complete_time);
   // The three Fig. 5 latency distributions, on the task (virtual) clock.
   static obs::Histogram& wait_h = obs::histogram("staging_queue_wait_s");
   static obs::Histogram& compute_h = obs::histogram("staging_compute_s");
@@ -999,10 +1066,12 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
   wait_h.record(record.assign_time - record.enqueue_time);
   compute_h.record(record.compute_seconds);
   turnaround_h.record(record.complete_time - record.enqueue_time);
-  if (fair_share_enabled()) {
+  if (fair_share) {
     // Per-tenant turnaround: the isolation metric the service drill and
-    // the tenants ablation gate on (p99 per tenant under contention).
-    obs::histogram("staging_turnaround_s_t" + std::to_string(record.tenant))
+    // the tenants ablation gate on (p99 per tenant under contention). A
+    // labeled series per tenant, not a mangled name: the exporter renders
+    // it as hia_staging_turnaround_s{tenant="N"}.
+    obs::histogram("staging_turnaround_s", {.tenant = record.tenant})
         .record(record.complete_time - record.enqueue_time);
   }
   if (bucket_index >= 0) busy_buckets().add(-1);

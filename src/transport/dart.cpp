@@ -6,6 +6,7 @@
 
 #include "compress/codec.hpp"
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -103,6 +104,12 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data,
     }
   }
   if (admitted) event_cv_.notify_all();
+  obs::record_event(obs::EventKind::kPut, tenant, -1,
+                    static_cast<int64_t>(id), static_cast<int64_t>(bytes));
+  if (tenant > 0) {
+    obs::histogram("dart_put_bytes", {.tenant = tenant})
+        .record(static_cast<double>(bytes));
+  }
   return DartHandle{id, bytes, owner_node};
 }
 
@@ -170,6 +177,12 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
     }
   }
   if (admitted) event_cv_.notify_all();
+  obs::record_event(obs::EventKind::kPut, tenant, -1,
+                    static_cast<int64_t>(id), static_cast<int64_t>(wire));
+  if (tenant > 0) {
+    obs::histogram("dart_put_bytes", {.tenant = tenant})
+        .record(static_cast<double>(raw));
+  }
   return DartHandle{id, wire, owner_node};
 }
 
@@ -190,6 +203,7 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
 
   std::vector<std::byte> data;
   int owner = -1;
+  int tenant = -1;
   size_t raw_bytes = 0;
   bool encoded = false;
   TransferPath path = TransferPath::kSmsg;
@@ -209,6 +223,7 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
       HIA_REQUIRE(rit != regions_.end(), "get of unknown/released region");
       data = rit->second.data;  // RDMA read: copy out, region stays published
       owner = rit->second.owner_node;
+      tenant = rit->second.tenant;
       raw_bytes = rit->second.raw_bytes;
       encoded = rit->second.encoded;
     }
@@ -251,6 +266,10 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
       if (fault.drop) {
         obs::instant("fault", "frame_drop",
                      {.bytes = static_cast<long long>(data.size())});
+        obs::record_event(
+            obs::EventKind::kFaultVerdict, tenant, -1,
+            static_cast<int64_t>(obs::EventFaultSite::kFrameDrop),
+            static_cast<int64_t>(data.size()));
         damaged = true;
       } else {
         if (fault.corrupt && !data.empty()) {
@@ -272,6 +291,10 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
           crc_failures.add(1);
           obs::instant("fault", "frame_crc_fail",
                        {.bytes = static_cast<long long>(data.size())});
+          obs::record_event(
+              obs::EventKind::kFaultVerdict, tenant, -1,
+              static_cast<int64_t>(obs::EventFaultSite::kFrameCrc),
+              static_cast<int64_t>(data.size()));
           std::lock_guard lock(mutex_);
           ++counters_.crc_failures;
           damaged = true;
@@ -332,6 +355,13 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
     push_event(owner, std::move(ev));
   }
   event_cv_.notify_all();
+  obs::record_event(obs::EventKind::kGet, tenant, -1,
+                    static_cast<int64_t>(handle.id),
+                    static_cast<int64_t>(data.size()));
+  if (tenant > 0) {
+    obs::histogram("dart_get_wire_bytes", {.tenant = tenant})
+        .record(static_cast<double>(data.size()));
+  }
   return data;
 }
 

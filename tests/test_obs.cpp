@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/histogram.hpp"
+#include "obs/labels.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -32,6 +34,7 @@ class ObsTest : public ::testing::Test {
     obs::reset_counters();
     obs::reset_histograms();
     obs::reset_timeseries();
+    obs::reset_events();
   }
   void TearDown() override {
     obs::disable();
@@ -39,6 +42,7 @@ class ObsTest : public ::testing::Test {
     obs::reset_counters();
     obs::reset_histograms();
     obs::reset_timeseries();
+    obs::reset_events();
   }
 };
 
@@ -512,7 +516,16 @@ TEST_F(ObsTest, TimeseriesBackgroundSampler) {
   obs::counter("test_counter_gauge").add(7);
   obs::start_sampler(200.0);
   EXPECT_TRUE(obs::sampler_running());
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Poll until the sampler has demonstrably ticked twice instead of
+  // sleeping a fixed interval: the 1-core CI box can starve the sampler
+  // thread for longer than any hard-coded sleep.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto probe = obs::timeseries_snapshot();
+    if (!probe.empty() && probe[0].samples.size() >= 2u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   obs::stop_sampler();
   EXPECT_FALSE(obs::sampler_running());
   const auto series = obs::timeseries_snapshot();
@@ -603,6 +616,152 @@ TEST_F(ObsTest, MetricsTextHistogramTripletValidates) {
   EXPECT_NE(text.find("hia_test_expo_s_bucket{le=\"+Inf\"} 64"),
             std::string::npos);
   EXPECT_NE(text.find("hia_test_expo_s_count 64"), std::string::npos);
+}
+
+// ---- Labels ----
+
+TEST_F(ObsTest, LabeledInstrumentsAreIsolatedFromUnlabeled) {
+  obs::Labels t1;
+  t1.tenant = 1;
+  obs::Labels t2;
+  t2.tenant = 2;
+  obs::counter("test_tasks").add(5);
+  obs::counter("test_tasks", t1).add(2);
+  obs::counter("test_tasks", t2).add(3);
+  EXPECT_EQ(obs::counter("test_tasks").value(), 5);
+  EXPECT_EQ(obs::counter("test_tasks", t1).value(), 2);
+  EXPECT_EQ(obs::counter("test_tasks", t2).value(), 3);
+  // The unlabeled snapshot (the pre-label surface every report consumes)
+  // must not see the labeled cells, and vice versa.
+  for (const obs::CounterSample& s : obs::counters_snapshot()) {
+    EXPECT_TRUE(s.labels.empty()) << s.name;
+    if (s.name == "test_tasks") {
+      EXPECT_EQ(s.value, 5);
+    }
+  }
+  size_t labeled = 0;
+  for (const obs::CounterSample& s : obs::labeled_counters_snapshot()) {
+    EXPECT_FALSE(s.labels.empty()) << s.name;
+    if (s.name == "test_tasks") ++labeled;
+  }
+  EXPECT_EQ(labeled, 2u);
+
+  obs::histogram("test_lat_s").record(0.5);
+  obs::histogram("test_lat_s", t1).record(0.25);
+  EXPECT_EQ(obs::histogram("test_lat_s").snapshot().count, 1u);
+  EXPECT_EQ(obs::histogram("test_lat_s", t1).snapshot().count, 1u);
+  EXPECT_DOUBLE_EQ(obs::histogram("test_lat_s", t1).snapshot().max, 0.25);
+}
+
+TEST_F(ObsTest, LabelsKeyAndPrometheusRendering) {
+  obs::Labels l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.key(), "");
+  l.tenant = 3;
+  l.bucket = 0;
+  EXPECT_EQ(l.key(), "tenant=3,bucket=0");
+  EXPECT_EQ(l.prometheus_pairs(), "tenant=\"3\",bucket=\"0\"");
+  obs::Labels site;
+  site.site = "a\"b\\c";
+  EXPECT_EQ(site.prometheus_pairs(), "site=\"a\\\"b\\\\c\"");
+}
+
+TEST_F(ObsTest, MetricsTextWithLabelsValidates) {
+  obs::Labels t3;
+  t3.tenant = 3;
+  obs::counter("test_labeled_total").add(7);
+  obs::counter("test_labeled_total", t3).add(4);
+  obs::Histogram& unlabeled = obs::histogram("test_labeled_s");
+  obs::Histogram& labeled = obs::histogram("test_labeled_s", t3);
+  for (int i = 1; i <= 8; ++i) {
+    unlabeled.record(i * 1e-3);
+    labeled.record(i * 2e-3);
+  }
+  const std::string text = obs::metrics_text();
+  const obs::MetricsValidation v = obs::validate_metrics_text(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_NE(text.find("hia_test_labeled_total{tenant=\"3\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("hia_test_labeled_s_count{tenant=\"3\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("tenant=\"3\",le=\"+Inf\"} 8"), std::string::npos);
+  // Exactly one # TYPE per metric name, shared by every label set.
+  size_t type_decls = 0;
+  for (size_t pos = 0;
+       (pos = text.find("# TYPE hia_test_labeled_s ", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++type_decls;
+  }
+  EXPECT_EQ(type_decls, 1u);
+}
+
+TEST_F(ObsTest, ExporterSanitizesAndDedupesIllegalNames) {
+  // Both names sanitize to the same legal metric; the exporter must emit
+  // one series, not a duplicate pair the validator would reject.
+  obs::counter("test-bad.name").add(1);
+  obs::counter("test?bad/name").add(2);
+  const std::string text = obs::metrics_text();
+  const obs::MetricsValidation v = obs::validate_metrics_text(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  size_t occurrences = 0;
+  for (size_t pos = 0;
+       (pos = text.find("\nhia_test_bad_name ", pos)) != std::string::npos;
+       ++pos) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST_F(ObsTest, MetricsValidationRejectsIllegalAndDuplicateSeries) {
+  EXPECT_FALSE(obs::validate_metrics_text("# TYPE 9bad gauge\n9bad 1\n").ok);
+  const std::string dup_series =
+      "# TYPE hia_x gauge\n"
+      "hia_x{tenant=\"1\"} 1\n"
+      "hia_x{tenant=\"1\"} 2\n";
+  EXPECT_FALSE(obs::validate_metrics_text(dup_series).ok);
+  const std::string dup_label =
+      "# TYPE hia_x gauge\n"
+      "hia_x{tenant=\"1\",tenant=\"2\"} 1\n";
+  EXPECT_FALSE(obs::validate_metrics_text(dup_label).ok);
+  const std::string bad_label =
+      "# TYPE hia_x gauge\n"
+      "hia_x{9enant=\"1\"} 1\n";
+  EXPECT_FALSE(obs::validate_metrics_text(bad_label).ok);
+  // Same labels in a different order are the same series.
+  const std::string reordered =
+      "# TYPE hia_x gauge\n"
+      "hia_x{tenant=\"1\",bucket=\"0\"} 1\n"
+      "hia_x{bucket=\"0\",tenant=\"1\"} 2\n";
+  EXPECT_FALSE(obs::validate_metrics_text(reordered).ok);
+}
+
+TEST_F(ObsTest, RunSummaryBreakdownsValidate) {
+  obs::Labels t1;
+  t1.tenant = 1;
+  obs::Labels t2;
+  t2.tenant = 2;
+  obs::counter("test_part_total", t1).add(3);
+  obs::counter("test_part_total", t2).add(4);
+  obs::histogram("test_part_s", t1).record(0.1);
+  obs::histogram("test_part_s", t2).record(0.2);
+  obs::RunSummary meta;
+  meta.bench = "unit";
+  meta.metrics["answer"] = 1.0;
+  const std::string json = obs::run_summary_json(meta);
+  const obs::SummaryValidation v = obs::validate_run_summary_json(json);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GE(v.breakdowns, 2u);
+  EXPECT_NE(json.find("\"breakdowns\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant=1\""), std::string::npos);
+
+  // Without labeled series the section is omitted entirely, keeping
+  // pre-label summaries (and committed baselines) byte-identical.
+  obs::reset_counters();
+  obs::reset_histograms();
+  const std::string plain = obs::run_summary_json(meta);
+  EXPECT_EQ(plain.find("\"breakdowns\""), std::string::npos);
+  EXPECT_EQ(obs::validate_run_summary_json(plain).breakdowns, 0u);
 }
 
 TEST_F(ObsTest, MetricsValidationCatchesMalformedHistograms) {

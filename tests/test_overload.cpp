@@ -153,8 +153,20 @@ TEST(OverloadControl, AdmitUnblocksOnRelease) {
   OverloadControl ctrl(
       OverloadConfig::parse_spec("credits=1,admit-wait=5.0"));
   ctrl.admit(8);
-  std::thread blocked([&] { ctrl.admit(8); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::atomic<bool> entered{false};
+  std::thread blocked([&] {
+    entered.store(true, std::memory_order_release);
+    ctrl.admit(8);
+  });
+  // Poll until the waiter is at (or provably headed into) the credit
+  // wait instead of sleeping a fixed interval; either interleaving keeps
+  // the assertions valid — release can only make its admit clean.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!entered.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   ctrl.release_credit();
   blocked.join();
   // The waiter got a real credit (no overdraft) well before the deadline.

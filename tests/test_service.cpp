@@ -43,7 +43,7 @@ TEST(TenantRegistry, IdsNamesWeightsAndPrefixes) {
   EXPECT_EQ(TenantRegistry::ns_prefix(3), "t3/");
   EXPECT_EQ(TenantRegistry::namespaced(2, "T"), "t2/T");
   EXPECT_THROW(reg.add("zero", 0.0), Error);
-  EXPECT_THROW(reg.name(7), Error);
+  EXPECT_THROW(static_cast<void>(reg.name(7)), Error);
 }
 
 // ----------------------------------------------------------- fair share

@@ -70,7 +70,9 @@ TEST(Stopwatch, RestartResets) {
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   const double first = w.restart();
   EXPECT_GT(first, 0.0);
-  EXPECT_LT(w.seconds(), first + 0.05);
+  // Generous slack: on the 1-core CI box a preemption between restart()
+  // and seconds() can stretch this gap far past any tight bound.
+  EXPECT_LT(w.seconds(), first + 2.0);
 }
 
 TEST(TimeAccumulator, Accumulates) {
