@@ -15,6 +15,8 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/attrib.hpp"
+#include "obs/events.hpp"
 #include "staging/scheduler.hpp"
 #include "util/table.hpp"
 
@@ -106,6 +108,26 @@ int main(int argc, char** argv) {
                                            static_cast<double>(records.size()));
   obs_cli.add_metric("tasks_completed", static_cast<double>(records.size()));
   obs_cli.add_metric("buckets_used", static_cast<double>(buckets.size()));
+
+  // Causal attribution of the same run from the flight recorder (on by
+  // default): every task's phase partition must sum exactly to its
+  // turnaround, and the critical path must fit inside the makespan while
+  // covering at least the longest single-task chain.
+  const obs::Attribution attrib = obs::attribute_events(
+      obs::events_snapshot(), obs::dropped_event_records());
+  const obs::CriticalPath cpath = obs::extract_critical_path(attrib);
+  const bool attrib_ok =
+      attrib.ok && attrib.conserved && attrib.tasks.size() == records.size() &&
+      cpath.ok && cpath.length_s <= attrib.makespan_s * (1.0 + 1e-6) &&
+      cpath.length_s + 1e-9 >= cpath.longest_task_chain_s;
+  std::printf("\nattribution: %zu task timelines, makespan %.3f s, "
+              "critical path %.3f s%s%s\n",
+              attrib.tasks.size(), attrib.makespan_s, cpath.length_s,
+              attrib.error.empty() ? "" : "; ", attrib.error.c_str());
+  shape_check("per-task phase partitions sum exactly to turnaround and "
+              "the critical path fits inside the makespan",
+              attrib_ok);
+  obs_cli.add_metric("attribution_conserved_ok", attrib_ok ? 1.0 : 0.0);
 
   if (use_tracer) {
     // Tracer-derived view of the same run: per-bucket busy time and the

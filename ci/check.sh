@@ -5,10 +5,16 @@
 #      by trace_lint (trace pairing, Prometheus exposition, RunSummary
 #      schema with >=1 histogram and >=1 gauge series)
 #   3. events gate: a recorded multi-tenant campaign (--events +
-#      --status-interval) must produce an hia-events-v1 file that
-#      events_lint validates (framing, schema, timestamp monotonicity,
-#      per-tenant conservation) and whose per-tenant partition exactly
-#      matches the service report (hia_campaign exits nonzero otherwise)
+#      --status-interval + --attrib) must produce an hia-events-v1 file
+#      that events_lint validates (framing, schema, timestamp
+#      monotonicity, per-tenant conservation, zero drops) and whose
+#      per-tenant partition exactly matches the service report
+#      (hia_campaign exits nonzero otherwise); the same spill must then
+#      attribute causally — tools/critical_path rebuilds every task's
+#      timeline, requires the exact additive phase partition
+#      (admit+queue+backoff+transfer+compute+drain == turnaround per
+#      task), and enforces critical-path <= makespan; its RunSummary and
+#      Chrome-trace waterfall are archived under ci/artifacts/
 #   4. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
 #      and every --flag the docs mention exists in hia_campaign --help
 #      (or is allowlisted as another tool's flag)
@@ -70,11 +76,23 @@ echo "traced smoke OK"
 echo "==> events gate: recorded multi-tenant campaign + events_lint"
 ./build/examples/hia_campaign --tenants 3 --steps 3 \
   --weights 2,1,1 --overload "queue-depth=16,credits=8" \
-  --events "$smoke_dir/events.bin" --status-interval 1 \
+  --events "$smoke_dir/events.bin" --status-interval 1 --attrib \
   > "$smoke_dir/events_stdout.txt"
 ./build/tools/events_lint "$smoke_dir/events.bin"
-cp "$smoke_dir/events.bin" "$smoke_dir/events_stdout.txt" "$artifact_dir/"
-echo "events gate OK (hia_campaign cross-checked the per-tenant partition)"
+grep -q 'all partitions exact' "$smoke_dir/events_stdout.txt" || {
+  echo "events gate: --attrib did not report an exact phase partition" >&2
+  exit 1
+}
+./build/tools/critical_path "$smoke_dir/events.bin" \
+  --summary "$smoke_dir/attrib_summary.json" \
+  --trace "$smoke_dir/attrib_waterfall.json" \
+  > "$smoke_dir/critical_path_stdout.txt"
+./build/examples/trace_lint --summary "$smoke_dir/attrib_summary.json"
+cp "$smoke_dir/events.bin" "$smoke_dir/events_stdout.txt" \
+  "$smoke_dir/attrib_summary.json" "$smoke_dir/attrib_waterfall.json" \
+  "$smoke_dir/critical_path_stdout.txt" "$artifact_dir/"
+echo "events gate OK (partition cross-checked, attribution exact," \
+  "critical path within makespan)"
 
 echo "==> doc hygiene: links + documented flags (check_docs.sh)"
 ci/check_docs.sh ./build/examples/hia_campaign

@@ -32,6 +32,7 @@ allow_flags=(
   --fast                                           # ci/check.sh
   --no-trace                                       # bench ObsCli harness
   --interval --slo --plain                         # examples/hia_top console
+  --top                                            # tools/critical_path
   --help                                           # meta: docs talk about --help itself
 )
 

@@ -31,6 +31,7 @@
 #include "core/timeseries_pipeline.hpp"
 #include "core/topology_pipeline.hpp"
 #include "core/viz_pipeline.hpp"
+#include "obs/attrib.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/run_summary.hpp"
@@ -65,6 +66,7 @@ struct Options {
   std::string metrics_path;
   std::string summary_path;
   std::string events_path;
+  bool attrib = false;
   double status_interval_s = 0.0;
   double sample_hz = 0.0;
   bool list_only = false;
@@ -139,6 +141,13 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "                      log (binary hia-events-v1; validate with\n"
       "                      events_lint, which checks the per-tenant\n"
       "                      conservation partition)\n"
+      "  --attrib            after the run, rebuild per-task timelines from\n"
+      "                      the flight recorder and print the makespan\n"
+      "                      attribution: the exact additive phase partition\n"
+      "                      (admit+queue+backoff+transfer+compute+drain ==\n"
+      "                      turnaround, checked per task) and the critical\n"
+      "                      path (implies event recording; exits nonzero\n"
+      "                      if any partition fails)\n"
       "  --status-interval S print a one-line service status digest every\n"
       "                      S seconds while the campaigns run (needs\n"
       "                      --tenants N with N > 1)\n"
@@ -209,6 +218,8 @@ Options parse(int argc, char** argv) {
       opt.summary_path = need("--summary");
     } else if (std::strcmp(argv[a], "--events") == 0) {
       opt.events_path = need("--events");
+    } else if (std::strcmp(argv[a], "--attrib") == 0) {
+      opt.attrib = true;
     } else if (std::strcmp(argv[a], "--status-interval") == 0) {
       opt.status_interval_s = std::atof(need("--status-interval"));
     } else if (std::strcmp(argv[a], "--obs-sample-hz") == 0) {
@@ -278,6 +289,42 @@ std::shared_ptr<HybridAnalysis> make_analysis(const std::string& name,
   return nullptr;
 }
 
+/// --attrib: rebuild per-task timelines from the in-memory flight
+/// recorder and print the makespan attribution. Returns nonzero when any
+/// task's phase partition fails to sum to its turnaround (or records were
+/// dropped, which makes the partition unverifiable).
+int report_attribution() {
+  const obs::Attribution attrib = obs::attribute_events(
+      obs::events_snapshot(), obs::dropped_event_records());
+  if (!attrib.ok || !attrib.conserved) {
+    std::fprintf(stderr, "makespan attribution FAILED: %s\n",
+                 attrib.error.c_str());
+    return 1;
+  }
+  const obs::CriticalPath cp = obs::extract_critical_path(attrib);
+  if (!cp.ok) {
+    std::fprintf(stderr, "critical-path extraction FAILED: %s\n",
+                 cp.error.c_str());
+    return 1;
+  }
+  std::printf("\nmakespan attribution: %zu tasks, makespan %.4f s, "
+              "critical path %.4f s (all partitions exact)\n",
+              attrib.tasks.size(), attrib.makespan_s, cp.length_s);
+  std::printf("  %-10s  %12s  %6s  %12s\n", "phase", "task-seconds",
+              "share", "on-path (s)");
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    std::printf("  %-10s  %12.4f  %5.1f%%  %12.4f\n",
+                obs::phase_name(static_cast<obs::TaskPhase>(p)),
+                attrib.phase_totals[p],
+                attrib.total_turnaround_s > 0.0
+                    ? 100.0 * attrib.phase_totals[p] /
+                          attrib.total_turnaround_s
+                    : 0.0,
+                cp.phase_on_path[p]);
+  }
+  return 0;
+}
+
 /// The multi-tenant path: N concurrent campaigns through CampaignService.
 int run_tenants(const Options& opt, const RunConfig& base_config,
                 const std::vector<std::string>& wanted) {
@@ -332,7 +379,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
               opt.buckets,
               opt.pool_max > 0 ? " (elastic)" : "");
 
-  if (!opt.events_path.empty()) {
+  if (!opt.events_path.empty() || opt.attrib) {
     // Raise the per-thread ring capacity before the tenant threads spin
     // up (rings are sized at first touch): a recorded campaign that
     // overflows loses submit events, and with them the exact per-tenant
@@ -404,6 +451,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
               "%.3f; per-tenant conservation %s\n",
               static_cast<unsigned long long>(total_tasks), opt.tenants,
               share_err_max, conserved ? "OK" : "VIOLATED");
+  const bool attrib_ok = !opt.attrib || report_attribution() == 0;
 
   if (!opt.trace_path.empty()) {
     if (!obs::write_chrome_trace(opt.trace_path)) return 1;
@@ -477,7 +525,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
     if (!obs::write_run_summary(opt.summary_path, summary)) return 1;
     std::printf("run summary written to %s\n", opt.summary_path.c_str());
   }
-  return conserved && events_ok ? 0 : 1;
+  return conserved && events_ok && attrib_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -580,7 +628,7 @@ int main(int argc, char** argv) {
 
   if (opt.tenants > 1) return run_tenants(opt, config, wanted);
 
-  if (!opt.events_path.empty()) {
+  if (!opt.events_path.empty() || opt.attrib) {
     obs::set_events_capacity(1 << 16);
     obs::reset_events();
     obs::enable_events();
@@ -633,6 +681,7 @@ int main(int argc, char** argv) {
               "simulation step %.4f s\n",
               report.in_transit.size(), report.steps,
               report.mean_sim_step_seconds());
+  if (opt.attrib && report_attribution() != 0) return 1;
   if (!opt.output_dir.empty()) {
     std::printf("artifacts written under %s/\n", opt.output_dir.c_str());
   }

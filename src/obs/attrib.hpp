@@ -1,0 +1,116 @@
+// Timeline attribution: rebuilds per-task causal timelines from the
+// flight recorder's event stream and decomposes every task's turnaround
+// into an exact additive partition of wait states
+//
+//   admit-wait + queue-wait + backoff + transfer + compute + drain
+//     == turnaround                                  (per task, checked)
+//
+// The partition is exact by construction — every phase boundary is an
+// event timestamp on the service's virtual task clock, so the segments
+// telescope from credit admission to the terminal event — and *checked*:
+// each phase must be nonnegative and the sum must equal the turnaround,
+// or the task (and the whole attribution) is flagged unconserved. A
+// stream with dropped records fails closed: lost records mean timelines
+// are unverifiable, not approximately right.
+//
+// extract_critical_path() then rebuilds the campaign DAG (per-task phase
+// chains, bucket-occupancy serialization, producer step barriers, credit
+// dependencies), extracts the longest chain, and attributes its length by
+// phase — the makespan decomposition the ROADMAP's planner consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace hia::obs {
+
+/// The six wait states of the partition, in canonical order.
+enum class TaskPhase : int {
+  kAdmit = 0,    // blocked in credit admission before submit (kCreditGrant)
+  kQueue = 1,    // eligible in the staging queue, waiting for a bucket
+  kBackoff = 2,  // retry backoff (kTaskRetry -> kBackoffRelease)
+  kTransfer = 3, // wall time inside Dart pulls (kTaskXfer)
+  kCompute = 4,  // handler / fault-stuck time (kTaskWork)
+  kDrain = 5,    // occupancy remainder: result settle, release, bookkeeping
+};
+constexpr int kPhaseCount = 6;
+
+/// Canonical snake_case phase name ("admit_wait", "queue_wait", ...).
+const char* phase_name(TaskPhase phase);
+
+/// One task's reconstructed timeline and phase partition.
+struct TaskTimeline {
+  uint64_t task_id = 0;
+  int tenant = -1;
+  int step = -1;              // from the submit record
+  int bucket = -1;            // final attempt's bucket; -1 = fallback/none
+  int attempts = 0;           // occupancy windows observed
+  int32_t terminal_kind = 0;  // kTaskComplete/kTaskDegrade/kTaskShed/kTaskDefer
+  double submit_vt = 0.0;     // virtual seconds
+  double terminal_vt = 0.0;
+  double phases[kPhaseCount] = {};  // seconds, by TaskPhase index
+  double turnaround_s = 0.0;        // admit + (terminal - submit)
+  bool conserved = false;           // partition exact and all phases >= 0
+  std::string error;                // first violation; empty when conserved
+
+  /// Timeline segments in virtual-time order (the waterfall/DAG input).
+  struct Segment {
+    TaskPhase phase = TaskPhase::kQueue;
+    double begin_vt = 0.0;
+    double end_vt = 0.0;
+    int bucket = -1;   // occupancy segments carry their bucket; else -1
+    int attempt = 0;   // occupancy segments carry their attempt; else 0
+  };
+  std::vector<Segment> segments;
+};
+
+/// Whole-stream attribution result.
+struct Attribution {
+  bool ok = false;         // analyzable: no drops, every task reconstructed
+  bool conserved = false;  // ok && every task's partition exact
+  std::string error;       // first failure; empty when ok
+  uint64_t dropped = 0;
+  std::vector<TaskTimeline> tasks;  // sorted by task id
+  double makespan_s = 0.0;          // max terminal - min (submit - admit)
+  double phase_totals[kPhaseCount] = {};  // summed across tasks
+  double total_turnaround_s = 0.0;
+};
+
+/// Rebuilds timelines from an in-memory stream. Fails closed when
+/// `dropped` > 0: a ring that lost records cannot prove the partition.
+Attribution attribute_events(const std::vector<EventRecord>& records,
+                             uint64_t dropped);
+
+/// Same, from an hia-events-v1 spill.
+Attribution attribute_events_file(const std::string& path);
+
+/// The campaign critical path over an attribution's segments.
+struct CriticalPath {
+  bool ok = false;
+  std::string error;
+  double length_s = 0.0;               // sum of durations along the path
+  double longest_task_chain_s = 0.0;   // max single-task turnaround
+  double phase_on_path[kPhaseCount] = {};  // length_s split by phase
+
+  struct Node {
+    uint64_t task_id = 0;
+    TaskPhase phase = TaskPhase::kQueue;
+    double begin_vt = 0.0;
+    double end_vt = 0.0;
+    int bucket = -1;
+  };
+  std::vector<Node> path;                     // the critical chain, in order
+  std::vector<std::vector<Node>> top_chains;  // top-k chains, longest first
+};
+
+/// Longest path through the campaign DAG: intra-task phase chains,
+/// same-bucket occupancy serialization, per-tenant step barriers, and
+/// credit-release -> admission edges. Every edge respects virtual-time
+/// order, so length_s <= makespan holds structurally, and each task's own
+/// chain is a candidate path, so length_s >= longest_task_chain_s.
+CriticalPath extract_critical_path(const Attribution& attrib, int top_k = 3);
+
+}  // namespace hia::obs

@@ -19,6 +19,7 @@ namespace {
 constexpr char kMagic[8] = {'h', 'i', 'a', 'e', 'v', 't', 's', '1'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kDefaultRingCapacity = 16384;
+constexpr int32_t kMaxKind = 19;  // highest on-disk EventKind value
 
 /// One thread's ring. The owner thread writes under `mutex` uncontended;
 /// snapshot() contends only during a merge.
@@ -29,14 +30,16 @@ struct EventRing {
   size_t head = 0;                   // next write slot
   size_t count = 0;
 
-  /// Returns true when the write overwrote (dropped) the oldest record.
-  bool push(const EventRecord& r) {
+  /// Returns the kind of the overwritten (dropped) oldest record, or -1
+  /// when the write dropped nothing.
+  int32_t push(const EventRecord& r) {
     std::lock_guard lock(mutex);
     const bool dropped = count == records.size();
+    const int32_t dropped_kind = dropped ? records[head].kind : -1;
     if (!dropped) ++count;
     records[head] = r;
     head = (head + 1) % records.size();
-    return dropped;
+    return dropped_kind;
   }
 };
 
@@ -44,6 +47,7 @@ struct EventsRegistry {
   std::atomic<bool> enabled{true};
   std::atomic<size_t> capacity{kDefaultRingCapacity};
   std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> dropped_by_kind[kMaxKind + 1] = {};
   std::mutex mutex;  // guards `rings`
   std::vector<std::shared_ptr<EventRing>> rings;
 };
@@ -83,11 +87,20 @@ const char* kind_name(int32_t kind) {
     case EventKind::kPoolGrow: return "pool_grow";
     case EventKind::kPoolShrink: return "pool_shrink";
     case EventKind::kFaultVerdict: return "fault_verdict";
+    case EventKind::kCreditGrant: return "credit_grant";
+    case EventKind::kTaskRetry: return "task_retry";
+    case EventKind::kBackoffRelease: return "backoff_release";
+    case EventKind::kBucketOccupy: return "bucket_occupy";
+    case EventKind::kBucketVacate: return "bucket_vacate";
+    case EventKind::kTaskXfer: return "task_xfer";
+    case EventKind::kTaskWork: return "task_work";
   }
   return nullptr;
 }
 
 }  // namespace
+
+const char* event_kind_name(int32_t kind) { return kind_name(kind); }
 
 void record_event(EventKind kind, int tenant, int bucket, int64_t a,
                   int64_t b, double vt_s) {
@@ -101,8 +114,13 @@ void record_event(EventKind kind, int tenant, int bucket, int64_t a,
   r.kind = static_cast<int32_t>(kind);
   r.tenant = tenant;
   r.bucket = bucket;
-  if (local_ring().push(r)) {
+  const int32_t dropped_kind = local_ring().push(r);
+  if (dropped_kind >= 0) {
     reg.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_kind <= kMaxKind) {
+      reg.dropped_by_kind[dropped_kind].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
   }
 }
 
@@ -150,6 +168,16 @@ uint64_t dropped_event_records() {
   return registry().dropped.load(std::memory_order_relaxed);
 }
 
+std::map<int32_t, uint64_t> dropped_event_records_by_kind() {
+  EventsRegistry& reg = registry();
+  std::map<int32_t, uint64_t> out;
+  for (int32_t k = 0; k <= kMaxKind; ++k) {
+    const uint64_t n = reg.dropped_by_kind[k].load(std::memory_order_relaxed);
+    if (n > 0) out[k] = n;
+  }
+  return out;
+}
+
 void reset_events() {
   EventsRegistry& reg = registry();
   std::lock_guard lock(reg.mutex);
@@ -159,6 +187,9 @@ void reset_events() {
     ring->count = 0;
   }
   reg.dropped.store(0, std::memory_order_relaxed);
+  for (int32_t k = 0; k <= kMaxKind; ++k) {
+    reg.dropped_by_kind[k].store(0, std::memory_order_relaxed);
+  }
 }
 
 // ------------------------------------------------------------- spill ----
@@ -166,12 +197,22 @@ void reset_events() {
 bool write_events_file(const std::string& path) {
   const std::vector<EventRecord> records = events_snapshot();
   const uint64_t dropped = dropped_event_records();
+  const std::map<int32_t, uint64_t> dropped_by_kind =
+      dropped_event_records_by_kind();
 
   std::ostringstream header;
   header << "{\"schema\":\"hia-events-v1\",\"record_bytes\":"
          << sizeof(EventRecord) << ",\"count\":" << records.size()
-         << ",\"dropped\":" << dropped
-         << ",\"fields\":[\"t_us:f64\",\"vt_s:f64\",\"a:i64\",\"b:i64\","
+         << ",\"dropped\":" << dropped << ",\"dropped_by_kind\":{";
+  {
+    bool first = true;
+    for (const auto& [kind, n] : dropped_by_kind) {
+      if (!first) header << ',';
+      first = false;
+      header << '"' << kind << "\":" << n;
+    }
+  }
+  header << "},\"fields\":[\"t_us:f64\",\"vt_s:f64\",\"a:i64\",\"b:i64\","
             "\"kind:i32\",\"tenant:i32\",\"bucket:i32\",\"pad:i32\"],"
             "\"kinds\":{";
   bool first = true;
@@ -231,7 +272,16 @@ EventsValidation validate_events(const std::vector<EventRecord>& records,
                             kind == EventKind::kTaskDegrade ||
                             kind == EventKind::kTaskShed ||
                             kind == EventKind::kTaskDefer;
-    if (task_event && r.tenant < 0) {
+    // Attribution kinds are task-keyed too, but only the six lifecycle
+    // kinds above enter the conservation partition.
+    const bool attrib_event = kind == EventKind::kCreditGrant ||
+                              kind == EventKind::kTaskRetry ||
+                              kind == EventKind::kBackoffRelease ||
+                              kind == EventKind::kBucketOccupy ||
+                              kind == EventKind::kBucketVacate ||
+                              kind == EventKind::kTaskXfer ||
+                              kind == EventKind::kTaskWork;
+    if ((task_event || attrib_event) && r.tenant < 0) {
       v.error = "record " + std::to_string(i) + " (" +
                 kind_name(r.kind) + "): task event without a tenant";
       return v;
@@ -270,12 +320,17 @@ EventsValidation validate_events(const std::vector<EventRecord>& records,
   return v;
 }
 
-EventsValidation validate_events_file(const std::string& path) {
-  EventsValidation v;
+bool read_events_file(const std::string& path,
+                      std::vector<EventRecord>* records_out,
+                      uint64_t* dropped_out,
+                      std::map<int32_t, uint64_t>* dropped_by_kind,
+                      std::string* error) {
+  EventsValidation v;  // reuses the framing-error strings below
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     v.error = "cannot open " + path;
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   char magic[8] = {};
   uint32_t version = 0;
@@ -285,46 +340,54 @@ EventsValidation validate_events_file(const std::string& path) {
   in.read(reinterpret_cast<char*>(&header_bytes), sizeof(header_bytes));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     v.error = "bad magic: not an hia-events-v1 file";
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   if (version != kVersion) {
     v.error = "unsupported version " + std::to_string(version);
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   if (header_bytes == 0 || header_bytes > (1u << 20)) {
     v.error = "implausible header length " + std::to_string(header_bytes);
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   std::string header_json(header_bytes, '\0');
   in.read(header_json.data(), header_bytes);
   if (!in) {
     v.error = "truncated header";
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   json::Value header;
   std::string parse_error;
   if (!json::parse(header_json, header, parse_error)) {
     v.error = "header is not valid JSON: " + parse_error;
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   const json::Value* schema = json::find(header, "schema");
   if (schema == nullptr || !schema->is_string() ||
       schema->string != "hia-events-v1") {
     v.error = "header schema tag is not hia-events-v1";
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   const json::Value* record_bytes = json::find(header, "record_bytes");
   if (record_bytes == nullptr || !record_bytes->is_number() ||
       static_cast<size_t>(record_bytes->number) != sizeof(EventRecord)) {
     v.error = "header record_bytes does not match EventRecord";
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
   const json::Value* count = json::find(header, "count");
   const json::Value* dropped = json::find(header, "dropped");
   if (count == nullptr || !count->is_number() || dropped == nullptr ||
       !dropped->is_number()) {
     v.error = "header missing count/dropped";
-    return v;
+    if (error != nullptr) *error = v.error;
+    return false;
   }
 
   const auto n = static_cast<uint64_t>(count->number);
@@ -334,15 +397,50 @@ EventsValidation validate_events_file(const std::string& path) {
     if (!in) {
       v.error = "truncated at record " + std::to_string(i) + " of " +
                 std::to_string(n);
-      return v;
+      if (error != nullptr) *error = v.error;
+      return false;
     }
   }
   in.peek();
   if (!in.eof()) {
     v.error = "trailing bytes after " + std::to_string(n) + " records";
+    if (error != nullptr) *error = v.error;
+    return false;
+  }
+  if (records_out != nullptr) *records_out = std::move(records);
+  if (dropped_out != nullptr) {
+    *dropped_out = static_cast<uint64_t>(dropped->number);
+  }
+  // Optional per-kind drop table (absent in spills written before it
+  // existed): carried through so events_lint can say *what* was lost.
+  if (dropped_by_kind != nullptr) {
+    dropped_by_kind->clear();
+    const json::Value* by_kind = json::find(header, "dropped_by_kind");
+    if (by_kind != nullptr && by_kind->is_object()) {
+      for (const auto& [key, val] : by_kind->object) {
+        if (val.is_number()) {
+          (*dropped_by_kind)[static_cast<int32_t>(std::stol(key))] =
+              static_cast<uint64_t>(val.number);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+EventsValidation validate_events_file(const std::string& path) {
+  std::vector<EventRecord> records;
+  uint64_t dropped = 0;
+  std::map<int32_t, uint64_t> dropped_by_kind;
+  std::string error;
+  if (!read_events_file(path, &records, &dropped, &dropped_by_kind, &error)) {
+    EventsValidation v;
+    v.error = error;
     return v;
   }
-  return validate_events(records, static_cast<uint64_t>(dropped->number));
+  EventsValidation out = validate_events(records, dropped);
+  out.dropped_by_kind = std::move(dropped_by_kind);
+  return out;
 }
 
 }  // namespace hia::obs

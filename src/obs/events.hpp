@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,8 @@ namespace hia::obs {
 
 /// What happened. Values are stable on-disk identifiers: append only.
 enum class EventKind : int32_t {
-  kTaskSubmit = 1,    // a=task_id, b=input bytes
+  kTaskSubmit = 1,    // a=task_id, b=input bytes; bucket field carries the
+                      //   simulation step (submits never own a bucket)
   kTaskAssign = 2,    // a=task_id, b=attempt
   kTaskComplete = 3,  // a=task_id, b=attempt
   kTaskDegrade = 4,   // a=task_id, b=attempt (in-situ fallback ran it)
@@ -36,6 +38,20 @@ enum class EventKind : int32_t {
   kPoolGrow = 10,     // a=new bucket id, b=live buckets after
   kPoolShrink = 11,   // a=retired bucket id, b=live buckets after
   kFaultVerdict = 12, // a=site code (EventFaultSite), b=bytes or bucket
+  // Causal edges for per-task timeline attribution (obs/attrib.hpp). The
+  // virtual timestamps below are all on the emitting service's task clock,
+  // so per-task phase windows telescope exactly.
+  kCreditGrant = 13,    // a=task_id, b=admission-wait µs charged to the task
+  kTaskRetry = 14,      // a=task_id, b=failed attempt; bucket=failed bucket;
+                        //   vt = end of the failed attempt's occupancy
+  kBackoffRelease = 15, // a=task_id, b=next attempt; vt = when the backoff
+                        //   expires and the task re-enters the queue race
+  kBucketOccupy = 16,   // a=task_id, b=attempt; vt = occupancy start, for
+                        //   fault-stuck attempts that never reach run_task
+  kBucketVacate = 17,   // a=task_id, b=attempt; vt = occupancy end when no
+                        //   retry/terminal event marks it
+  kTaskXfer = 18,       // a=task_id, b=wall µs the attempt spent in pulls
+  kTaskWork = 19,       // a=task_id, b=wall µs of handler/stuck time
 };
 
 /// Fault-verdict site codes carried in EventRecord::a for kFaultVerdict.
@@ -81,6 +97,13 @@ std::vector<EventRecord> events_snapshot();
 /// Total records dropped to ring overflow since the last reset.
 uint64_t dropped_event_records();
 
+/// Drop counts keyed by the *overwritten* record's kind — tells you which
+/// part of the stream is unverifiable, not just that some of it is.
+std::map<int32_t, uint64_t> dropped_event_records_by_kind();
+
+/// Stable snake_case name for an on-disk kind value; nullptr when unknown.
+const char* event_kind_name(int32_t kind);
+
 /// Drops all recorded events and zeroes the drop counter; registrations
 /// (per-thread rings) and the enabled flag persist. Test isolation.
 void reset_events();
@@ -105,6 +128,7 @@ struct EventsValidation {
   std::string error;    // first failure; empty when ok
   uint64_t records = 0;
   uint64_t dropped = 0;  // from the header: ring overflow at record time
+  std::map<int32_t, uint64_t> dropped_by_kind;  // header, absent pre-PR8
   struct TenantCounts {
     int tenant = -1;
     uint64_t submitted = 0;
@@ -116,6 +140,14 @@ struct EventsValidation {
   };
   std::vector<TenantCounts> tenants;  // sorted by tenant id
 };
+
+/// Reads an hia-events-v1 file's records and header drop counts without
+/// semantic validation (framing errors still fail). Used by the
+/// attribution layer and tools that re-analyze a spill.
+bool read_events_file(const std::string& path,
+                      std::vector<EventRecord>* records, uint64_t* dropped,
+                      std::map<int32_t, uint64_t>* dropped_by_kind,
+                      std::string* error);
 
 /// Reads and validates an hia-events-v1 file: magic/version/size framing,
 /// known kinds, wall-timestamp monotonicity, and — when the recorder

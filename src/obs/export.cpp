@@ -238,9 +238,23 @@ std::string metrics_text() {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
     out += "hia_" + name + brace + " " + buf + "\n";
   };
+  // Every series gets the exposition-format header pair: # HELP then
+  // # TYPE (scrapers key dashboards off HELP; the validator requires it).
+  auto header = [&](const std::string& name, const char* type,
+                    const std::string& help) {
+    out += "# HELP hia_" + name + " " + help + "\n";
+    out += "# TYPE hia_" + name + " " + std::string(type) + "\n";
+  };
 
-  // Counters, grouped by sanitized name: one # TYPE line per metric, the
-  // unlabeled aggregate first, then every labeled variant.
+  // Identifies the producing build: the constant-1 gauge Prometheus
+  // convention for joining version labels onto any other series.
+  header("build_info", "gauge",
+         "Build/schema identity of the producing binary (constant 1).");
+  out += "hia_build_info{events_schema=\"hia-events-v1\","
+         "summary_schema=\"hia-run-summary-v1\",project=\"hia\"} 1\n";
+
+  // Counters, grouped by sanitized name: one # HELP/# TYPE pair per
+  // metric, the unlabeled aggregate first, then every labeled variant.
   std::map<std::string, std::vector<CounterSample>> counters;
   for (const CounterSample& s : counters_snapshot()) {
     counters[sanitize_metric_name(s.name)].push_back(s);
@@ -249,7 +263,9 @@ std::string metrics_text() {
     counters[sanitize_metric_name(s.name)].push_back(s);
   }
   for (const auto& [name, samples] : counters) {
-    out += "# TYPE hia_" + name + " gauge\n";
+    header(name, "gauge",
+           "Registered counter " + name + "; " + name +
+               "_max is its high-water mark.");
     for (const CounterSample& s : samples) {
       const std::string pairs = s.labels.prometheus_pairs();
       const std::string brace = pairs.empty() ? "" : "{" + pairs + "}";
@@ -272,7 +288,9 @@ std::string metrics_text() {
     hists[sanitize_metric_name(h.name)].push_back(std::move(h));
   }
   for (const auto& [name, snapshots] : hists) {
-    out += "# TYPE hia_" + name + " histogram\n";
+    header(name, "histogram",
+           "Registered histogram " + name +
+               " (sparse cumulative buckets, _sum, _count).");
     for (const HistogramSnapshot& h : snapshots) {
       const std::string pairs = h.labels.prometheus_pairs();
       const std::string brace = pairs.empty() ? "" : "{" + pairs + "}";
@@ -302,11 +320,14 @@ std::string metrics_text() {
     }
   }
 
-  out += "# TYPE hia_trace_dropped_events counter\n";
+  header("trace_dropped_events", "counter",
+         "Span events lost to tracer ring overflow.");
   line("trace_dropped_events", "", static_cast<int64_t>(dropped_events()));
-  out += "# TYPE hia_trace_oversized_names counter\n";
+  header("trace_oversized_names", "counter",
+         "Span names truncated to the tracer's fixed record size.");
   line("trace_oversized_names", "", static_cast<int64_t>(oversized_names()));
-  out += "# TYPE hia_trace_recorded_events gauge\n";
+  header("trace_recorded_events", "gauge",
+         "Span events currently held in the tracer rings.");
   line("trace_recorded_events", "", static_cast<int64_t>(recorded_events()));
   return out;
 }
@@ -516,11 +537,13 @@ MetricsValidation validate_metrics_text(const std::string& text) {
     double count_value = -1.0;
   };
   std::map<std::string, char> types;  // series -> 'g'auge/'c'ounter/'h'istogram
+  std::set<std::string> helped;       // metrics with a # HELP line
   // Histogram state is per *series*: keyed by base name plus the canonical
   // non-le label set, so hia_x{tenant="1"} and hia_x{tenant="2"} (and the
   // unlabeled hia_x) are independent triplets under one # TYPE.
   std::map<std::string, HistState> hists;
   std::set<std::string> seen_series;  // name + canonical labels, dedupe
+  bool saw_build_info = false;
 
   size_t lineno = 0;
   size_t pos = 0;
@@ -536,7 +559,24 @@ MetricsValidation validate_metrics_text(const std::string& text) {
     };
 
     if (line[0] == '#') {
-      // Only "# TYPE <name> <type>" comments are emitted / accepted.
+      // "# HELP <name> <text>" and "# TYPE <name> <type>" comments are
+      // emitted / enforced; other comments are ignored.
+      const std::string help_prefix = "# HELP ";
+      if (line.rfind(help_prefix, 0) == 0) {
+        const size_t sp = line.find(' ', help_prefix.size());
+        if (sp == std::string::npos || sp + 1 >= line.size()) {
+          fail("malformed # HELP line");
+          return v;
+        }
+        const std::string name =
+            line.substr(help_prefix.size(), sp - help_prefix.size());
+        if (!legal_metric_name(name)) {
+          fail("illegal metric name '" + name + "'");
+          return v;
+        }
+        helped.insert(name);
+        continue;
+      }
       const std::string prefix = "# TYPE ";
       if (line.rfind(prefix, 0) != 0) continue;  // other comments: ignore
       const size_t sp = line.find(' ', prefix.size());
@@ -557,6 +597,10 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       auto it = types.find(name);
       if (it != types.end() && it->second != type[0]) {
         fail("metric " + name + " re-declared with a different type");
+        return v;
+      }
+      if (helped.count(name) == 0) {
+        fail("metric " + name + " declared without a preceding # HELP");
         return v;
       }
       types[name] = type[0];
@@ -620,6 +664,13 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       return v;
     }
     ++v.samples;
+    if (name == "hia_build_info") {
+      if (value != 1.0) {
+        fail("hia_build_info must be the constant 1");
+        return v;
+      }
+      saw_build_info = true;
+    }
 
     const std::string series_key = name + "{" + canonical_labels(labels) + "}";
     if (!seen_series.insert(series_key).second) {
@@ -736,6 +787,10 @@ MetricsValidation validate_metrics_text(const std::string& text) {
       return v;
     }
     ++v.histograms;
+  }
+  if (!saw_build_info) {
+    v.error = "missing hia_build_info sample (constant build-identity gauge)";
+    return v;
   }
   v.ok = true;
   return v;

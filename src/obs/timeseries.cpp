@@ -124,6 +124,12 @@ void clear_virtual_clock(const void* owner) {
   st.virtual_clock_owner = nullptr;
 }
 
+double virtual_now() {
+  SamplerState& st = state();
+  std::lock_guard lock(st.mutex);
+  return st.virtual_clock ? st.virtual_clock() : -1.0;
+}
+
 void sample_now() {
   SamplerState& st = state();
   std::lock_guard lock(st.mutex);

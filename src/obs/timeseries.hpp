@@ -63,6 +63,11 @@ void register_counter_gauge(const std::string& name, const Labels& labels);
 void set_virtual_clock(std::function<double()> fn, const void* owner);
 void clear_virtual_clock(const void* owner);
 
+/// Reads the installed virtual clock; -1 when no source is installed.
+/// Lets emitters without their own model clock (Dart put/get events) stamp
+/// records on the campaign's task timeline.
+[[nodiscard]] double virtual_now();
+
 /// One synchronous sampling pass over every registered gauge.
 void sample_now();
 

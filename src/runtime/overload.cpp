@@ -29,7 +29,20 @@ const char* to_string(PressureState state) {
 namespace {
 constexpr size_t kSignalFields = 6;
 constexpr size_t kSignalBytes = kSignalFields * sizeof(int64_t);
+
+// Admission waits accumulated on the calling (producer) thread since the
+// last take_thread_admission_wait(). Publish blocks in admit() before the
+// consuming task exists, so the wait is parked here and the scheduler
+// charges it to the next task submitted from the same thread — that is
+// what the kCreditGrant attribution event carries.
+thread_local double t_admission_wait_s = 0.0;
 }  // namespace
+
+double OverloadControl::take_thread_admission_wait() {
+  const double s = t_admission_wait_s;
+  t_admission_wait_s = 0.0;
+  return s;
+}
 
 std::vector<std::byte> encode_pressure(const PressureSignal& signal) {
   const int64_t fields[kSignalFields] = {
@@ -268,6 +281,7 @@ PressureSignal OverloadControl::admit(size_t bytes, int tenant) {
     ++ledger.admissions;
     wait_s_total_ += wait_s;
     ledger.wait_s += wait_s;
+    t_admission_wait_s += wait_s;
     credits_gauge().add(1);
     static obs::Histogram& wait_h = obs::histogram("dart_admission_wait_s");
     wait_h.record(wait_s);

@@ -130,6 +130,12 @@ class OverloadControl {
   /// the owning tenant's ledger.
   void release_credit(int tenant = 0);
 
+  /// Drains the admission wait accumulated by admit() calls on the calling
+  /// thread since the previous drain. Publish blocks before its consuming
+  /// task exists, so the scheduler drains this at submit and charges the
+  /// wait to that task (the kCreditGrant attribution event).
+  static double take_thread_admission_wait();
+
   /// Caps how many admission credits `tenant` may hold at once
   /// (0 = uncapped). Effective only when the global credit gate is on.
   void set_tenant_credit_cap(int tenant, int credits);

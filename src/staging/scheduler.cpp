@@ -37,7 +37,9 @@ namespace hia {
 
 std::vector<std::byte> TaskContext::pull(const DataDescriptor& desc) {
   TransferStats stats;
+  Stopwatch wall;
   auto data = dart_.get(dart_node_, desc.handle, &stats);
+  transfer_wall_seconds_ += wall.seconds();
   movement_seconds_ += stats.modeled_seconds;
   movement_bytes_ += stats.bytes;
   movement_raw_bytes_ += stats.raw_bytes;
@@ -46,7 +48,9 @@ std::vector<std::byte> TaskContext::pull(const DataDescriptor& desc) {
 
 std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
   TransferStats stats;
+  Stopwatch wall;
   auto data = dart_.get_doubles(dart_node_, desc.handle, &stats);
+  transfer_wall_seconds_ += wall.seconds();
   movement_seconds_ += stats.modeled_seconds;
   movement_bytes_ += stats.bytes;
   movement_raw_bytes_ += stats.raw_bytes;
@@ -307,6 +311,11 @@ uint64_t StagingService::submit(InTransitTask task) {
   long step = task.step;
   const int tenant = task.tenant;
   const size_t bytes = task_wire_bytes(task);
+  // Admission waits parked by this thread's publishes are charged to this
+  // task (the credit-grant causal edge); drained even without a gate so a
+  // stale accumulation can never leak into a later service's timeline.
+  const double admit_wait_s = OverloadControl::take_thread_admission_wait();
+  double enqueue_vt = 0.0;
   std::vector<Assigned> orphaned;
   std::optional<Assigned> diverted;
   bool tenant_capped = false;
@@ -323,6 +332,7 @@ uint64_t StagingService::submit(InTransitTask task) {
     assigned.task = std::move(task);
     assigned.enqueue_time = clock_.seconds();
     assigned.bytes = bytes;
+    enqueue_vt = assigned.enqueue_time;
     if (fair_share_) {
       // Per-tenant caps fire *before* the global hard wall: a hog's burst
       // diverts on its own budget instead of eating the shared one.
@@ -349,9 +359,17 @@ uint64_t StagingService::submit(InTransitTask task) {
     }
   }
   obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
-  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
-                    static_cast<int64_t>(id), static_cast<int64_t>(bytes),
-                    clock_.seconds());
+  // vt = the locked enqueue read, never a fresh clock sample: a bucket can
+  // match the task before this line runs, and assign must not precede
+  // submit on the virtual timeline.
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant,
+                    static_cast<int>(step), static_cast<int64_t>(id),
+                    static_cast<int64_t>(bytes), enqueue_vt);
+  if (admit_wait_s > 0.0) {
+    obs::record_event(obs::EventKind::kCreditGrant, tenant, -1,
+                      static_cast<int64_t>(id),
+                      static_cast<int64_t>(admit_wait_s * 1e6), enqueue_vt);
+  }
   work_cv_.notify_all();
   if (diverted.has_value()) {
     static obs::Counter& diversions = obs::counter("staging_overload_diversions");
@@ -389,6 +407,7 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
 
   // Steered off the queue: the task never competes for a bucket. It is
   // still a submission for conservation purposes (outstanding_, records).
+  const double admit_wait_s = OverloadControl::take_thread_admission_wait();
   uint64_t id = 0;
   Assigned assigned;
   {
@@ -403,9 +422,16 @@ uint64_t StagingService::submit_for(const std::string& analysis, long step,
     assigned.enqueue_time = clock_.seconds();
     assigned.bytes = task_wire_bytes(assigned.task);
   }
-  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
-                    static_cast<int64_t>(id),
-                    static_cast<int64_t>(assigned.bytes), clock_.seconds());
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant,
+                    static_cast<int>(step), static_cast<int64_t>(id),
+                    static_cast<int64_t>(assigned.bytes),
+                    assigned.enqueue_time);
+  if (admit_wait_s > 0.0) {
+    obs::record_event(obs::EventKind::kCreditGrant, tenant, -1,
+                      static_cast<int64_t>(id),
+                      static_cast<int64_t>(admit_wait_s * 1e6),
+                      assigned.enqueue_time);
+  }
   if (route == SubmitRoute::kFallback) {
     run_task(-1, std::move(assigned), clock_.seconds(),
              TaskOutcome::kDegraded);
@@ -440,7 +466,8 @@ uint64_t StagingService::record_deferred(const std::string& analysis,
                {.step = step, .vtime = clock_.seconds()});
   // A deferral is a submission that terminates immediately: both events
   // are recorded so the per-tenant partition stays conserved.
-  obs::record_event(obs::EventKind::kTaskSubmit, tenant, -1,
+  obs::record_event(obs::EventKind::kTaskSubmit, tenant,
+                    static_cast<int>(step),
                     static_cast<int64_t>(record.task_id), 0,
                     record.enqueue_time);
   obs::record_event(obs::EventKind::kTaskDefer, tenant, -1,
@@ -757,6 +784,14 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
   if (faults_ != nullptr &&
       faults_->task_fails(assigned.task.task_id, assigned.attempt)) {
     const RetryPolicy& retry = faults_->retry();
+    // Fault-stuck attempts never reach run_task, so they get explicit
+    // occupancy records: occupy at entry, the stuck time as kTaskWork, and
+    // either kTaskRetry (retry_task) or kBucketVacate as the end.
+    const double occupy_vt = clock_.seconds();
+    obs::record_event(obs::EventKind::kBucketOccupy, assigned.task.tenant,
+                      bucket_index,
+                      static_cast<int64_t>(assigned.task.task_id),
+                      assigned.attempt, occupy_vt);
     obs::instant("fault", "task_timeout",
                  {.bucket = bucket_index,
                   .step = assigned.task.step,
@@ -775,9 +810,18 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
       std::lock_guard lock(mutex_);
       settle_service_locked(assigned, retry.task_timeout_s);
     }
+    const double stuck_end_vt = clock_.seconds();
+    obs::record_event(
+        obs::EventKind::kTaskWork, assigned.task.tenant, bucket_index,
+        static_cast<int64_t>(assigned.task.task_id),
+        static_cast<int64_t>((stuck_end_vt - occupy_vt) * 1e6), stuck_end_vt);
     if (assigned.attempt < retry.max_task_attempts) {
       retry_task(bucket_index, std::move(assigned));
     } else {
+      obs::record_event(obs::EventKind::kBucketVacate, assigned.task.tenant,
+                        bucket_index,
+                        static_cast<int64_t>(assigned.task.task_id),
+                        assigned.attempt, stuck_end_vt);
       assigned.last_bucket = bucket_index;
       degrade_or_shed(std::move(assigned));
     }
@@ -790,6 +834,9 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
 void StagingService::retry_task(int failed_bucket, Assigned assigned) {
   const double backoff =
       faults_->backoff_seconds(assigned.task.task_id, assigned.attempt);
+  const uint64_t task_id = assigned.task.task_id;
+  const int tenant = assigned.task.tenant;
+  const int failed_attempt = assigned.attempt;
   static obs::Counter& retries = obs::counter("staging_task_retries");
   static obs::Histogram& backoff_h = obs::histogram("staging_backoff_s");
   retries.add(1);
@@ -799,12 +846,17 @@ void StagingService::retry_task(int failed_bucket, Assigned assigned) {
                 .step = assigned.task.step,
                 .vtime = clock_.seconds()});
   bool no_capacity = false;
+  double retry_vt = 0.0;
   {
     std::lock_guard lock(mutex_);
     assigned.last_bucket = failed_bucket;
     assigned.attempt += 1;
     assigned.backoff_total += backoff;
-    assigned.not_before = clock_.seconds() + backoff;
+    // One clock read feeds both not_before and the retry/release events,
+    // so backoff_release.vt - task_retry.vt == backoff exactly and the
+    // attribution partition telescopes without a gap.
+    retry_vt = clock_.seconds();
+    assigned.not_before = retry_vt + backoff;
     bool tenant_capped = false;
     if (fair_share_) {
       TenantSched& t = tenants_[assigned.task.tenant];
@@ -828,6 +880,16 @@ void StagingService::retry_task(int failed_bucket, Assigned assigned) {
       queue_insert_sorted(std::move(assigned));
       queue_depth().add(1);
     }
+  }
+  // kTaskRetry ends the failed attempt's occupancy. kBackoffRelease only
+  // exists when the task really re-enters the queue race: a no-capacity
+  // retry degrades immediately and never waits out its backoff.
+  obs::record_event(obs::EventKind::kTaskRetry, tenant, failed_bucket,
+                    static_cast<int64_t>(task_id), failed_attempt, retry_vt);
+  if (!no_capacity) {
+    obs::record_event(obs::EventKind::kBackoffRelease, tenant, -1,
+                      static_cast<int64_t>(task_id), failed_attempt + 1,
+                      retry_vt + backoff);
   }
   work_cv_.notify_all();
   if (no_capacity) degrade_or_shed(std::move(assigned));
@@ -968,6 +1030,20 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
       std::lock_guard lock(mutex_);
       settle_service_locked(assigned, clock_.seconds() - assign_time);
     }
+    // Phase split of the failed attempt's occupancy; kTaskRetry (recorded
+    // by retry_task at a later clock read) ends the occupancy window.
+    const double fail_vt = clock_.seconds();
+    const double pull_wall = ctx.transfer_wall_seconds_;
+    obs::record_event(obs::EventKind::kTaskXfer, assigned.task.tenant,
+                      bucket_index,
+                      static_cast<int64_t>(assigned.task.task_id),
+                      static_cast<int64_t>(pull_wall * 1e6), fail_vt);
+    obs::record_event(obs::EventKind::kTaskWork, assigned.task.tenant,
+                      bucket_index,
+                      static_cast<int64_t>(assigned.task.task_id),
+                      static_cast<int64_t>(std::max(0.0, wall - pull_wall) *
+                                           1e6),
+                      fail_vt);
     retry_task(bucket_index, std::move(assigned));
     return;
   }
@@ -1052,6 +1128,22 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
       obs::counter("staging_tasks_completed", {.tenant = record.tenant})
           .add(1);
     }
+  }
+  // Transfer/compute split of this final attempt's occupancy, stamped at
+  // the terminal instant. Both are wall durations measured *inside* the
+  // [assign, complete] window, so transfer + compute <= occupancy and the
+  // remainder is the drain phase by construction.
+  {
+    const double pull_wall = ctx.transfer_wall_seconds_;
+    obs::record_event(obs::EventKind::kTaskXfer, record.tenant, record.bucket,
+                      static_cast<int64_t>(record.task_id),
+                      static_cast<int64_t>(pull_wall * 1e6),
+                      record.complete_time);
+    obs::record_event(obs::EventKind::kTaskWork, record.tenant, record.bucket,
+                      static_cast<int64_t>(record.task_id),
+                      static_cast<int64_t>(std::max(0.0, wall - pull_wall) *
+                                           1e6),
+                      record.complete_time);
   }
   obs::record_event(outcome == TaskOutcome::kDegraded
                         ? obs::EventKind::kTaskDegrade

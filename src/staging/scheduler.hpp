@@ -103,6 +103,10 @@ class TaskContext {
   size_t movement_bytes_ = 0;      // wire bytes
   size_t movement_raw_bytes_ = 0;  // logical bytes before encoding
   double decode_seconds_ = 0.0;
+  // Wall (task-clock-domain) time spent inside pulls, distinct from the
+  // *modeled* wire seconds above: the attribution partition needs the
+  // transfer share of real bucket occupancy (kTaskXfer).
+  double transfer_wall_seconds_ = 0.0;
   std::optional<std::vector<std::byte>> result_;
 };
 

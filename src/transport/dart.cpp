@@ -104,8 +104,12 @@ DartHandle Dart::put(int owner_node, std::vector<std::byte> data,
     }
   }
   if (admitted) event_cv_.notify_all();
+  // Stamped on the campaign's task clock (via the installed obs virtual
+  // clock) so put/get records land on the same timeline the attribution
+  // layer rebuilds; -1 when no service clock is installed.
   obs::record_event(obs::EventKind::kPut, tenant, -1,
-                    static_cast<int64_t>(id), static_cast<int64_t>(bytes));
+                    static_cast<int64_t>(id), static_cast<int64_t>(bytes),
+                    obs::virtual_now());
   if (tenant > 0) {
     obs::histogram("dart_put_bytes", {.tenant = tenant})
         .record(static_cast<double>(bytes));
@@ -178,7 +182,8 @@ DartHandle Dart::put_doubles(int owner_node, const std::vector<double>& data,
   }
   if (admitted) event_cv_.notify_all();
   obs::record_event(obs::EventKind::kPut, tenant, -1,
-                    static_cast<int64_t>(id), static_cast<int64_t>(wire));
+                    static_cast<int64_t>(id), static_cast<int64_t>(wire),
+                    obs::virtual_now());
   if (tenant > 0) {
     obs::histogram("dart_put_bytes", {.tenant = tenant})
         .record(static_cast<double>(raw));
@@ -357,7 +362,7 @@ std::vector<std::byte> Dart::get(int dest_node, const DartHandle& handle,
   event_cv_.notify_all();
   obs::record_event(obs::EventKind::kGet, tenant, -1,
                     static_cast<int64_t>(handle.id),
-                    static_cast<int64_t>(data.size()));
+                    static_cast<int64_t>(data.size()), obs::virtual_now());
   if (tenant > 0) {
     obs::histogram("dart_get_wire_bytes", {.tenant = tenant})
         .record(static_cast<double>(data.size()));

@@ -736,6 +736,36 @@ TEST_F(ObsTest, MetricsValidationRejectsIllegalAndDuplicateSeries) {
   EXPECT_FALSE(obs::validate_metrics_text(reordered).ok);
 }
 
+TEST_F(ObsTest, MetricsTextCarriesHelpHeadersAndBuildInfo) {
+  obs::counter("test_help_gauge").add(1);
+  const std::string text = obs::metrics_text();
+  ASSERT_TRUE(obs::validate_metrics_text(text).ok);
+  EXPECT_NE(text.find("# HELP hia_test_help_gauge "), std::string::npos);
+  EXPECT_NE(text.find("# HELP hia_build_info "), std::string::npos);
+  EXPECT_NE(text.find("hia_build_info{"), std::string::npos);
+
+  // A TYPE declaration with no preceding HELP is rejected...
+  const std::string no_help =
+      "# HELP hia_build_info x\n"
+      "# TYPE hia_build_info gauge\n"
+      "hia_build_info 1\n"
+      "# TYPE hia_x gauge\n"
+      "hia_x 1\n";
+  EXPECT_FALSE(obs::validate_metrics_text(no_help).ok);
+  // ...as is an exposition without the constant build-identity gauge...
+  const std::string no_build_info =
+      "# HELP hia_x x\n"
+      "# TYPE hia_x gauge\n"
+      "hia_x 1\n";
+  EXPECT_FALSE(obs::validate_metrics_text(no_build_info).ok);
+  // ...or one where it is not the constant 1.
+  const std::string bad_build_info =
+      "# HELP hia_build_info x\n"
+      "# TYPE hia_build_info gauge\n"
+      "hia_build_info 2\n";
+  EXPECT_FALSE(obs::validate_metrics_text(bad_build_info).ok);
+}
+
 TEST_F(ObsTest, RunSummaryBreakdownsValidate) {
   obs::Labels t1;
   t1.tenant = 1;

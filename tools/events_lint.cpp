@@ -10,8 +10,15 @@
 // Prints the partition table either way so an operator can diff it against
 // the campaign's ServiceReport.
 //
+// When the recorder dropped records, the per-kind drop table (from the
+// header's dropped_by_kind map) says which part of the stream is
+// unverifiable — a dropped task_submit breaks conservation, a dropped
+// pressure transition does not.
+//
 // Exit status: 0 when the file is well-formed (and conserved, if
-// enforceable), 1 otherwise, 2 on usage or I/O errors.
+// enforceable), 1 when invalid, 2 on usage or I/O errors, 3 when the file
+// is structurally valid but the ring dropped records (timelines and
+// conservation are unverifiable — resize the ring and re-record).
 #include <cstdio>
 #include <cstring>
 
@@ -50,10 +57,22 @@ int main(int argc, char** argv) {
                  v.error.c_str());
     return 1;
   }
-  std::printf("events_lint: %s: OK (%llu records, %llu dropped, %zu "
-              "tenants%s)\n",
+  if (v.dropped > 0) {
+    std::printf("  dropped records by kind:\n");
+    for (const auto& [kind, count] : v.dropped_by_kind) {
+      const char* name = hia::obs::event_kind_name(kind);
+      std::printf("  %18s  %9llu\n", name != nullptr ? name : "unknown",
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("events_lint: %s: DROPPED (%llu records kept, %llu "
+                "dropped; conservation not enforced under drops)\n",
+                path, static_cast<unsigned long long>(v.records),
+                static_cast<unsigned long long>(v.dropped));
+    return 3;
+  }
+  std::printf("events_lint: %s: OK (%llu records, 0 dropped, %zu "
+              "tenants)\n",
               path, static_cast<unsigned long long>(v.records),
-              static_cast<unsigned long long>(v.dropped), v.tenants.size(),
-              v.dropped > 0 ? "; conservation not enforced under drops" : "");
+              v.tenants.size());
   return 0;
 }
