@@ -15,10 +15,18 @@
 #      (admit+queue+backoff+transfer+compute+drain == turnaround per
 #      task), and enforces critical-path <= makespan; its RunSummary and
 #      Chrome-trace waterfall are archived under ci/artifacts/
-#   4. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
-#      and every --flag the docs mention exists in hia_campaign --help
-#      (or is allowlisted as another tool's flag)
-#   5. perf baselines: bench_fig5_scheduler's, bench_ablate_overload's,
+#   4. replay gate: tools/hia_plan replays the same spill under its own
+#      recorded configuration (--calibrate) and must reproduce the
+#      measured makespan within tolerance, then sweeps buckets=1..8;
+#      the resulting RunSummary is diffed against
+#      bench/baselines/BENCH_replay.json, which gates
+#      replay_calibrated_ok and replay_sweep_ok as booleans
+#      (tolerance 0.0 — gate booleans, not near-zero values)
+#   5. doc hygiene: ci/check_docs.sh — markdown relative links resolve,
+#      every --flag the docs mention exists in hia_campaign or hia_plan
+#      --help (or is allowlisted as another tool's flag), every hia_plan
+#      flag is documented, and every tool in tools/ has a docs section
+#   6. perf baselines: bench_fig5_scheduler's, bench_ablate_overload's,
 #      and bench_ablate_tenants's RunSummaries diffed against
 #      bench/baselines/ by tools/bench_diff — nonzero exit on drift past
 #      the baseline's per-metric tolerances (the overload bench also
@@ -26,11 +34,11 @@
 #      every overload pointer null; the tenants bench gates fair-share
 #      conservation and hog isolation; the overload bench also A/Bs the
 #      flight recorder and gates recorder_overhead_ok as a boolean)
-#   6. soak: ci/soak.sh drives randomized bucket kills, phantom bytes,
+#   7. soak: ci/soak.sh drives randomized bucket kills, phantom bytes,
 #      credit starvation, and a multi-tenant hog through the adaptive
 #      steering and fair-share paths; failures print the seed and an
 #      exact replay command
-#   7. sanitizers: ASan+UBSan over everything, TSan over the concurrent
+#   8. sanitizers: ASan+UBSan over everything, TSan over the concurrent
 #      paths (see ci/sanitize.sh; sanitizer runs skip the perf gate —
 #      their timings are not comparable to baseline)
 #
@@ -94,8 +102,21 @@ cp "$smoke_dir/events.bin" "$smoke_dir/events_stdout.txt" \
 echo "events gate OK (partition cross-checked, attribution exact," \
   "critical path within makespan)"
 
+echo "==> replay gate: hia_plan calibration + bucket sweep vs bench/baselines"
+./build/tools/events_lint --stats "$smoke_dir/events.bin" \
+  > "$smoke_dir/events_stats.txt"
+./build/tools/hia_plan "$smoke_dir/events.bin" --calibrate \
+  --sweep buckets=1..8 --summary "$smoke_dir/BENCH_replay.json" \
+  > "$smoke_dir/hia_plan_stdout.txt"
+./build/examples/trace_lint --summary "$smoke_dir/BENCH_replay.json"
+cp "$smoke_dir/BENCH_replay.json" "$smoke_dir/hia_plan_stdout.txt" \
+  "$smoke_dir/events_stats.txt" "$artifact_dir/"
+./build/tools/bench_diff "$smoke_dir/BENCH_replay.json" \
+  bench/baselines/BENCH_replay.json
+echo "replay gate OK (calibrated within tolerance, sweep grid complete)"
+
 echo "==> doc hygiene: links + documented flags (check_docs.sh)"
-ci/check_docs.sh ./build/examples/hia_campaign
+ci/check_docs.sh ./build/examples/hia_campaign ./build/tools/hia_plan
 
 echo "==> perf baseline: bench_fig5_scheduler vs bench/baselines (bench_diff)"
 (cd "$smoke_dir" && "$OLDPWD/build/bench/bench_fig5_scheduler" \

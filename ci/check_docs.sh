@@ -13,15 +13,23 @@
 #      must be present in BOTH --help and the docs: the binary growing a
 #      flag the handbook never mentions is as much a doc bug as the
 #      reverse.
+#   4. hia_plan is held to the strictest contract: EVERY flag its --help
+#      lists must appear in the docs, and every documented hia_plan flag
+#      must exist in --help (the planner handbook is the operator's only
+#      interface to the replay engine).
+#   5. Every tool in tools/ must have a docs section: a markdown heading
+#      naming the tool somewhere in README.md or docs/.
 #
-#   ci/check_docs.sh [path/to/hia_campaign]
+#   ci/check_docs.sh [path/to/hia_campaign] [path/to/hia_plan]
 #
-# The campaign binary defaults to ./build/examples/hia_campaign; pass the
-# path explicitly when checking a non-default build tree.
+# The binaries default to ./build/examples/hia_campaign and
+# ./build/tools/hia_plan; pass paths explicitly when checking a
+# non-default build tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 campaign="${1:-./build/examples/hia_campaign}"
+plan="${2:-./build/tools/hia_plan}"
 docs=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md)
 
 # Flags documented for tools other than hia_campaign. Keep this list
@@ -33,6 +41,7 @@ allow_flags=(
   --no-trace                                       # bench ObsCli harness
   --interval --slo --plain                         # examples/hia_top console
   --top                                            # tools/critical_path
+  --stats                                          # tools/events_lint
   --help                                           # meta: docs talk about --help itself
 )
 
@@ -56,13 +65,19 @@ for doc in "${docs[@]}"; do
   done < <(grep -oE '\]\([^)[:space:]]+\)' "$doc" | sed 's/^](//; s/)$//')
 done
 
-echo "--- documented flags vs hia_campaign --help"
+echo "--- documented flags vs hia_campaign + hia_plan --help"
 if [[ ! -x "$campaign" ]]; then
   echo "campaign binary not found: $campaign (build first)" >&2
   exit 1
 fi
+if [[ ! -x "$plan" ]]; then
+  echo "planner binary not found: $plan (build first)" >&2
+  exit 1
+fi
 help_text="$("$campaign" --help 2>&1 || true)"
-known="$(grep -oE '\-\-[a-z][a-z0-9-]*' <<<"$help_text" | sort -u)"
+plan_help="$("$plan" --help 2>&1 || true)"
+known="$(grep -oE '\-\-[a-z][a-z0-9-]*' <<<"$help_text"$'\n'"$plan_help" |
+  sort -u)"
 for f in "${allow_flags[@]}"; do known+=$'\n'"$f"; done
 
 # A token counts as a documented flag only when preceded by start-of-line
@@ -91,6 +106,32 @@ for flag in "${required_flags[@]}"; do
   fi
   if ! grep -qxF -e "$flag" <<<"$mentioned"; then
     echo "UNDOCUMENTED REQUIRED FLAG: no doc mentions $flag" >&2
+    fail=1
+  fi
+done
+
+echo "--- hia_plan flags bidirectional"
+# The planner contract is total: every flag in hia_plan --help must be
+# documented, and (via the unknown-flag check above) every documented
+# flag must exist. A flag the binary grows silently fails here.
+plan_flags="$(grep -oE '\-\-[a-z][a-z0-9-]*' <<<"$plan_help" | sort -u)"
+while IFS= read -r flag; do
+  [[ -z "$flag" ]] && continue
+  if ! grep -qxF -e "$flag" <<<"$mentioned"; then
+    echo "UNDOCUMENTED PLANNER FLAG: hia_plan --help lists $flag but no" \
+      "doc mentions it" >&2
+    fail=1
+  fi
+done <<<"$plan_flags"
+
+echo "--- every tool has a docs section"
+# Each tools/*.cpp must be introduced by a markdown heading somewhere in
+# README.md or docs/ — a tool an operator cannot discover is half-shipped.
+for src in tools/*.cpp; do
+  tool="$(basename "$src" .cpp)"
+  if ! grep -qE "^#{1,6} .*\b$tool\b" README.md docs/*.md; then
+    echo "UNDOCUMENTED TOOL: no markdown heading in README.md or docs/" \
+      "names $tool" >&2
     fail=1
   fi
 done

@@ -96,6 +96,7 @@ void rebuild_task(const std::vector<EventRecord>& evs, TaskTimeline& tl) {
   }
   tl.tenant = first.tenant;
   tl.step = first.bucket;  // submits carry the step in the bucket field
+  tl.input_bytes = first.b;
   tl.submit_vt = first.vt_s;
 
   double& admit = tl.phases[static_cast<int>(TaskPhase::kAdmit)];

@@ -46,6 +46,8 @@ struct TaskTimeline {
   uint64_t task_id = 0;
   int tenant = -1;
   int step = -1;              // from the submit record
+  int64_t input_bytes = 0;    // submit record's input wire bytes (the
+                              //   planner re-models transfers from these)
   int bucket = -1;            // final attempt's bucket; -1 = fallback/none
   int attempts = 0;           // occupancy windows observed
   int32_t terminal_kind = 0;  // kTaskComplete/kTaskDegrade/kTaskShed/kTaskDefer

@@ -15,21 +15,153 @@
 // unverifiable — a dropped task_submit breaks conservation, a dropped
 // pressure transition does not.
 //
+// --stats prints the spill-contents summary instead: per-tenant task and
+// byte totals (submits, terminals, put/get counts and wire bytes,
+// transfer/compute wall seconds) — what an operator or the planner
+// handbook needs to describe a recording without a full partition dump.
+//
 // Exit status: 0 when the file is well-formed (and conserved, if
 // enforceable), 1 when invalid, 2 on usage or I/O errors, 3 when the file
 // is structurally valid but the ring dropped records (timelines and
 // conservation are unverifiable — resize the ring and re-record).
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "obs/events.hpp"
 
+namespace {
+
+/// The --stats mode: per-tenant task/byte totals from the raw records.
+int print_stats(const char* path) {
+  std::vector<hia::obs::EventRecord> records;
+  uint64_t dropped = 0;
+  std::string error;
+  if (!hia::obs::read_events_file(path, &records, &dropped, nullptr,
+                                  &error)) {
+    std::fprintf(stderr, "events_lint: %s: %s\n", path, error.c_str());
+    return error.find("cannot open") != std::string::npos ? 2 : 1;
+  }
+
+  struct TenantStats {
+    uint64_t submits = 0;
+    uint64_t terminals = 0;
+    int64_t input_bytes = 0;
+    uint64_t puts = 0;
+    int64_t put_bytes = 0;
+    uint64_t gets = 0;
+    int64_t get_bytes = 0;
+    double transfer_s = 0.0;
+    double compute_s = 0.0;
+  };
+  std::map<int, TenantStats> tenants;
+  for (const hia::obs::EventRecord& r : records) {
+    TenantStats& t = tenants[r.tenant];
+    switch (static_cast<hia::obs::EventKind>(r.kind)) {
+      case hia::obs::EventKind::kTaskSubmit:
+        ++t.submits;
+        t.input_bytes += r.b;
+        break;
+      case hia::obs::EventKind::kTaskComplete:
+      case hia::obs::EventKind::kTaskDegrade:
+      case hia::obs::EventKind::kTaskShed:
+      case hia::obs::EventKind::kTaskDefer:
+        ++t.terminals;
+        break;
+      case hia::obs::EventKind::kPut:
+        ++t.puts;
+        t.put_bytes += r.b;
+        break;
+      case hia::obs::EventKind::kGet:
+        ++t.gets;
+        t.get_bytes += r.b;
+        break;
+      case hia::obs::EventKind::kTaskXfer:
+        t.transfer_s += static_cast<double>(r.b) * 1e-6;
+        break;
+      case hia::obs::EventKind::kTaskWork:
+        t.compute_s += static_cast<double>(r.b) * 1e-6;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::printf("events_lint: %s: %zu records, %llu dropped\n", path,
+              records.size(), static_cast<unsigned long long>(dropped));
+  std::printf("  %6s  %7s  %9s  %12s  %5s  %10s  %5s  %10s  %10s  %10s\n",
+              "tenant", "submits", "terminals", "input-bytes", "puts",
+              "put-bytes", "gets", "get-bytes", "xfer (s)", "work (s)");
+  TenantStats total;
+  for (const auto& [tenant, t] : tenants) {
+    // System records (pressure, pool) carry tenant -1 and no task or
+    // byte activity; skip all-zero rows so the table reads as tenants.
+    if (t.submits == 0 && t.terminals == 0 && t.puts == 0 && t.gets == 0 &&
+        t.transfer_s == 0.0 && t.compute_s == 0.0) {
+      continue;
+    }
+    std::printf(
+        "  %6d  %7llu  %9llu  %12lld  %5llu  %10lld  %5llu  %10lld  "
+        "%10.6f  %10.6f\n",
+        tenant, static_cast<unsigned long long>(t.submits),
+        static_cast<unsigned long long>(t.terminals),
+        static_cast<long long>(t.input_bytes),
+        static_cast<unsigned long long>(t.puts),
+        static_cast<long long>(t.put_bytes),
+        static_cast<unsigned long long>(t.gets),
+        static_cast<long long>(t.get_bytes), t.transfer_s, t.compute_s);
+    total.submits += t.submits;
+    total.terminals += t.terminals;
+    total.input_bytes += t.input_bytes;
+    total.puts += t.puts;
+    total.put_bytes += t.put_bytes;
+    total.gets += t.gets;
+    total.get_bytes += t.get_bytes;
+    total.transfer_s += t.transfer_s;
+    total.compute_s += t.compute_s;
+  }
+  std::printf(
+      "  %6s  %7llu  %9llu  %12lld  %5llu  %10lld  %5llu  %10lld  "
+      "%10.6f  %10.6f\n",
+      "total", static_cast<unsigned long long>(total.submits),
+      static_cast<unsigned long long>(total.terminals),
+      static_cast<long long>(total.input_bytes),
+      static_cast<unsigned long long>(total.puts),
+      static_cast<long long>(total.put_bytes),
+      static_cast<unsigned long long>(total.gets),
+      static_cast<long long>(total.get_bytes), total.transfer_s,
+      total.compute_s);
+  if (dropped > 0) {
+    std::printf("events_lint: %s: DROPPED (%llu records lost; totals are "
+                "lower bounds)\n",
+                path, static_cast<unsigned long long>(dropped));
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
-    std::fprintf(stderr, "usage: events_lint <events.bin>\n");
+  bool stats = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: events_lint [--stats] <events.bin>\n");
     return 2;
   }
-  const char* path = argv[1];
+  if (stats) return print_stats(path);
 
   const hia::obs::EventsValidation v = hia::obs::validate_events_file(path);
   if (!v.ok && v.records == 0 && v.tenants.empty()) {
