@@ -145,6 +145,16 @@ cp "$smoke_dir/BENCH_ablate_tenants.json" "$artifact_dir/"
   bench/baselines/BENCH_ablate_tenants.json
 echo "tenants baseline OK"
 
+echo "==> crash-recovery baseline: bench_ablate_faults vs bench/baselines"
+(cd "$smoke_dir" && "$OLDPWD/build/bench/bench_ablate_faults" \
+  --obs-sample-hz 50 > faults_stdout.txt)
+./build/examples/trace_lint --summary "$smoke_dir/BENCH_ablate_faults.json"
+cp "$smoke_dir/BENCH_ablate_faults.json" "$artifact_dir/"
+./build/tools/bench_diff "$smoke_dir/BENCH_ablate_faults.json" \
+  bench/baselines/BENCH_ablate_faults.json
+echo "crash-recovery baseline OK (exactly-once conservation under" \
+  "ungraceful bucket + server loss)"
+
 echo "==> soak: randomized faults, backpressure, multi-tenant (ci/soak.sh)"
 ci/soak.sh
 

@@ -17,6 +17,13 @@
 # the same two invariants must hold, plus the per-tenant conservation
 # check the binary exits nonzero on.
 #
+# A third (chaos) leg crashes a seed-chosen object-store server
+# *ungracefully* mid-campaign under --replicas 2: committed objects must
+# survive on the replica chain (events_lint + trace_lint both exit 0, so
+# accounting stayed exactly-once), and the attributed makespan must stay
+# within 2x a crash-free reference run — recovery is allowed to cost,
+# not to stall.
+#
 # Every iteration's seed is printed up front and echoed on failure with
 # the exact replay command — same seed + same config => same fault
 # decisions (--fault-seed), so a red soak is a deterministic repro, not
@@ -98,4 +105,63 @@ for ((i = 0; i < runs; i++)); do
     exit 1
   fi
 done
-echo "ci/soak.sh: $((runs * 2)) soak runs OK (seeds $base_seed..$((base_seed + runs - 1)), single + multi-tenant)"
+events_lint="${EVENTS_LINT:-./build/tools/events_lint}"
+
+echo "soak: chaos leg — crash-free reference run"
+ref_args=(
+  --grid 24x16x12 --ranks 1x1x1 --steps 6 --buckets 3
+  --servers 3 --replicas 2
+  --analyses stats,hist
+  --attrib
+  --obs-sample-hz 20
+)
+if ! "$campaign" "${ref_args[@]}" > "$soak_dir/chaos_ref.txt" 2>&1; then
+  echo "chaos reference run FAILED; output:" >&2
+  cat "$soak_dir/chaos_ref.txt" >&2
+  exit 1
+fi
+ref_makespan="$(sed -n 's/.*makespan attribution: .*makespan \([0-9.]*\) s.*/\1/p' "$soak_dir/chaos_ref.txt" | head -n1)"
+if [[ -z "$ref_makespan" ]]; then
+  echo "chaos reference run printed no makespan attribution" >&2
+  cat "$soak_dir/chaos_ref.txt" >&2
+  exit 1
+fi
+
+echo "soak: $runs chaos runs (ungraceful server crash, replicas=2), base seed $base_seed"
+for ((i = 0; i < runs; i++)); do
+  seed=$((base_seed + i))
+  # A different server dies at a different step each iteration; every
+  # committed object must survive on the replica chain.
+  crash_server=$((seed % 3))
+  crash_step=$((seed % 4 + 1))
+  args=(
+    "${ref_args[@]}"
+    --faults "crash-server=${crash_server}@${crash_step},seed=${seed}"
+    --fault-seed "$seed"
+    --events "$soak_dir/chaos_${i}.events"
+    --summary "$soak_dir/chaos_${i}.json"
+  )
+  replay="  $campaign ${args[*]}"
+  if ! "$campaign" "${args[@]}" > "$soak_dir/chaos_${i}.txt" 2>&1 ||
+     ! "$events_lint" "$soak_dir/chaos_${i}.events" >> "$soak_dir/chaos_${i}.txt" 2>&1 ||
+     ! "$lint" --summary "$soak_dir/chaos_${i}.json" >> "$soak_dir/chaos_${i}.txt" 2>&1; then
+    echo "chaos soak FAILED at iteration $i (seed $seed); output:" >&2
+    cat "$soak_dir/chaos_${i}.txt" >&2
+    echo >&2
+    echo "replay with:" >&2
+    echo "$replay" >&2
+    exit 1
+  fi
+  makespan="$(sed -n 's/.*makespan attribution: .*makespan \([0-9.]*\) s.*/\1/p' "$soak_dir/chaos_${i}.txt" | head -n1)"
+  if [[ -z "$makespan" ]] ||
+     ! awk -v m="$makespan" -v r="$ref_makespan" 'BEGIN { exit !(m <= 2 * r) }'; then
+    echo "chaos soak FAILED at iteration $i (seed $seed):" \
+      "makespan ${makespan:-?} s > 2x crash-free reference ${ref_makespan} s" >&2
+    cat "$soak_dir/chaos_${i}.txt" >&2
+    echo >&2
+    echo "replay with:" >&2
+    echo "$replay" >&2
+    exit 1
+  fi
+done
+echo "ci/soak.sh: $((runs * 3)) soak runs OK (seeds $base_seed..$((base_seed + runs - 1)), single + multi-tenant + chaos)"

@@ -50,6 +50,7 @@ struct Options {
   long steps = 5;
   int buckets = 4;
   int servers = 2;
+  int replicas = 2;
   int frequency = 1;
   std::string analyses = "stats,viz,topo";
   std::string codec;
@@ -103,15 +104,21 @@ bool parse_triple(const char* arg, int64_t out[3]) {
       "  --steps N           timesteps (default 5)\n"
       "  --buckets N         staging buckets (default 4)\n"
       "  --servers N         DataSpaces servers (default 2)\n"
+      "  --replicas R        object-store replication factor, clamped to\n"
+      "                      [1, servers]; committed objects survive R-1\n"
+      "                      crash-server losses via read-repair (default 2)\n"
       "  --frequency N       run analyses every Nth step (default 1)\n"
       "  --analyses a,b,...  comma list or 'all' (default stats,viz,topo)\n"
       "  --codec SPEC        staging codec: raw, rle, delta, or\n"
       "                      quantize:<abs error bound> (default: none)\n"
       "  --faults SPEC       fault-injection plan, comma-separated, e.g.\n"
-      "                      drop=0.05,task-fail=0.1,kill-bucket=2@3\n"
+      "                      drop=0.05,task-fail=0.1,crash-server=1@3\n"
       "                      (directives: drop/corrupt/delay/task-fail/\n"
-      "                      stall/kill-bucket/slow-bucket/attempts/\n"
-      "                      backoff/shed/seed; see docs/FAILURE_MODEL.md)\n"
+      "                      stall/kill-bucket/slow-bucket/crash-bucket/\n"
+      "                      crash-server/attempts/backoff/shed/seed;\n"
+      "                      crash-bucket=B@N and crash-server=S@N are\n"
+      "                      ungraceful: no drain, in-flight work seized;\n"
+      "                      see docs/FAILURE_MODEL.md)\n"
       "  --fault-seed N      override the fault plan's seed (same seed =>\n"
       "                      same injected faults, same resilience block)\n"
       "  --overload SPEC     overload-control budgets, comma-separated, e.g.\n"
@@ -186,6 +193,8 @@ Options parse(int argc, char** argv) {
       opt.buckets = std::atoi(need("--buckets"));
     } else if (std::strcmp(argv[a], "--servers") == 0) {
       opt.servers = std::atoi(need("--servers"));
+    } else if (std::strcmp(argv[a], "--replicas") == 0) {
+      opt.replicas = std::atoi(need("--replicas"));
     } else if (std::strcmp(argv[a], "--frequency") == 0) {
       opt.frequency = std::atoi(need("--frequency"));
     } else if (std::strcmp(argv[a], "--analyses") == 0) {
@@ -289,6 +298,24 @@ std::shared_ptr<HybridAnalysis> make_analysis(const std::string& name,
   return nullptr;
 }
 
+/// Registers the run's configuration with the flight recorder so
+/// write_events_file embeds it in the spill header: a replayed spill then
+/// carries the tenant weights, overload caps, bucket count, replication
+/// factor, and fault spec the run actually used (hia_plan --calibrate
+/// reads these back instead of guessing).
+void register_run_config(const Options& opt,
+                         const std::vector<double>& tenant_weights) {
+  obs::EventsRunConfig cfg;
+  cfg.buckets = opt.buckets;
+  cfg.servers = opt.servers;
+  // Record the effective factor (the store clamps to [1, servers]).
+  cfg.replicas = std::clamp(opt.replicas, 1, opt.servers);
+  cfg.faults = opt.faults;
+  cfg.overload = opt.overload;
+  cfg.tenant_weights = tenant_weights;
+  obs::set_events_run_config(cfg);
+}
+
 /// --attrib: rebuild per-task timelines from the in-memory flight
 /// recorder and print the makespan attribution. Returns nonzero when any
 /// task's phase partition fails to sum to its turnaround (or records were
@@ -348,6 +375,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
   CampaignService::Options sopts;
   sopts.staging_servers = opt.servers;
   sopts.staging_buckets = opt.buckets;
+  sopts.staging_replicas = opt.replicas;
   sopts.faults = opt.faults;
   sopts.fault_seed = opt.fault_seed;
   sopts.overload = opt.overload;
@@ -387,6 +415,7 @@ int run_tenants(const Options& opt, const RunConfig& base_config,
     obs::set_events_capacity(1 << 16);
     obs::reset_events();
     obs::enable_events();
+    register_run_config(opt, weights);
   }
 
   // --status-interval: a digest thread polls the service while the
@@ -552,6 +581,7 @@ int main(int argc, char** argv) {
   config.sim.ranks_per_axis = opt.ranks;
   config.staging_servers = opt.servers;
   config.staging_buckets = opt.buckets;
+  config.staging_replicas = opt.replicas;
   config.steps = opt.steps;
   config.staging_codec = opt.codec;
   config.faults = opt.faults;
@@ -599,6 +629,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--tenants must be >= 1\n");
     return 2;
   }
+  if (opt.replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
   if (!opt.weights.empty() && opt.tenants <= 1) {
     std::fprintf(stderr, "--weights needs --tenants N with N > 1\n");
     return 2;
@@ -632,6 +666,7 @@ int main(int argc, char** argv) {
     obs::set_events_capacity(1 << 16);
     obs::reset_events();
     obs::enable_events();
+    register_run_config(opt, {});
   }
 
   HybridRunner runner(config);
@@ -733,6 +768,19 @@ int main(int argc, char** argv) {
           static_cast<double>(res.recovered_bytes);
       summary.metrics["buckets_killed"] =
           static_cast<double>(res.buckets_killed);
+      summary.metrics["buckets_crashed"] =
+          static_cast<double>(res.buckets_crashed);
+      summary.metrics["servers_crashed"] =
+          static_cast<double>(res.servers_crashed);
+      summary.metrics["leases_expired"] =
+          static_cast<double>(res.leases_expired);
+      summary.metrics["tasks_reexecuted"] =
+          static_cast<double>(res.tasks_reexecuted);
+      summary.metrics["zombies_fenced"] =
+          static_cast<double>(res.zombies_fenced);
+      summary.metrics["replicas_repaired"] =
+          static_cast<double>(res.replicas_repaired);
+      summary.metrics["objects_lost"] = static_cast<double>(res.objects_lost);
       summary.metrics["steer_in_situ"] =
           static_cast<double>(res.steer_in_situ);
       summary.metrics["steer_deferred"] =

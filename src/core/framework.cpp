@@ -39,7 +39,8 @@ HybridRunner::HybridRunner(RunConfig config)
   owned_staging_ = std::make_unique<StagingService>(
       *dart_, StagingService::Options{config_.staging_servers,
                                       config_.staging_buckets,
-                                      faults_.get(), overload_});
+                                      faults_.get(), overload_,
+                                      config_.staging_replicas});
   staging_ = owned_staging_.get();
   if (!config_.staging_codec.empty()) {
     codec_ = make_codec(config_.staging_codec);
@@ -338,6 +339,13 @@ RunReport HybridRunner::run() {
     res.tasks_failed = stats.tasks_failed;
     res.worker_stalls = stats.worker_stalls;
     res.buckets_killed = stats.buckets_killed;
+    res.buckets_crashed = stats.buckets_crashed;
+    res.servers_crashed = stats.servers_crashed;
+    res.leases_expired = staging_->leases_expired();
+    res.tasks_reexecuted = staging_->tasks_reexecuted();
+    res.zombies_fenced = staging_->zombies_fenced();
+    res.replicas_repaired = staging_->store().replicas_repaired();
+    res.objects_lost = staging_->store().objects_lost();
     res.overload_bytes_injected = stats.overload_bytes_injected;
     res.credits_starved = stats.credits_starved;
     HIA_LOG_INFO("framework",

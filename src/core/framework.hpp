@@ -34,6 +34,9 @@ struct RunConfig {
   S3DParams sim{};
   int staging_servers = 2;
   int staging_buckets = 4;
+  /// Object-store replication factor (clamped to [1, staging_servers]).
+  /// With R > 1 committed objects survive R-1 crash-server losses.
+  int staging_replicas = 1;
   long steps = 5;
   NetworkParams network{};
   Dart::Options dart{};

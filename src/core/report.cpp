@@ -80,6 +80,17 @@ std::string format_resilience(const RunReport& report) {
   table.add_row({"retry backoff total (s)", fmt_fixed(r.backoff_seconds, 4)});
   count_row("injected task timeouts", r.tasks_failed);
   count_row("buckets killed", r.buckets_killed);
+  if (r.buckets_crashed || r.servers_crashed || r.leases_expired ||
+      r.tasks_reexecuted || r.zombies_fenced || r.replicas_repaired ||
+      r.objects_lost) {
+    count_row("buckets crashed (ungraceful)", r.buckets_crashed);
+    count_row("servers crashed (ungraceful)", r.servers_crashed);
+    count_row("leases expired (reclaimed)", r.leases_expired);
+    count_row("tasks re-executed", r.tasks_reexecuted);
+    count_row("zombie completions fenced", r.zombies_fenced);
+    count_row("replica copies read-repaired", r.replicas_repaired);
+    count_row("objects lost (last copy died)", r.objects_lost);
+  }
   count_row("frame retransmits", r.frame_retransmits);
   count_row("  frames dropped (injected)", r.frames_dropped);
   count_row("  frames corrupted (injected)", r.frames_corrupted);

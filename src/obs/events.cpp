@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -19,7 +20,7 @@ namespace {
 constexpr char kMagic[8] = {'h', 'i', 'a', 'e', 'v', 't', 's', '1'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kDefaultRingCapacity = 16384;
-constexpr int32_t kMaxKind = 19;  // highest on-disk EventKind value
+constexpr int32_t kMaxKind = 23;  // highest on-disk EventKind value
 
 /// One thread's ring. The owner thread writes under `mutex` uncontended;
 /// snapshot() contends only during a merge.
@@ -94,9 +95,39 @@ const char* kind_name(int32_t kind) {
     case EventKind::kBucketVacate: return "bucket_vacate";
     case EventKind::kTaskXfer: return "task_xfer";
     case EventKind::kTaskWork: return "task_work";
+    case EventKind::kLeaseExpire: return "lease_expire";
+    case EventKind::kTaskReexec: return "task_reexec";
+    case EventKind::kReplicaRepair: return "replica_repair";
+    case EventKind::kZombieFence: return "zombie_fence";
   }
   return nullptr;
 }
+
+/// Minimal JSON string escape for spec strings embedded in the header.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::mutex g_run_config_mutex;
+EventsRunConfig g_run_config;  // guarded by g_run_config_mutex
 
 }  // namespace
 
@@ -190,6 +221,14 @@ void reset_events() {
   for (int32_t k = 0; k <= kMaxKind; ++k) {
     reg.dropped_by_kind[k].store(0, std::memory_order_relaxed);
   }
+  std::lock_guard cfg_lock(g_run_config_mutex);
+  g_run_config = EventsRunConfig{};
+}
+
+void set_events_run_config(const EventsRunConfig& cfg) {
+  std::lock_guard lock(g_run_config_mutex);
+  g_run_config = cfg;
+  g_run_config.present = true;
 }
 
 // ------------------------------------------------------------- spill ----
@@ -221,7 +260,27 @@ bool write_events_file(const std::string& path) {
     first = false;
     header << '"' << k << "\":\"" << kind_name(k) << '"';
   }
-  header << "}}";
+  header << "}";
+  {
+    // Recorded run configuration, if the driver registered one — lets a
+    // replay re-simulate the *configured* campaign (weights, overload,
+    // fault schedule) instead of trusting hand-supplied flags.
+    std::lock_guard lock(g_run_config_mutex);
+    if (g_run_config.present) {
+      header << ",\"run_config\":{\"buckets\":" << g_run_config.buckets
+             << ",\"servers\":" << g_run_config.servers
+             << ",\"replicas\":" << g_run_config.replicas << ",\"faults\":\""
+             << json_escape(g_run_config.faults) << "\",\"overload\":\""
+             << json_escape(g_run_config.overload)
+             << "\",\"tenant_weights\":[";
+      for (size_t i = 0; i < g_run_config.tenant_weights.size(); ++i) {
+        if (i > 0) header << ',';
+        header << g_run_config.tenant_weights[i];
+      }
+      header << "]}";
+    }
+  }
+  header << "}";
   const std::string header_json = header.str();
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -281,7 +340,12 @@ EventsValidation validate_events(const std::vector<EventRecord>& records,
                               kind == EventKind::kBucketVacate ||
                               kind == EventKind::kTaskXfer ||
                               kind == EventKind::kTaskWork;
-    if ((task_event || attrib_event) && r.tenant < 0) {
+    // Crash-recovery markers are task-keyed and tenant-attributed too
+    // (kReplicaRepair is handle-keyed, like kPut, and exempt).
+    const bool recovery_event = kind == EventKind::kLeaseExpire ||
+                                kind == EventKind::kTaskReexec ||
+                                kind == EventKind::kZombieFence;
+    if ((task_event || attrib_event || recovery_event) && r.tenant < 0) {
       v.error = "record " + std::to_string(i) + " (" +
                 kind_name(r.kind) + "): task event without a tenant";
       return v;
@@ -423,6 +487,70 @@ bool read_events_file(const std::string& path,
               static_cast<uint64_t>(val.number);
         }
       }
+    }
+  }
+  return true;
+}
+
+bool read_events_run_config(const std::string& path, EventsRunConfig* cfg,
+                            std::string* error) {
+  if (cfg != nullptr) *cfg = EventsRunConfig{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t header_bytes = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&header_bytes), sizeof(header_bytes));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+      version != kVersion || header_bytes == 0 || header_bytes > (1u << 20)) {
+    if (error != nullptr) *error = "not a readable hia-events-v1 file";
+    return false;
+  }
+  std::string header_json(header_bytes, '\0');
+  in.read(header_json.data(), header_bytes);
+  if (!in) {
+    if (error != nullptr) *error = "truncated header";
+    return false;
+  }
+  json::Value header;
+  std::string parse_error;
+  if (!json::parse(header_json, header, parse_error)) {
+    if (error != nullptr) *error = "header is not valid JSON: " + parse_error;
+    return false;
+  }
+  const json::Value* rc = json::find(header, "run_config");
+  if (rc == nullptr || !rc->is_object()) return true;  // pre-PR10 spill
+  if (cfg == nullptr) return true;
+  cfg->present = true;
+  if (const json::Value* v = json::find(*rc, "buckets");
+      v != nullptr && v->is_number()) {
+    cfg->buckets = static_cast<int>(v->number);
+  }
+  if (const json::Value* v = json::find(*rc, "servers");
+      v != nullptr && v->is_number()) {
+    cfg->servers = static_cast<int>(v->number);
+  }
+  if (const json::Value* v = json::find(*rc, "replicas");
+      v != nullptr && v->is_number()) {
+    cfg->replicas = static_cast<int>(v->number);
+  }
+  if (const json::Value* v = json::find(*rc, "faults");
+      v != nullptr && v->is_string()) {
+    cfg->faults = v->string;
+  }
+  if (const json::Value* v = json::find(*rc, "overload");
+      v != nullptr && v->is_string()) {
+    cfg->overload = v->string;
+  }
+  if (const json::Value* v = json::find(*rc, "tenant_weights");
+      v != nullptr && v->is_array()) {
+    for (const json::Value& w : v->array) {
+      if (w.is_number()) cfg->tenant_weights.push_back(w.number);
     }
   }
   return true;

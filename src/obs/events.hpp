@@ -52,6 +52,17 @@ enum class EventKind : int32_t {
                         //   retry/terminal event marks it
   kTaskXfer = 18,       // a=task_id, b=wall µs the attempt spent in pulls
   kTaskWork = 19,       // a=task_id, b=wall µs of handler/stuck time
+  // Crash-recovery markers (ungraceful server loss). The scheduler emits
+  // the usual kTaskRetry/kBackoffRelease pair for the requeue itself so
+  // the attribution partition stays exact; these kinds are *additional*
+  // evidence of what recovery did and are not task-timeline-keyed.
+  kLeaseExpire = 20,    // a=task_id, b=lost attempt; bucket=crashed owner;
+                        //   vt = lease expiry on the task clock
+  kTaskReexec = 21,     // a=task_id, b=re-execution attempt; vt = requeue
+  kReplicaRepair = 22,  // a=handle id, b=object bytes re-replicated;
+                        //   bucket = server that received the repaired copy
+  kZombieFence = 23,    // a=task_id, b=fenced stale attempt; bucket = the
+                        //   presumed-dead bucket whose completion was dropped
 };
 
 /// Fault-verdict site codes carried in EventRecord::a for kFaultVerdict.
@@ -61,6 +72,8 @@ enum class EventFaultSite : int64_t {
   kBucketKill = 3,
   kPhantomBytes = 4,
   kCreditStarve = 5,
+  kBucketCrash = 6,  // ungraceful bucket death (no drain)
+  kServerCrash = 7,  // ungraceful object-store server death
 };
 
 /// One recorded event. POD: memcpy'd verbatim into the spill file.
@@ -105,8 +118,39 @@ std::map<int32_t, uint64_t> dropped_event_records_by_kind();
 const char* event_kind_name(int32_t kind);
 
 /// Drops all recorded events and zeroes the drop counter; registrations
-/// (per-thread rings) and the enabled flag persist. Test isolation.
+/// (per-thread rings) and the enabled flag persist. Also clears the
+/// registered run config. Test isolation.
 void reset_events();
+
+// ---- Recorded run configuration ----
+//
+// The knobs a replay needs to re-simulate the run faithfully: what the
+// campaign was *configured* to do, as opposed to what the records say
+// happened. Registered by the driver before the run and embedded in the
+// spill header as `"run_config":{...}`, so `hia_plan --calibrate` replays
+// the real config instead of trusting hand-supplied flags (the first
+// documented "when replay lies" gap in docs/PLANNER.md).
+
+struct EventsRunConfig {
+  bool present = false;  // read side: was a run_config block in the header?
+  int buckets = 0;       // staging buckets at campaign start
+  int servers = 0;       // object-store servers
+  int replicas = 1;      // object-store replication factor
+  std::string faults;    // --faults spec verbatim ("" = fault-free)
+  std::string overload;  // --overload spec verbatim ("" = no admission)
+  std::vector<double> tenant_weights;  // index = tenant id - 1 (service
+                                       //   tenants are 1-based); empty = solo
+};
+
+/// Registers the run config embedded by the next write_events_file call
+/// (process-wide; cleared by reset_events).
+void set_events_run_config(const EventsRunConfig& cfg);
+
+/// Reads only the header of an hia-events-v1 file and extracts its
+/// run_config block. Returns false on framing errors; a well-formed spill
+/// without the block succeeds with cfg->present == false (pre-PR10 files).
+bool read_events_run_config(const std::string& path, EventsRunConfig* cfg,
+                            std::string* error);
 
 // ---- Spill format: hia-events-v1 ----
 //

@@ -100,7 +100,13 @@ Workload extract_workload(const obs::Attribution& attrib) {
 }
 
 Workload extract_workload_file(const std::string& path) {
-  return extract_workload(obs::attribute_events_file(path));
+  Workload w = extract_workload(obs::attribute_events_file(path));
+  // The run-config header block is optional (pre-PR10 spills lack it) and
+  // advisory: a missing or unreadable block leaves present == false and
+  // the replay falls back to inferred configuration.
+  std::string ignored;
+  (void)obs::read_events_run_config(path, &w.run_config, &ignored);
+  return w;
 }
 
 // ------------------------------------------------------ scenario spec ----
@@ -347,13 +353,22 @@ Prediction replay(const Workload& workload, const Scenario& scenario) {
         idx = fcfs_queue.front();
         fcfs_queue.pop_front();
       } else {
-        // Least settled bucket-seconds wins (equal weights); ties go to
-        // the lowest tenant id; within a tenant, strict arrival order.
+        // Least weight-normalized settled bucket-seconds wins (the live
+        // scheduler's fair-share rule); ties go to the lowest tenant id;
+        // within a tenant, strict arrival order. Tenants without a
+        // recorded weight (or pre-PR10 spills) replay at weight 1.0.
+        auto weight_of = [&](int tenant) {
+          const size_t i = static_cast<size_t>(tenant) - 1;
+          return tenant >= 1 && i < scenario.tenant_weights.size() &&
+                         scenario.tenant_weights[i] > 0.0
+                     ? scenario.tenant_weights[i]
+                     : 1.0;
+        };
         int best_tenant = -1;
         double best_service = 0.0;
         for (const auto& [tenant, queue] : tenant_queues) {
           if (queue.empty()) continue;
-          const double service = tenant_service[tenant];
+          const double service = tenant_service[tenant] / weight_of(tenant);
           if (best_tenant < 0 || service < best_service) {
             best_tenant = tenant;
             best_service = service;
@@ -459,10 +474,19 @@ Calibration calibrate(const Workload& workload, double tolerance) {
   }
   Scenario recorded;
   recorded.label = "recorded";
-  // Multi-tenant recordings replay under the fair-share matcher (equal
-  // weights — the spill does not carry the configured weights).
+  // Multi-tenant recordings replay under the fair-share matcher. A spill
+  // whose header carries a run_config block replays the *configured*
+  // truth — tenant weights and bucket count — instead of inferring it
+  // from the event stream (idle buckets never appear in occupancies, and
+  // weights are invisible to the recorder's task lifecycle events).
   recorded.policy = workload.tenants.size() > 1 ? QueuePolicy::kFair
                                                 : QueuePolicy::kFcfs;
+  if (workload.run_config.present) {
+    if (workload.run_config.buckets > 0) {
+      recorded.buckets = workload.run_config.buckets;
+    }
+    recorded.tenant_weights = workload.run_config.tenant_weights;
+  }
   c.prediction = replay(workload, recorded);
   if (!c.prediction.ok) {
     c.error = c.prediction.error;

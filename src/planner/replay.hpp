@@ -25,9 +25,11 @@
 //     bench/baselines/BENCH_replay.json) that keeps the model honest.
 //
 // Known model simplifications (docs/PLANNER.md "When replay lies"):
-// fault-driven retries/backoff are not re-simulated, fair-share replays
-// with equal weights, and congestion is sampled at dispatch time rather
-// than continuously.
+// fault-driven retries/backoff are not re-simulated, and congestion is
+// sampled at dispatch time rather than continuously. Spills that carry a
+// run_config header block (PR 10+) replay with the *recorded* tenant
+// weights and configured bucket count; older spills fall back to equal
+// weights and the observed bucket census.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "obs/attrib.hpp"
+#include "obs/events.hpp"
 #include "runtime/network_model.hpp"
 
 namespace hia::planner {
@@ -63,6 +66,11 @@ struct Workload {
   double measured_makespan_s = 0.0;  // attribution's measured makespan
   int recorded_buckets = 1;  // distinct bucket ids seen in occupancies
   std::vector<int> tenants;  // distinct tenant ids, ascending
+  /// Run configuration embedded in the spill header (present == false for
+  /// pre-PR10 spills or when extracting from an in-memory attribution).
+  /// When present, calibrate() replays the *configured* bucket count and
+  /// tenant weights instead of inferring them from the event stream.
+  obs::EventsRunConfig run_config;
 };
 
 /// Builds the workload from a conserved attribution. Fails closed when
@@ -94,6 +102,10 @@ struct Scenario {
   bool model_network = false;  // re-model transfers from input bytes
   NetworkParams net;           // used when model_network
   double codec_ratio = 1.0;    // wire-byte scale under re-modeling
+  /// Fair-share weights for QueuePolicy::kFair (index = tenant id - 1;
+  /// empty or out-of-range tenants = weight 1.0). calibrate() and hia_plan
+  /// seed these from the spill's run_config when the header carries one.
+  std::vector<double> tenant_weights;
   std::string label;           // human-readable "k=v;k=v" scenario key
 };
 

@@ -21,6 +21,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kOverload: return "overload";
     case FaultSite::kCreditStarve: return "credit-starve";
     case FaultSite::kTenantHog: return "tenant-hog";
+    case FaultSite::kBucketCrash: return "crash-bucket";
+    case FaultSite::kServerCrash: return "crash-server";
   }
   return "?";
 }
@@ -106,6 +108,26 @@ FaultPlanConfig FaultPlan::parse_spec(const std::string& spec) {
       kill.step = static_cast<long>(parse_double(name, value.substr(at + 1)));
       HIA_REQUIRE(kill.bucket >= 0, "--faults kill-bucket: negative bucket");
       cfg.bucket_kills.push_back(kill);
+    } else if (name == "crash-bucket") {
+      const size_t at = value.find('@');
+      HIA_REQUIRE(at != std::string::npos,
+                  "--faults crash-bucket needs B@N (bucket@step)");
+      FaultPlanConfig::BucketCrash crash;
+      crash.bucket =
+          static_cast<int>(parse_double(name, value.substr(0, at)));
+      crash.step = static_cast<long>(parse_double(name, value.substr(at + 1)));
+      HIA_REQUIRE(crash.bucket >= 0, "--faults crash-bucket: negative bucket");
+      cfg.bucket_crashes.push_back(crash);
+    } else if (name == "crash-server") {
+      const size_t at = value.find('@');
+      HIA_REQUIRE(at != std::string::npos,
+                  "--faults crash-server needs S@N (server@step)");
+      FaultPlanConfig::ServerCrash crash;
+      crash.server =
+          static_cast<int>(parse_double(name, value.substr(0, at)));
+      crash.step = static_cast<long>(parse_double(name, value.substr(at + 1)));
+      HIA_REQUIRE(crash.server >= 0, "--faults crash-server: negative server");
+      cfg.server_crashes.push_back(crash);
     } else if (name == "slow-bucket") {
       HIA_REQUIRE(!v1.empty(), "--faults slow-bucket needs B:F (bucket:factor)");
       FaultPlanConfig::BucketSlow slow;
@@ -240,6 +262,28 @@ void FaultPlan::count_bucket_kill() const {
   buckets_killed_.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool FaultPlan::bucket_crashed(int bucket, long step) const {
+  for (const auto& crash : config_.bucket_crashes) {
+    if (crash.bucket == bucket && step >= crash.step) return true;
+  }
+  return false;
+}
+
+void FaultPlan::count_bucket_crash() const {
+  buckets_crashed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FaultPlan::server_crashed(int server, long step) const {
+  for (const auto& crash : config_.server_crashes) {
+    if (crash.server == server && step >= crash.step) return true;
+  }
+  return false;
+}
+
+void FaultPlan::count_server_crash() const {
+  servers_crashed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FaultPlan::count_overload_inject(size_t bytes) const {
   overload_bytes_injected_.fetch_add(bytes, std::memory_order_relaxed);
 }
@@ -281,6 +325,8 @@ FaultStats FaultPlan::stats() const {
   s.tasks_failed = tasks_failed_.load(std::memory_order_relaxed);
   s.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);
   s.buckets_killed = buckets_killed_.load(std::memory_order_relaxed);
+  s.buckets_crashed = buckets_crashed_.load(std::memory_order_relaxed);
+  s.servers_crashed = servers_crashed_.load(std::memory_order_relaxed);
   s.overload_bytes_injected =
       overload_bytes_injected_.load(std::memory_order_relaxed);
   s.credits_starved = credits_starved_.load(std::memory_order_relaxed);

@@ -41,6 +41,8 @@ enum class FaultSite : uint32_t {
   kOverload = 8,      // scripted phantom-byte injection (rogue producer)
   kCreditStarve = 9,  // scripted admission-credit confiscation
   kTenantHog = 10,    // scripted tenant-attributed phantom-byte burst
+  kBucketCrash = 11,  // scripted ungraceful bucket death (no drain)
+  kServerCrash = 12,  // scripted ungraceful object-store server death
 };
 
 const char* to_string(FaultSite site);
@@ -84,6 +86,28 @@ struct FaultPlanConfig {
     long step = 0;
   };
   std::vector<BucketKill> bucket_kills;
+
+  /// Scripted: bucket `bucket` crashes *ungracefully* once a task with
+  /// step >= `step` is submitted — no drain, mid-compute. Its in-flight
+  /// task is stranded until the scheduler's lease expires, then re-queued
+  /// under a bumped attempt epoch; any late completion from the presumed-
+  /// dead bucket is fenced (see docs/FAILURE_MODEL.md).
+  struct BucketCrash {
+    int bucket = -1;
+    long step = 0;
+  };
+  std::vector<BucketCrash> bucket_crashes;
+
+  /// Scripted: object-store server `server` crashes ungracefully once a
+  /// task with step >= `step` is submitted — every descriptor it holds
+  /// becomes unreachable. Committed objects survive only via replication
+  /// (`--replicas R`); lookups skip the dead shard, fall back to live
+  /// replicas, and read-repair missing copies.
+  struct ServerCrash {
+    int server = -1;
+    long step = 0;
+  };
+  std::vector<ServerCrash> server_crashes;
 
   /// Scripted: bucket `bucket` computes `factor`x slower for the whole run.
   struct BucketSlow {
@@ -140,6 +164,8 @@ struct FaultStats {
   uint64_t overload_bytes_injected = 0;  // scripted phantom queue bytes
   uint64_t credits_starved = 0;          // scripted confiscated credits
   uint64_t tenant_hog_bytes = 0;         // tenant-attributed phantom bytes
+  uint64_t buckets_crashed = 0;          // ungraceful bucket deaths fired
+  uint64_t servers_crashed = 0;          // ungraceful store-server deaths
 };
 
 class FaultPlan {
@@ -152,6 +178,12 @@ class FaultPlan {
   ///                       occupying its bucket for T seconds (default 0)
   ///   stall=P[:S]         thread-pool worker sleeps S s with probability P
   ///   kill-bucket=B@N     bucket B dies once step N is submitted
+  ///   crash-bucket=B@N    bucket B dies *ungracefully* at step N: no drain,
+  ///                       its in-flight task is reclaimed by lease expiry
+  ///                       and re-executed under a fenced attempt epoch
+  ///   crash-server=S@N    object-store server S dies ungracefully at step
+  ///                       N, taking its descriptor shard with it; survives
+  ///                       only via --replicas (see object_store)
   ///   slow-bucket=B:F     bucket B computes Fx slower
   ///   overload=B@N        inject B phantom queue bytes once step N is
   ///                       submitted (needs overload control active)
@@ -209,6 +241,22 @@ class FaultPlan {
   /// it retires the bucket).
   void count_bucket_kill() const;
 
+  /// True once any step >= the scripted crash step for `bucket` has been
+  /// submitted (ungraceful variant of bucket_killed).
+  [[nodiscard]] bool bucket_crashed(int bucket, long step) const;
+  void count_bucket_crash() const;
+
+  /// True once any step >= the scripted crash step for object-store server
+  /// `server` has been submitted.
+  [[nodiscard]] bool server_crashed(int server, long step) const;
+  void count_server_crash() const;
+
+  /// True when any crash-server directive exists (the store only polls the
+  /// plan on its hot path when this is set).
+  [[nodiscard]] bool has_server_crashes() const {
+    return !config_.server_crashes.empty();
+  }
+
   /// Compute-slowdown factor for `bucket` (1.0 = full speed).
   [[nodiscard]] double bucket_slow_factor(int bucket) const;
 
@@ -239,6 +287,8 @@ class FaultPlan {
   mutable std::atomic<uint64_t> tasks_failed_{0};
   mutable std::atomic<uint64_t> worker_stalls_{0};
   mutable std::atomic<uint64_t> buckets_killed_{0};
+  mutable std::atomic<uint64_t> buckets_crashed_{0};
+  mutable std::atomic<uint64_t> servers_crashed_{0};
   mutable std::atomic<uint64_t> overload_bytes_injected_{0};
   mutable std::atomic<uint64_t> credits_starved_{0};
   mutable std::atomic<uint64_t> tenant_hog_bytes_{0};

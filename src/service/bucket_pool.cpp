@@ -32,9 +32,13 @@ void ElasticBucketPool::step() {
   if (pressure.state == PressureState::kNominal && live > options_.min_buckets &&
       staging_.pending_tasks() == 0 &&
       staging_.free_bucket_count() >= live) {
-    // Fully idle above the floor: give a core back. retire_bucket refuses
-    // to take the last live bucket, so this can never strand the queue.
-    if (staging_.retire_bucket() >= 0) {
+    // Fully idle above the floor: give a core back. The floor is passed
+    // down and re-checked under the scheduler lock: `live` here is a
+    // snapshot, and a scripted bucket crash landing between it and the
+    // retire would otherwise let this shrink drop the live pool below
+    // min_buckets. When that race loses, retire_bucket returns -1 and no
+    // shrink is counted (the pool retries after the cooldown).
+    if (staging_.retire_bucket(options_.min_buckets) >= 0) {
       ++stats_.shrinks;
       last_action_ = now;
     }

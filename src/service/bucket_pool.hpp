@@ -9,7 +9,11 @@
 //   * shrink — pressure Nominal, the queue is empty, every bucket idle,
 //             and the pool is above min: one bucket retires gracefully
 //             (StagingService::retire_bucket reuses the scripted-kill
-//             drain — the victim finishes its current task first).
+//             drain — the victim finishes its current task first). The
+//             min_buckets floor travels with the call and is re-checked
+//             under the scheduler lock, so a bucket crash racing the
+//             shrink makes the retire back off instead of leaving the
+//             pool below its floor.
 // A cooldown between actions keeps the pool from flapping on a pressure
 // signal that oscillates around a watermark.
 //

@@ -37,7 +37,8 @@ CampaignService::CampaignService(Options options)
   staging_ = std::make_unique<StagingService>(
       *dart_, StagingService::Options{options_.staging_servers,
                                       options_.staging_buckets, faults_.get(),
-                                      overload_.get()});
+                                      overload_.get(),
+                                      options_.staging_replicas});
   if (options_.pool_max > 0) {
     ElasticBucketPool::Options popts;
     popts.min_buckets = options_.pool_min >= 1 ? options_.pool_min : 1;
@@ -213,10 +214,18 @@ CampaignService::ServiceReport CampaignService::run() {
     out.resilience.tasks_failed = stats.tasks_failed;
     out.resilience.worker_stalls = stats.worker_stalls;
     out.resilience.buckets_killed = stats.buckets_killed;
+    out.resilience.buckets_crashed = stats.buckets_crashed;
+    out.resilience.servers_crashed = stats.servers_crashed;
     out.resilience.overload_bytes_injected = stats.overload_bytes_injected;
     out.resilience.credits_starved = stats.credits_starved;
     out.resilience.tenant_hog_bytes = stats.tenant_hog_bytes;
   }
+  // Crash-recovery ledger: exactly-once accounting under ungraceful loss.
+  out.resilience.leases_expired = staging_->leases_expired();
+  out.resilience.tasks_reexecuted = staging_->tasks_reexecuted();
+  out.resilience.zombies_fenced = staging_->zombies_fenced();
+  out.resilience.replicas_repaired = staging_->store().replicas_repaired();
+  out.resilience.objects_lost = staging_->store().objects_lost();
   if (overload_ != nullptr) {
     const OverloadControl::Stats ostats = overload_->stats();
     out.resilience.admission_overdrafts = ostats.admission_overdrafts;

@@ -40,6 +40,9 @@ class CampaignService {
   struct Options {
     int staging_servers = 2;
     int staging_buckets = 4;  // initial pool size
+    /// Object-store replication factor (clamped to [1, staging_servers]).
+    /// With R > 1 committed objects survive R-1 crash-server losses.
+    int staging_replicas = 1;
     NetworkParams network{};
     /// Service-wide fault plan (FaultPlan::parse_spec grammar, including
     /// `tenant-hog=T:B@N`). Empty = faults off.

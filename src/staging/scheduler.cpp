@@ -62,7 +62,7 @@ std::vector<double> TaskContext::pull_doubles(const DataDescriptor& desc) {
 
 StagingService::StagingService(Dart& dart, Options options)
     : dart_(dart),
-      store_(options.num_servers, options.overload),
+      store_(options.num_servers, options.overload, options.replicas),
       faults_(options.faults),
       overload_(options.overload) {
   HIA_REQUIRE(options.num_buckets > 0, "need at least one staging bucket");
@@ -85,6 +85,16 @@ StagingService::StagingService(Dart& dart, Options options)
     overload_fired_.resize(faults_->config().overload_injects.size(), false);
     starve_fired_.resize(faults_->config().credit_starves.size(), false);
     hog_fired_.resize(faults_->config().tenant_hogs.size(), false);
+    server_crash_fired_.resize(faults_->config().server_crashes.size(), false);
+    // Lease bookkeeping costs one map insert per assignment; pay it only
+    // when the plan can actually crash a bucket.
+    lease_tracking_ = !faults_->config().bucket_crashes.empty();
+    if (faults_->has_server_crashes() && store_.replicas() < 2) {
+      HIA_LOG_WARN("staging",
+                   "fault plan scripts server crashes but replicas=%d; "
+                   "committed objects on the crashed shard will be lost",
+                   store_.replicas());
+    }
   }
   slots_.resize(static_cast<size_t>(options.num_buckets));
   buckets_.resize(static_cast<size_t>(options.num_buckets));
@@ -176,6 +186,201 @@ std::vector<StagingService::Assigned> StagingService::apply_scripted_kills(
     }
   }
   return orphaned;
+}
+
+std::vector<StagingService::Assigned> StagingService::apply_scripted_crashes(
+    long step) {
+  // Requires mutex_ held. Ungraceful death: the bucket is yanked mid-task
+  // with no drain (a staging node OOM-killed or dropped off the fabric).
+  // Its in-flight assignment is NOT touched here — the lease machinery
+  // reclaims it once the lease stops renewing — but its pending slot and
+  // the queue are handled like a kill when capacity hits zero.
+  std::vector<Assigned> orphaned;
+  if (faults_ == nullptr) return orphaned;
+  const FaultPlanConfig& cfg = faults_->config();
+  if (!cfg.bucket_crashes.empty()) {
+    for (int b = 0; b < static_cast<int>(buckets_.size()); ++b) {
+      Bucket& bucket = buckets_[static_cast<size_t>(b)];
+      if (bucket.dead || !faults_->bucket_crashed(b, step)) continue;
+      bucket.dead = true;
+      bucket.crashed = true;
+      --live_buckets_;
+      faults_->count_bucket_crash();
+      static obs::Counter& crashed = obs::counter("staging_buckets_crashed");
+      crashed.add(1);
+      obs::instant("fault", "bucket_crashed",
+                   {.bucket = b, .step = step, .vtime = clock_.seconds()});
+      obs::record_event(
+          obs::EventKind::kFaultVerdict, -1, b,
+          static_cast<int64_t>(obs::EventFaultSite::kBucketCrash), b,
+          clock_.seconds());
+      HIA_LOG_WARN("staging",
+                   "bucket %d crashed ungracefully at step %ld (no drain)", b,
+                   step);
+      for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
+        if (*it == b) {
+          free_buckets_.erase(it);
+          break;
+        }
+      }
+    }
+    if (live_buckets_ == 0) {
+      while (!task_queue_.empty()) {
+        orphaned.push_back(std::move(task_queue_.front()));
+        task_queue_.pop_front();
+        queue_depth().add(-1);
+        queue_account_remove(orphaned.back());
+      }
+    }
+  }
+  for (size_t i = 0; i < cfg.server_crashes.size(); ++i) {
+    const auto& crash = cfg.server_crashes[i];
+    if (server_crash_fired_[i] || step < crash.step) continue;
+    server_crash_fired_[i] = true;
+    if (crash.server >= store_.num_servers()) {
+      HIA_LOG_WARN("staging",
+                   "fault plan crashes server %d but only %d exist; ignored",
+                   crash.server, store_.num_servers());
+      continue;
+    }
+    const size_t lost = store_.crash_server(crash.server);
+    faults_->count_server_crash();
+    static obs::Counter& crashed = obs::counter("staging_servers_crashed");
+    crashed.add(1);
+    obs::instant("fault", "server_crashed",
+                 {.bucket = crash.server, .step = step,
+                  .bytes = static_cast<long long>(lost),
+                  .vtime = clock_.seconds()});
+    obs::record_event(
+        obs::EventKind::kFaultVerdict, -1, crash.server,
+        static_cast<int64_t>(obs::EventFaultSite::kServerCrash),
+        static_cast<int64_t>(lost), clock_.seconds());
+    HIA_LOG_WARN("staging",
+                 "object-store server %d crashed at step %ld: %zu objects "
+                 "lost their last copy (%d servers live, replicas=%d)",
+                 crash.server, step, lost, store_.live_servers(),
+                 store_.replicas());
+  }
+  return orphaned;
+}
+
+bool StagingService::zombie_fenced(const Assigned& assigned,
+                                   int bucket_index) {
+  if (!lease_tracking_) return false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = task_epoch_.find(assigned.task.task_id);
+    const int current = it == task_epoch_.end() ? 0 : it->second;
+    if (assigned.epoch == current) {
+      // The attempt is current: it finished under its lease; release it.
+      if (bucket_index >= 0) leases_.erase(bucket_index);
+      return false;
+    }
+  }
+  // A presumed-dead bucket's thread came back with a finished attempt
+  // after the lease expired and the task was re-queued. Fence it: no
+  // settle, no record, no outstanding_ decrement, no handle release, no
+  // terminal event — the current epoch owns all of those, exactly once.
+  zombies_fenced_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& fenced = obs::counter("staging_zombies_fenced");
+  fenced.add(1);
+  obs::record_event(obs::EventKind::kZombieFence, assigned.task.tenant,
+                    bucket_index,
+                    static_cast<int64_t>(assigned.task.task_id),
+                    assigned.attempt, clock_.seconds());
+  HIA_LOG_WARN("staging",
+               "fenced zombie completion of task %llu attempt %d from "
+               "crashed bucket %d",
+               static_cast<unsigned long long>(assigned.task.task_id),
+               assigned.attempt, bucket_index);
+  return true;
+}
+
+void StagingService::heartbeat() {
+  if (!lease_tracking_) return;
+  // (bucket, reclaimed assignment) pairs whose lease expired: the owner
+  // crashed mid-attempt, so these count as failed attempts and go through
+  // the ordinary retry machinery (backoff + bucket avoidance).
+  std::vector<std::pair<int, Assigned>> reexec;
+  std::vector<Assigned> orphaned;
+  bool requeued = false;
+  {
+    std::lock_guard lock(mutex_);
+    const double now = clock_.seconds();
+    // The heartbeat tick: every live owner renews; only a crashed owner
+    // stops renewing, so only its lease can expire below.
+    for (auto& [b, lease] : leases_) {
+      if (!buckets_[static_cast<size_t>(b)].crashed) {
+        lease.expires_at = now + kLeaseS;
+      }
+    }
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      const int b = it->first;
+      if (!buckets_[static_cast<size_t>(b)].crashed ||
+          now < it->second.expires_at) {
+        ++it;
+        continue;
+      }
+      Assigned a = std::move(it->second.assigned);
+      it = leases_.erase(it);
+      // Bump the task's epoch: from here on the crashed bucket's still-
+      // running attempt is a zombie and will be fenced at its next ledger
+      // touch. Entries are never erased (see task_epoch_).
+      a.epoch = ++task_epoch_[a.task.task_id];
+      settle_service_locked(a, 0.0);  // the crashed attempt's charge is void
+      leases_expired_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& expired = obs::counter("staging_leases_expired");
+      expired.add(1);
+      obs::record_event(obs::EventKind::kLeaseExpire, a.task.tenant, b,
+                        static_cast<int64_t>(a.task.task_id), a.attempt, now);
+      HIA_LOG_WARN("staging",
+                   "lease on task %llu attempt %d expired: owner bucket %d "
+                   "crashed; reclaiming for re-execution",
+                   static_cast<unsigned long long>(a.task.task_id), a.attempt,
+                   b);
+      reexec.emplace_back(b, std::move(a));
+    }
+    // An assignment parked in a crashed bucket's slot was matched but never
+    // picked up: no attempt ran (no lease, no zombie), so it simply
+    // re-enters the queue as if the matcher had never chosen that bucket.
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      if (!buckets_[b].crashed || !slots_[b].has_value()) continue;
+      Assigned a = std::move(*slots_[b]);
+      slots_[b].reset();
+      settle_service_locked(a, 0.0);  // drop the matcher's provisional charge
+      if (live_buckets_ == 0) {
+        orphaned.push_back(std::move(a));
+        continue;
+      }
+      queue_account_add(a);
+      queue_insert_sorted(std::move(a));
+      queue_depth().add(1);
+      requeued = true;
+    }
+  }
+  for (auto& [b, a] : reexec) {
+    const RetryPolicy& retry = faults_->retry();
+    if (a.attempt < retry.max_task_attempts) {
+      tasks_reexecuted_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& reexecs = obs::counter("staging_task_reexecs");
+      reexecs.add(1);
+      obs::record_event(obs::EventKind::kTaskReexec, a.task.tenant, b,
+                        static_cast<int64_t>(a.task.task_id), a.attempt + 1,
+                        clock_.seconds());
+      retry_task(b, std::move(a));
+    } else {
+      // Attempt budget exhausted on the crashed attempt: close its
+      // occupancy window and fall back, exactly like an injected-fault
+      // attempt that ran out of retries.
+      obs::record_event(obs::EventKind::kBucketVacate, a.task.tenant, b,
+                        static_cast<int64_t>(a.task.task_id), a.attempt,
+                        clock_.seconds());
+      a.last_bucket = b;
+      degrade_or_shed(std::move(a));
+    }
+  }
+  for (Assigned& a : orphaned) degrade_or_shed(std::move(a));
+  if (requeued) work_cv_.notify_all();
 }
 
 size_t StagingService::task_wire_bytes(const InTransitTask& task) {
@@ -357,6 +562,8 @@ uint64_t StagingService::submit(InTransitTask task) {
       queue_depth().add(1);
       orphaned = apply_scripted_kills(step);
     }
+    std::vector<Assigned> crash_orphaned = apply_scripted_crashes(step);
+    for (Assigned& a : crash_orphaned) orphaned.push_back(std::move(a));
   }
   obs::instant("sched", "enqueue", {.step = step, .vtime = clock_.seconds()});
   // vt = the locked enqueue read, never a fresh clock sample: a bucket can
@@ -389,6 +596,9 @@ uint64_t StagingService::submit(InTransitTask task) {
     degrade_or_shed(std::move(*diverted));
   }
   for (Assigned& a : orphaned) degrade_or_shed(std::move(a));
+  // Submits are one of the heartbeat's tick sources: renew live leases and
+  // reclaim any whose owner just crashed (no-op unless crashes are scripted).
+  heartbeat();
   return id;
 }
 
@@ -526,11 +736,24 @@ std::vector<StagingService::TenantShare> StagingService::tenant_shares()
 }
 
 void StagingService::drain_tenant(int tenant) {
-  std::unique_lock lock(mutex_);
-  drain_cv_.wait(lock, [this, tenant] {
+  auto drained = [this, tenant] {
     auto it = tenants_.find(tenant);
     return it == tenants_.end() || it->second.outstanding == 0;
-  });
+  };
+  if (!lease_tracking_) {
+    std::unique_lock lock(mutex_);
+    drain_cv_.wait(lock, drained);
+    return;
+  }
+  // See drain(): the heartbeat must keep ticking or a task stranded on a
+  // crashed bucket never re-enters the queue.
+  for (;;) {
+    heartbeat();
+    std::unique_lock lock(mutex_);
+    if (drain_cv_.wait_for(lock, std::chrono::milliseconds(10), drained)) {
+      return;
+    }
+  }
 }
 
 int StagingService::add_bucket() {
@@ -559,12 +782,17 @@ int StagingService::add_bucket() {
   return index;
 }
 
-int StagingService::retire_bucket() {
+int StagingService::retire_bucket(int min_live) {
   int victim = -1;
   int live_after = 0;
+  const int floor = std::max(min_live, 1);
   {
     std::lock_guard lock(mutex_);
-    if (live_buckets_ <= 1) return -1;  // never retire the last bucket
+    // The floor is re-checked here, under the same lock that scripted
+    // crashes take: a bucket crash between the caller's pressure snapshot
+    // and this call shrinks live_buckets_ first, and the retire backs off
+    // rather than dropping the live pool below the floor.
+    if (live_buckets_ <= floor) return -1;
     // Prefer an idle bucket (no task to finish); otherwise the busy one
     // with the highest index, which drains gracefully like a scripted
     // kill: it completes its current task before exiting.
@@ -581,6 +809,7 @@ int StagingService::retire_bucket() {
     HIA_ASSERT(victim >= 0);
     buckets_[static_cast<size_t>(victim)].dead = true;
     --live_buckets_;
+    HIA_ASSERT(live_buckets_ >= floor);
     live_after = live_buckets_;
     for (auto it = free_buckets_.begin(); it != free_buckets_.end(); ++it) {
       if (*it == victim) {
@@ -601,10 +830,23 @@ int StagingService::retire_bucket() {
 }
 
 void StagingService::drain() {
-  std::unique_lock lock(mutex_);
-  drain_cv_.wait(lock, [this] {
-    return outstanding_ == 0;
-  });
+  if (!lease_tracking_) {
+    std::unique_lock lock(mutex_);
+    drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    return;
+  }
+  // With crashes in play the drain loop doubles as the heartbeat driver:
+  // a task stranded on a crashed bucket only re-enters the queue once its
+  // lease expires, and nothing else may tick the clock after the last
+  // submit. Poll with a deadline instead of blocking forever.
+  for (;;) {
+    heartbeat();
+    std::unique_lock lock(mutex_);
+    if (drain_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                           [this] { return outstanding_ == 0; })) {
+      return;
+    }
+  }
 }
 
 std::vector<TaskRecord> StagingService::records() const {
@@ -755,9 +997,28 @@ void StagingService::bucket_main(int bucket_index) {
         }
         work_cv_.notify_all();
       }
+      if (buckets_[b].crashed) {
+        // Ungraceful death: unlike a graceful kill, a pending assignment is
+        // NOT drained — the heartbeat reclaims the slot and the lease
+        // machinery re-executes whatever was in flight. Just disappear.
+        for (auto it = free_buckets_.begin(); it != free_buckets_.end();
+             ++it) {
+          if (*it == bucket_index) {
+            free_buckets_.erase(it);
+            break;
+          }
+        }
+        return;
+      }
       if (slots_[b].has_value()) {
         assigned = std::move(*slots_[b]);
         slots_[b].reset();
+        if (lease_tracking_) {
+          // Take ownership: the lease covers the whole attempt and renews
+          // on every heartbeat while this bucket stays alive.
+          leases_[bucket_index] =
+              Lease{assigned, clock_.seconds() + kLeaseS};
+        }
       } else if (buckets_[b].dead) {
         // Retired by a scripted kill: leave the free list and exit. Queued
         // work was already drained by the killer if capacity hit zero.
@@ -804,6 +1065,11 @@ void StagingService::execute(int bucket_index, Assigned assigned) {
           std::chrono::duration<double>(retry.task_timeout_s));
       busy_buckets().add(-1);
     }
+    // A crash may have reclaimed this attempt while it was stuck: a stale
+    // epoch means the retry below already happened under the new epoch, so
+    // this attempt must leave no further trace (its occupancy was closed by
+    // the reclamation's kTaskRetry/kBucketVacate).
+    if (zombie_fenced(assigned, bucket_index)) return;
     {
       // The stuck time was real bucket occupancy: settle it against the
       // tenant before the task re-enters the queue (or degrades).
@@ -1024,6 +1290,9 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
     // A thrown handler (e.g. a pull whose frames never survived the wire)
     // is a failed attempt: back off and retry like an injected timeout.
     busy_buckets().add(-1);
+    // Stale epoch: a crash already reclaimed and re-queued this task; the
+    // zombie's retry would double it.
+    if (zombie_fenced(assigned, bucket_index)) return;
     {
       // The failed attempt still occupied the bucket: settle that time
       // against the tenant before requeueing.
@@ -1057,6 +1326,15 @@ void StagingService::run_task(int bucket_index, Assigned assigned,
           std::chrono::duration<double>(wall * (factor - 1.0)));
       wall *= factor;
     }
+  }
+
+  // Exactly-once gate: if a crash reclaimed this task while the attempt
+  // ran, the re-execution (current epoch) owns the terminal record, the
+  // outstanding_ decrement, and the input-handle releases. The zombie
+  // stops here, before any of those side effects.
+  if (zombie_fenced(assigned, bucket_index)) {
+    if (bucket_index >= 0) busy_buckets().add(-1);
+    return;
   }
 
   // The bucket consumed its inputs; free the published regions.

@@ -22,6 +22,19 @@
 // submitted task ends in exactly one TaskRecord — see docs/FAILURE_MODEL.md
 // for the full state machine.
 //
+// Crash tolerance (active when the plan scripts crash-bucket/crash-server):
+// an ungraceful crash kills a bucket mid-compute with no drain. Ownership
+// is lease-based: every assigned task carries a lease renewed on the
+// heartbeat tick of the staging task clock; a crashed owner stops renewing,
+// so its lease expires and the task is reclaimed — its attempt epoch is
+// bumped and it re-enters the queue through the ordinary backoff + bucket-
+// avoidance retry machinery (idempotent re-execution). The crashed bucket's
+// thread cannot be killed, so when its zombie attempt eventually returns it
+// is *fenced*: the stale epoch is detected under the scheduler lock and the
+// completion touches no ledger — records, outstanding_, fair-share service,
+// handle releases, and terminal events all belong to the current epoch
+// exactly once, keeping completed+degraded+deferred+shed == submitted.
+//
 // Multi-tenancy (active only once set_tenant_policy is called): the matcher
 // switches from global FCFS to weighted fair share. Each tenant accrues
 // *normalized service* — settled bucket-seconds plus a provisional charge
@@ -36,7 +49,9 @@
 // reuses the graceful kill drain — the victim finishes its current task).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -125,6 +140,9 @@ class StagingService {
     /// submit() enforces the hard queue budget by diverting overflow work
     /// to degrade_or_shed. Null = overload off (one branch per submit).
     OverloadControl* overload = nullptr;
+    /// Object-store replication factor (clamped to [1, num_servers]).
+    /// With R > 1 committed objects survive R-1 crash-server losses.
+    int replicas = 1;
   };
 
   using Handler = std::function<void(TaskContext&)>;
@@ -215,9 +233,37 @@ class StagingService {
 
   /// Retires one live bucket gracefully: it finishes its current task,
   /// leaves the free list, and its thread exits (joined at destruction,
-  /// like a scripted kill). Prefers an idle bucket. Refuses to retire the
-  /// last live bucket; returns the retired index, or -1 when refused.
-  int retire_bucket();
+  /// like a scripted kill). Prefers an idle bucket. Refuses to drop the
+  /// live pool to (or below) `min_live` — the floor is re-checked under
+  /// the scheduler lock, so a crash that lands between the caller's
+  /// pressure snapshot and this call can never push the pool under the
+  /// floor. Returns the retired index, or -1 when refused.
+  int retire_bucket(int min_live = 1);
+
+  // ---- Crash recovery (leases, epochs, fencing) ----
+
+  /// Lease duration on the staging task clock: a crashed owner's task is
+  /// reclaimed within one lease of its last heartbeat renewal.
+  static constexpr double kLeaseS = 0.05;
+
+  /// Heartbeat tick: renews every live owner's lease, expires the leases
+  /// of crashed owners, and requeues (or degrades) the reclaimed tasks
+  /// under a bumped epoch. Called from submit() and the drain loops; safe
+  /// to call from any thread, no-op unless the plan scripts crashes.
+  void heartbeat();
+
+  /// Leases that expired because their owner crashed.
+  [[nodiscard]] uint64_t leases_expired() const {
+    return leases_expired_.load(std::memory_order_relaxed);
+  }
+  /// Reclaimed tasks that re-entered the queue for re-execution.
+  [[nodiscard]] uint64_t tasks_reexecuted() const {
+    return tasks_reexecuted_.load(std::memory_order_relaxed);
+  }
+  /// Late completions from presumed-dead buckets that were fenced.
+  [[nodiscard]] uint64_t zombies_fenced() const {
+    return zombies_fenced_.load(std::memory_order_relaxed);
+  }
 
   /// Pressure snapshot for steering: the overload ledger's signal with
   /// live_buckets filled in (all-defaults signal when overload is off).
@@ -253,6 +299,10 @@ class StagingService {
     std::thread thread;
     int dart_node = -1;
     bool dead = false;  // retired by a scripted kill (guarded by mutex_)
+    /// Ungracefully crashed (implies dead, guarded by mutex_): the bucket
+    /// must NOT drain a pending assignment, its lease stops renewing, and
+    /// any late completion from its thread is fenced.
+    bool crashed = false;
   };
 
   struct Assigned {
@@ -269,6 +319,18 @@ class StagingService {
     /// Provisional fair-share charge held against the tenant while the
     /// attempt is in flight (0 = no charge outstanding).
     double charge_s = 0.0;
+    /// Attempt epoch for zombie fencing: bumped each time a lease expiry
+    /// reclaims the task. An attempt whose epoch is behind the task's
+    /// current epoch (task_epoch_) is a zombie and must not settle.
+    int epoch = 0;
+  };
+
+  /// Ownership lease a bucket holds on its in-flight assignment (guarded
+  /// by mutex_). Renewed on every heartbeat while the owner is live; a
+  /// crashed owner's lease expires and the assignment is reclaimed.
+  struct Lease {
+    Assigned assigned;
+    double expires_at = 0.0;  // task-clock deadline
   };
 
   /// Per-tenant scheduling ledger (guarded by mutex_).
@@ -303,6 +365,16 @@ class StagingService {
   /// bucket goes, queued work is drained through degrade_or_shed. Returns
   /// the drained tasks (run them without holding mutex_). Requires mutex_.
   std::vector<Assigned> apply_scripted_kills(long step);
+  /// Scripted crashes due at `step`: buckets die ungracefully (no drain —
+  /// recovery happens via lease expiry) and object-store servers are
+  /// seized. Returns queued tasks orphaned when the last live bucket
+  /// crashes (degrade them without holding mutex_). Requires mutex_.
+  std::vector<Assigned> apply_scripted_crashes(long step);
+  /// Fences a finished attempt against the task's current epoch. Returns
+  /// true when the attempt is a stale zombie (its lease already expired
+  /// and the task was reclaimed): the caller must drop every side effect.
+  /// On false the attempt is current and its lease is released.
+  bool zombie_fenced(const Assigned& assigned, int bucket_index);
   /// Scripted overload/credit-starve events due at `step` fire into the
   /// overload control (once each). Requires mutex_.
   void apply_scripted_overload(long step);
@@ -348,6 +420,19 @@ class StagingService {
   std::vector<bool> overload_fired_;  // scripted overload events (mutex_)
   std::vector<bool> starve_fired_;    // scripted credit-starves (mutex_)
   std::vector<bool> hog_fired_;       // scripted tenant-hogs (mutex_)
+  std::vector<bool> server_crash_fired_;  // scripted server crashes (mutex_)
+  // ---- Crash recovery (guarded by mutex_ unless atomic) ----
+  /// Lease bookkeeping is active only when the plan scripts bucket crashes
+  /// (set once in the ctor), keeping the crash-free hot path unchanged.
+  bool lease_tracking_ = false;
+  std::map<int, Lease> leases_;  // bucket -> in-flight ownership lease
+  /// Current epoch per task id; only tasks that were ever reclaimed have
+  /// an entry. Entries are never erased: a zombie carrying the default
+  /// epoch 0 must keep failing the fence after its task was re-executed.
+  std::map<uint64_t, int> task_epoch_;
+  std::atomic<uint64_t> leases_expired_{0};
+  std::atomic<uint64_t> tasks_reexecuted_{0};
+  std::atomic<uint64_t> zombies_fenced_{0};
   bool fair_share_ = false;           // any set_tenant_policy call (mutex_)
   std::map<int, TenantSched> tenants_;  // guarded by mutex_
   bool stopping_ = false;

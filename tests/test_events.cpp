@@ -170,6 +170,47 @@ TEST_F(EventsTest, SpillRoundTripValidates) {
   std::remove(path.c_str());
 }
 
+TEST_F(EventsTest, RunConfigRoundTripsThroughSpillHeader) {
+  record_task(1, 1, obs::EventKind::kTaskComplete);
+
+  obs::EventsRunConfig cfg;
+  cfg.buckets = 3;
+  cfg.servers = 4;
+  cfg.replicas = 2;
+  cfg.faults = "crash-server=1@5,attempts=3";
+  cfg.overload = "credits=8,queue=16,divert=degrade";
+  cfg.tenant_weights = {1.0, 2.0, 4.0};
+  obs::set_events_run_config(cfg);
+
+  const std::string path = temp_path("events_run_config.bin");
+  ASSERT_TRUE(obs::write_events_file(path));
+  EXPECT_TRUE(obs::validate_events_file(path).ok);
+
+  obs::EventsRunConfig got;
+  std::string error;
+  ASSERT_TRUE(obs::read_events_run_config(path, &got, &error)) << error;
+  ASSERT_TRUE(got.present);
+  EXPECT_EQ(got.buckets, 3);
+  EXPECT_EQ(got.servers, 4);
+  EXPECT_EQ(got.replicas, 2);
+  EXPECT_EQ(got.faults, cfg.faults);
+  EXPECT_EQ(got.overload, cfg.overload);
+  ASSERT_EQ(got.tenant_weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(got.tenant_weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(got.tenant_weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(got.tenant_weights[2], 4.0);
+
+  // reset_events clears the registration: the next spill has no block, and
+  // reading it succeeds with present == false (the pre-PR10 spill shape).
+  obs::reset_events();
+  record_task(1, 1, obs::EventKind::kTaskComplete);
+  ASSERT_TRUE(obs::write_events_file(path));
+  got = obs::EventsRunConfig{};
+  ASSERT_TRUE(obs::read_events_run_config(path, &got, &error)) << error;
+  EXPECT_FALSE(got.present);
+  std::remove(path.c_str());
+}
+
 TEST_F(EventsTest, CorruptedFilesAreRejected) {
   record_task(1, 1, obs::EventKind::kTaskComplete);
   const std::string path = temp_path("events_corrupt.bin");

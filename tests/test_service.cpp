@@ -409,6 +409,69 @@ TEST(CampaignServiceTest, TwoTenantCampaignsEndToEnd) {
   EXPECT_NE(table.find("monitoring"), std::string::npos);
 }
 
+// Three tenants share a staging layer that loses a bucket *and* an
+// object-store server mid-campaign, ungracefully. The drill asserts the
+// crash-recovery contract end to end: per-tenant conservation stays exact
+// (leases reclaim seized work, epoch fences drop zombie completions), and
+// with replicas=2 no committed object loses its last copy. Runs under the
+// TSan leg, so the lease/fence paths get a data-race audit too.
+TEST(CampaignServiceTest, ThreeTenantCrashDrillConservesExactly) {
+  CampaignService::Options sopts;
+  sopts.staging_servers = 2;
+  sopts.staging_buckets = 2;
+  sopts.staging_replicas = 2;
+  sopts.faults = "crash-bucket=0@1,crash-server=0@2,attempts=3,"
+                 "backoff=0.0001:0.001";
+  CampaignService service(sopts);
+
+  RunConfig cfg;
+  cfg.sim.grid = GlobalGrid{{16, 12, 8}, {1.0, 1.0, 1.0}};
+  cfg.sim.ranks_per_axis = {1, 1, 1};
+  cfg.staging_servers = 2;
+  cfg.staging_buckets = 2;
+  cfg.steps = 4;
+
+  const char* names[] = {"combustion", "monitoring", "audit"};
+  const double weights[] = {4.0, 2.0, 1.0};
+  for (int t = 0; t < 3; ++t) {
+    CampaignService::TenantSpec spec;
+    spec.name = names[t];
+    spec.weight = weights[t];
+    spec.config = cfg;
+    spec.setup = [](HybridRunner& runner) {
+      runner.add_analysis(std::make_shared<HybridStatistics>());
+    };
+    EXPECT_EQ(service.add_tenant(std::move(spec)), t + 1);
+  }
+
+  const CampaignService::ServiceReport report = service.run();
+  ASSERT_EQ(report.rows.size(), 3u);
+  uint64_t submitted_total = 0;
+  for (const TenantRunRow& row : report.rows) {
+    // Exactly-once terminal accounting survives the crashes, per tenant.
+    EXPECT_EQ(row.completed + row.degraded + row.deferred + row.shed,
+              row.submitted)
+        << "tenant " << row.tenant;
+    EXPECT_EQ(row.submitted, 4u);
+    submitted_total += row.submitted;
+  }
+
+  // Both scripted crashes fired, and the roll-up partition matches the
+  // total offered work exactly — nothing double-counted by a zombie, and
+  // nothing stranded by a dead lease.
+  EXPECT_EQ(report.resilience.buckets_crashed, 1u);
+  EXPECT_EQ(report.resilience.servers_crashed, 1u);
+  EXPECT_EQ(report.resilience.tasks_completed +
+                report.resilience.tasks_degraded +
+                report.resilience.tasks_shed +
+                report.resilience.tasks_deferred,
+            submitted_total);
+  // With replicas=2 on 2 servers, every committed object had a second
+  // copy: the server death must not lose anything.
+  EXPECT_EQ(report.resilience.objects_lost, 0u);
+  EXPECT_TRUE(report.resilience.any());
+}
+
 TEST(CampaignServiceTest, RejectsTenantOwnedFaultSpecs) {
   CampaignService::Options sopts;
   sopts.staging_servers = 1;

@@ -160,17 +160,42 @@ int main(int argc, char** argv) {
                  attrib.error.c_str());
     return 2;
   }
-  const Workload workload = hia::planner::extract_workload(attrib);
+  Workload workload = hia::planner::extract_workload(attrib);
   if (!workload.ok) {
     std::fprintf(stderr, "hia_plan: workload extraction FAILED: %s\n",
                  workload.error.c_str());
     return 1;
   }
+  (void)hia::obs::read_events_run_config(events_path, &workload.run_config,
+                                         &error);
   std::printf(
       "hia_plan: %s: %zu tasks, %zu tenants, %d recorded buckets, "
       "measured makespan %.6f s\n",
       events_path, workload.tasks.size(), workload.tenants.size(),
       workload.recorded_buckets, workload.measured_makespan_s);
+  if (workload.run_config.present) {
+    // A PR10+ spill carries the run's true configuration in its header;
+    // replay it instead of inferring from the event stream. Scenario
+    // overrides still win (parse order: header first, --set on top).
+    std::string weights;
+    for (const double w : workload.run_config.tenant_weights) {
+      if (!weights.empty()) weights += ',';
+      weights += std::to_string(w);
+    }
+    std::printf(
+        "  recorded config: %d buckets, %d servers, %d replicas, "
+        "weights [%s], faults \"%s\", overload \"%s\"\n",
+        workload.run_config.buckets, workload.run_config.servers,
+        workload.run_config.replicas,
+        weights.empty() ? "equal" : weights.c_str(),
+        workload.run_config.faults.c_str(),
+        workload.run_config.overload.c_str());
+    // Every scenario (base and sweeps) replays with the recorded weights;
+    // capacity what-ifs change the machine, not the workload's policy.
+    for (hia::planner::Scenario& sc : scenarios) {
+      sc.tenant_weights = workload.run_config.tenant_weights;
+    }
+  }
 
   bool failed = false;
 
